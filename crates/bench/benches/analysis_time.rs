@@ -1,0 +1,64 @@
+//! Criterion bench behind Table V: statistical analysis-time measurement
+//! for the three corpus modules plus the Listing 1 micro-case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privacyscope::{Analyzer, AnalyzerOptions};
+
+fn bench_modules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_analysis_time");
+    group.sample_size(10);
+    for module in mlcorpus::modules() {
+        let options = AnalyzerOptions {
+            // a tight budget keeps Kmeans' measurement stable; the table5
+            // binary uses the full budget for the headline numbers
+            max_paths: 16,
+            ..AnalyzerOptions::default()
+        };
+        let analyzer =
+            Analyzer::from_sources(module.source, module.edl, options).expect("module builds");
+        group.bench_function(module.name, |b| {
+            b.iter(|| {
+                let report = analyzer.analyze(module.entry).expect("analyzes");
+                assert_eq!(report.findings.len(), module.expected_violations);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_listing1(c: &mut Criterion) {
+    const SOURCE: &str = r#"
+int enclave_process_data(char *secrets, char *output) {
+    int temporary = secrets[0] + 100;
+    output[0] = temporary + 1;
+    if (secrets[1] == 0) return 0; else return 1;
+}
+"#;
+    const EDL: &str = r#"
+enclave { trusted {
+    public int enclave_process_data([in] char *secrets, [out] char *output);
+}; };
+"#;
+    let analyzer =
+        Analyzer::from_sources(SOURCE, EDL, AnalyzerOptions::default()).expect("listing 1 builds");
+    c.bench_function("listing1_analysis", |b| {
+        b.iter(|| analyzer.analyze("enclave_process_data").expect("analyzes"))
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfa_baseline_time");
+    for module in mlcorpus::modules() {
+        group.bench_function(module.name, |b| {
+            b.iter(|| {
+                privacyscope::baseline::analyze(module.source, module.edl, module.entry)
+                    .expect("baseline runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modules, bench_listing1, bench_baseline);
+criterion_main!(benches);

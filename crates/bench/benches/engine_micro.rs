@@ -1,0 +1,110 @@
+//! Microbenchmarks of the engine's building blocks: frontend parsing,
+//! expression simplification, constraint management, taint joins, PRIML
+//! analysis, and the enclave runtime interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minic::ast::BinOp;
+use symexec::constraints::ConstraintManager;
+use symexec::simplify::simplify;
+use symexec::value::{SVal, Symbol};
+use taint::{SourceId, TaintSet};
+
+fn bench_frontend(c: &mut Criterion) {
+    let source = mlcorpus::kmeans::module().source;
+    c.bench_function("minic_parse_kmeans", |b| {
+        b.iter(|| minic::parse(source).expect("parses"))
+    });
+    let edl_text = mlcorpus::kmeans::module().edl;
+    c.bench_function("edl_parse", |b| {
+        b.iter(|| edl::parse_edl(edl_text).expect("parses"))
+    });
+}
+
+fn deep_expr(depth: usize) -> SVal {
+    let mut expr = SVal::Sym(Symbol::new(0, "x"));
+    for i in 0..depth {
+        expr = SVal::binary(
+            if i % 2 == 0 { BinOp::Add } else { BinOp::Mul },
+            expr,
+            SVal::Int((i % 7) as i64 + 1),
+        );
+    }
+    expr
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let expr = deep_expr(64);
+    c.bench_function("simplify_depth64", |b| b.iter(|| simplify(&expr)));
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    c.bench_function("constraints_assume_chain", |b| {
+        b.iter(|| {
+            let mut cm = ConstraintManager::new();
+            for i in 0..32 {
+                let sym = SVal::Sym(Symbol::new(i % 4, format!("s{}", i % 4)));
+                let cond = SVal::binary(BinOp::Gt, sym, SVal::Int(i as i64 - 16));
+                let _ = cm.assume(&cond, true);
+            }
+            cm
+        })
+    });
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let sets: Vec<TaintSet> = (0..16)
+        .map(|i| TaintSet::from_sources((0..i % 5).map(SourceId::new)))
+        .collect();
+    c.bench_function("taint_join_fold", |b| {
+        b.iter(|| {
+            let mut acc = TaintSet::bottom();
+            for s in &sets {
+                acc = taint::binop(&acc, s);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_priml(c: &mut Criterion) {
+    let program = priml::parse(priml::examples::EXAMPLE2).expect("parses");
+    c.bench_function("priml_analyze_example2", |b| {
+        b.iter(|| priml::analysis::analyze(&program))
+    });
+    c.bench_function("priml_concrete_run", |b| {
+        b.iter(|| priml::concrete::run(&program, &[9]).expect("runs"))
+    });
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let module = mlcorpus::kmeans::module();
+    let enclave = sgx_sim::Enclave::load(module.source, module.edl).expect("enclave loads");
+    let points: Vec<sgx_sim::interp::Word> = mlcorpus::datasets::kmeans_points(7)
+        .into_iter()
+        .map(sgx_sim::interp::Word::Float)
+        .collect();
+    c.bench_function("sgx_sim_kmeans_ecall", |b| {
+        b.iter(|| {
+            enclave
+                .ecall(
+                    module.entry,
+                    &[
+                        sgx_sim::EcallArg::In(points.clone()),
+                        sgx_sim::EcallArg::Out(7),
+                    ],
+                )
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_simplify,
+    bench_constraints,
+    bench_taint,
+    bench_priml,
+    bench_runtime
+);
+criterion_main!(benches);

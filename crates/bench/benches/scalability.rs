@@ -1,0 +1,53 @@
+//! Criterion bench behind the scalability study: engine cost versus
+//! straight-line length, branch count and loop count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privacyscope::{Analyzer, AnalyzerOptions};
+
+fn run(workload: &bench::workloads::Workload, max_paths: usize) -> privacyscope::Report {
+    let options = AnalyzerOptions {
+        max_paths,
+        ..AnalyzerOptions::default()
+    };
+    Analyzer::from_sources(&workload.source, &workload.edl, options)
+        .expect("workload builds")
+        .analyze(&workload.entry)
+        .expect("workload analyzes")
+}
+
+fn bench_straightline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("straightline_loc");
+    for n in [50usize, 200, 800] {
+        let workload = bench::synthetic_straightline(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            b.iter(|| run(w, 4096))
+        });
+    }
+    group.finish();
+}
+
+fn bench_branches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_explosion");
+    group.sample_size(10);
+    for n in [4usize, 8, 10] {
+        let workload = bench::synthetic_branches(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            b.iter(|| run(w, 1024))
+        });
+    }
+    group.finish();
+}
+
+fn bench_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_widening");
+    for n in [2usize, 8, 16] {
+        let workload = bench::synthetic_loops(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            b.iter(|| run(w, 1024))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_straightline, bench_branches, bench_loops);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Quick per-module analysis profiler (dev utility).
+use privacyscope::{Analyzer, AnalyzerOptions};
+use std::time::Instant;
+
+fn main() {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    for module in mlcorpus::modules() {
+        let options = AnalyzerOptions {
+            max_paths: budget,
+            ..AnalyzerOptions::default()
+        };
+        let analyzer = Analyzer::from_sources(module.source, module.edl, options).expect("builds");
+        let t = Instant::now();
+        let report = analyzer.analyze(module.entry).expect("analyzes");
+        println!(
+            "{}: {:?} paths={} forks={} findings={}",
+            module.name,
+            t.elapsed(),
+            report.stats.paths,
+            report.stats.forks,
+            report.findings.len()
+        );
+    }
+}

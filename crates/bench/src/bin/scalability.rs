@@ -1,0 +1,70 @@
+//! Scalability study (the §VIII-C concern): analysis time as the analyzed
+//! program grows in straight-line length, independent branches (2ⁿ paths)
+//! and loop count.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin scalability
+//! ```
+
+use std::time::Instant;
+
+use bench::{synthetic_branches, synthetic_loops, synthetic_straightline};
+use privacyscope::{Analyzer, AnalyzerOptions};
+
+fn measure(workload: &bench::workloads::Workload, max_paths: usize) -> (f64, usize, bool) {
+    let options = AnalyzerOptions {
+        max_paths,
+        ..AnalyzerOptions::default()
+    };
+    let analyzer =
+        Analyzer::from_sources(&workload.source, &workload.edl, options).expect("workload builds");
+    let started = Instant::now();
+    let report = analyzer
+        .analyze(&workload.entry)
+        .expect("workload analyzes");
+    (
+        started.elapsed().as_secs_f64(),
+        report.stats.paths,
+        report.stats.exhausted,
+    )
+}
+
+fn main() {
+    println!("SCALABILITY (paper §VIII-C: symbolic execution's known limit)");
+    println!();
+
+    println!("1. straight-line length sweep (single path — linear cost)");
+    println!("   LoC | time (s)");
+    for n in [10usize, 50, 100, 200, 400, 800] {
+        let workload = synthetic_straightline(n);
+        let (secs, paths, _) = measure(&workload, 4096);
+        println!("   {:4} | {secs:.4}   ({paths} path)", n + 4);
+    }
+
+    println!();
+    println!("2. independent-branch sweep (2^n paths — the exponential face)");
+    println!("   branches | paths | time (s) | exhausted");
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        let workload = synthetic_branches(n);
+        let (secs, paths, exhausted) = measure(&workload, 1024);
+        println!("   {n:8} | {paths:5} | {secs:8.4} | {exhausted}");
+    }
+
+    println!();
+    println!("3. bounded-loop sweep (widening keeps cost polynomial)");
+    println!("   loops | paths | time (s)");
+    for n in [1usize, 2, 4, 8, 16] {
+        let workload = synthetic_loops(n);
+        let (secs, paths, _) = measure(&workload, 1024);
+        println!("   {n:5} | {paths:5} | {secs:.4}");
+    }
+
+    println!();
+    println!("4. path-budget ablation on the 12-branch workload");
+    println!("   budget | paths | time (s) | exhausted");
+    for budget in [16usize, 64, 256, 1024, 4096] {
+        let workload = synthetic_branches(12);
+        let (secs, paths, exhausted) = measure(&workload, budget);
+        println!("   {budget:6} | {paths:5} | {secs:8.4} | {exhausted}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Shared helpers for the PrivacyScope benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md §3 for the index); the Criterion
+//! benches in `benches/` measure the same workloads statistically.
+
+pub mod workloads;
+
+pub use workloads::{synthetic_branches, synthetic_loops, synthetic_straightline};

@@ -1,0 +1,197 @@
+//! The PrivacyScope command-line driver.
+//!
+//! ```text
+//! privacyscope analyze <enclave.c> <enclave.edl> [options]
+//!     --config <file.xml>   XML analysis configuration (§V-C)
+//!     --function <name>     analyze one ECALL (default: all targets)
+//!     --json                emit machine-readable reports
+//!     --trace               print the Table-IV-style exploration table
+//!     --baseline            run the path-insensitive DFA baseline instead
+//!     --max-paths <n>       path budget (default 4096)
+//!     --loop-bound <n>      symbolic loop bound (default 4)
+//!
+//! privacyscope priml <program.priml>
+//!     analyze a PRIML program with the formal semantics and print the
+//!     simulation table (Tables II/III style)
+//! ```
+//!
+//! Exit code: 0 when every analyzed function satisfies nonreversibility,
+//! 1 when violations were found, 2 on usage or input errors.
+
+use std::process::ExitCode;
+
+use privacyscope::{Analyzer, AnalyzerOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(secure) => {
+            if secure {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("privacyscope: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("priml") => priml_mode(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  privacyscope analyze <enclave.c> <enclave.edl> [--config <xml>] [--function <name>]
+                       [--json] [--trace] [--baseline] [--max-paths <n>] [--loop-bound <n>]
+  privacyscope priml <program.priml>
+";
+
+struct Cli {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+fn parse_cli(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Cli, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), Some(value.clone())));
+            } else if bool_flags.contains(&name) {
+                flags.push((name.to_string(), None));
+            } else {
+                return Err(format!("unknown option `--{name}`\n{USAGE}"));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Cli { positional, flags })
+}
+
+impl Cli {
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn usize_value(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{text}`")),
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn analyze(args: &[String]) -> Result<bool, String> {
+    let cli = parse_cli(
+        args,
+        &["config", "function", "max-paths", "loop-bound"],
+        &["json", "trace", "baseline"],
+    )?;
+    let [source_path, edl_path] = cli.positional.as_slice() else {
+        return Err(format!(
+            "`analyze` needs <enclave.c> and <enclave.edl>\n{USAGE}"
+        ));
+    };
+    let source = read(source_path)?;
+    let edl_text = read(edl_path)?;
+
+    let options = AnalyzerOptions {
+        max_paths: cli.usize_value("max-paths", 4096)?,
+        loop_bound: cli.usize_value("loop-bound", 4)?,
+        ..AnalyzerOptions::default()
+    };
+
+    let analyzer = match cli.value("config") {
+        Some(config_path) => {
+            let xml = read(config_path)?;
+            Analyzer::with_config(&source, &edl_text, &xml, options)
+        }
+        None => Analyzer::from_sources(&source, &edl_text, options),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let targets = match cli.value("function") {
+        Some(name) => vec![name.to_string()],
+        None => analyzer.targets(),
+    };
+    if targets.is_empty() {
+        return Err("no public ECALLs to analyze (and no --function given)".into());
+    }
+
+    let mut secure = true;
+    for target in &targets {
+        if cli.has("baseline") {
+            let report = privacyscope::baseline::analyze(&source, &edl_text, target)
+                .map_err(|e| e.to_string())?;
+            emit(&report, cli.has("json"));
+            secure &= report.is_secure();
+            continue;
+        }
+        if cli.has("trace") {
+            let table = analyzer.trace_table(target).map_err(|e| e.to_string())?;
+            println!("── exploration of `{target}` ──");
+            println!("{table}");
+        }
+        let report = analyzer.analyze(target).map_err(|e| e.to_string())?;
+        emit(&report, cli.has("json"));
+        secure &= report.is_secure();
+    }
+    Ok(secure)
+}
+
+fn emit(report: &privacyscope::Report, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+}
+
+fn priml_mode(args: &[String]) -> Result<bool, String> {
+    let cli = parse_cli(args, &[], &[])?;
+    let [path] = cli.positional.as_slice() else {
+        return Err(format!("`priml` needs a program file\n{USAGE}"));
+    };
+    let source = read(path)?;
+    let program = priml::parse(&source).map_err(|e| e.to_string())?;
+    let outcome = priml::analysis::analyze(&program);
+    println!("{}", priml::analysis::render_table3(&outcome));
+    for violation in &outcome.violations {
+        println!("violation: {violation}");
+    }
+    if outcome.is_secure() {
+        println!("nonreversibility holds.");
+    }
+    Ok(outcome.is_secure())
+}

@@ -1,0 +1,70 @@
+//! Analyzer error type.
+
+use std::fmt;
+
+/// Errors raised while configuring or running the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The enclave source failed to parse or type-check.
+    Source(minic::Error),
+    /// The EDL interface failed to parse.
+    Edl(edl::EdlError),
+    /// The XML configuration failed to parse.
+    Config(edl::ConfigError),
+    /// The requested function is not a declared ECALL (or config target).
+    UnknownTarget(String),
+    /// The symbolic engine rejected the setup.
+    Engine(symexec::EngineError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Source(e) => write!(f, "source: {e}"),
+            Error::Edl(e) => write!(f, "interface: {e}"),
+            Error::Config(e) => write!(f, "configuration: {e}"),
+            Error::UnknownTarget(name) => {
+                write!(f, "`{name}` is not a declared ECALL target")
+            }
+            Error::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<minic::Error> for Error {
+    fn from(e: minic::Error) -> Self {
+        Error::Source(e)
+    }
+}
+
+impl From<edl::EdlError> for Error {
+    fn from(e: edl::EdlError) -> Self {
+        Error::Edl(e)
+    }
+}
+
+impl From<edl::ConfigError> for Error {
+    fn from(e: edl::ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<symexec::EngineError> for Error {
+    fn from(e: symexec::EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::UnknownTarget("f".into())
+            .to_string()
+            .contains("not a declared ECALL"));
+    }
+}

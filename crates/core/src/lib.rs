@@ -1,0 +1,61 @@
+//! PrivacyScope — static detection of nonreversibility violations in
+//! TEE-protected applications.
+//!
+//! This is the paper's primary contribution (ICDCS 2020): a static analyzer
+//! that decides whether code running inside an SGX enclave can leak its
+//! secret inputs *deterministically* — either **explicitly** (an observable
+//! output carries a single-source secret, so the attacker inverts the
+//! computation) or **implicitly** (the program branches on a secret and the
+//! branches produce different observable values).
+//!
+//! The analyzer drives the `symexec` engine (region-based symbolic
+//! execution with taint) over `minic` ASTs; the policy it enforces is the
+//! *nonreversibility* property of §IV, strictly weaker than classical
+//! noninterference — ML code whose model legitimately depends on the
+//! training data passes, while reversible flows fail.
+//!
+//! Entry points:
+//!
+//! * [`Analyzer`] — configure once (EDL file, XML config, engine options),
+//!   then [`Analyzer::analyze`] each ECALL; returns a [`report::Report`]
+//!   in the style of the paper's Box 1.
+//! * [`baseline`] — the path-insensitive, DFA-style taint baseline the
+//!   paper compares against in §II-B (finds explicit leaks only).
+//! * [`nonrev`] — the nonreversibility property itself, as reusable
+//!   verdict helpers shared by both analyzers.
+//!
+//! # Examples
+//!
+//! ```
+//! use privacyscope::{Analyzer, AnalyzerOptions};
+//!
+//! let source = r#"
+//!     int enclave_process_data(char *secrets, char *output) {
+//!         int temporary = secrets[0] + 100;
+//!         output[0] = temporary + 1;
+//!         if (secrets[1] == 0) return 0; else return 1;
+//!     }
+//! "#;
+//! let edl_text = r#"
+//!     enclave { trusted {
+//!         public int enclave_process_data([in] char *secrets, [out] char *output);
+//!     }; };
+//! "#;
+//! let analyzer = Analyzer::from_sources(source, edl_text, AnalyzerOptions::default())?;
+//! let report = analyzer.analyze("enclave_process_data")?;
+//! assert_eq!(report.explicit_findings().count(), 1); // output[0] ← secrets[0]
+//! assert_eq!(report.implicit_findings().count(), 1); // return ← secrets[1]
+//! # Ok::<(), privacyscope::Error>(())
+//! ```
+
+pub mod analyzer;
+pub mod baseline;
+pub mod error;
+pub mod invert;
+pub mod nonrev;
+pub mod report;
+
+pub use analyzer::{Analyzer, AnalyzerOptions};
+pub use error::Error;
+pub use nonrev::Property;
+pub use report::{Finding, FindingKind, Report};

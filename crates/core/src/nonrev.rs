@@ -1,0 +1,154 @@
+//! The nonreversibility property (§IV of the paper), as verdict helpers
+//! shared by the symbolic analyzer and the DFA baseline.
+//!
+//! **Noninterference** demands that varying *high* inputs never changes
+//! *low*-observable outputs — which every ML training program violates, as
+//! the model legitimately depends on the training data. The paper therefore
+//! introduces **nonreversibility**: a program is secure if no *single* high
+//! input can be deterministically recovered from the observable outputs.
+//! On the taint lattice this becomes a local check:
+//!
+//! * ⊥ outputs reveal no secret — safe;
+//! * `tᵢ` outputs are computed from exactly one secret — an attacker who
+//!   sees them can invert the (deterministic) computation — **violation**;
+//! * ⊤ outputs mix two or more secrets — each secret masks the others, so
+//!   no single one is recoverable — safe (e.g. `l := h₁ + 4 + h₂`).
+//!
+//! The same trichotomy applies to the path condition π for implicit flows:
+//! a branch over a single secret whose sides produce different observables
+//! lets the attacker decide the branch and hence constrain that secret.
+
+use std::fmt;
+
+use taint::{Label, SourceId, TaintSet};
+
+/// Which information-flow property the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Property {
+    /// The paper's contribution (§IV): only single-source outputs violate.
+    #[default]
+    Nonreversibility,
+    /// Classical noninterference (§IV's strawman): *any* secret-tainted
+    /// output violates. ML programs always fail this — the paper's
+    /// motivation for the weaker property; exposed here so the contrast is
+    /// executable.
+    Noninterference,
+}
+
+impl Property {
+    /// Whether a value with this taint violates the property.
+    pub fn violated_by(self, taint: &TaintSet) -> bool {
+        match self {
+            Property::Nonreversibility => taint.is_reversible(),
+            Property::Noninterference => taint.is_tainted(),
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::Nonreversibility => write!(f, "nonreversibility"),
+            Property::Noninterference => write!(f, "noninterference"),
+        }
+    }
+}
+
+/// The nonreversibility verdict for one observable value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No secret flows into the value.
+    Safe,
+    /// Exactly one secret flows in: the value is reversible — a violation.
+    Reversible(SourceId),
+    /// Two or more secrets mix: not deterministically reversible.
+    Mixed(Vec<SourceId>),
+}
+
+impl Verdict {
+    /// Classifies a taint set.
+    pub fn of(taint: &TaintSet) -> Verdict {
+        match taint.label() {
+            Label::Bot => Verdict::Safe,
+            Label::Src(source) => Verdict::Reversible(source),
+            Label::Top => Verdict::Mixed(taint.sources().collect()),
+        }
+    }
+
+    /// Whether this verdict is a nonreversibility violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Reversible(_))
+    }
+
+    /// The leaked source, when violating.
+    pub fn source(&self) -> Option<SourceId> {
+        match self {
+            Verdict::Reversible(source) => Some(*source),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe => write!(f, "safe (⊥)"),
+            Verdict::Reversible(source) => write!(f, "reversible ({source})"),
+            Verdict::Mixed(sources) => {
+                write!(f, "mixed (⊤: ")?;
+                for (i, s) in sources.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_trichotomy() {
+        assert_eq!(Verdict::of(&TaintSet::bottom()), Verdict::Safe);
+        let one = TaintSet::source(SourceId::new(3));
+        assert_eq!(Verdict::of(&one), Verdict::Reversible(SourceId::new(3)));
+        assert!(Verdict::of(&one).is_violation());
+        assert_eq!(Verdict::of(&one).source(), Some(SourceId::new(3)));
+        let two = TaintSet::from_sources([SourceId::new(1), SourceId::new(2)]);
+        let v = Verdict::of(&two);
+        assert!(!v.is_violation());
+        assert_eq!(v.source(), None);
+        assert!(matches!(v, Verdict::Mixed(ref s) if s.len() == 2));
+    }
+
+    #[test]
+    fn property_verdicts() {
+        let bot = TaintSet::bottom();
+        let one = TaintSet::source(SourceId::new(1));
+        let two = TaintSet::from_sources([SourceId::new(1), SourceId::new(2)]);
+        // nonreversibility: only single-source outputs violate
+        assert!(!Property::Nonreversibility.violated_by(&bot));
+        assert!(Property::Nonreversibility.violated_by(&one));
+        assert!(!Property::Nonreversibility.violated_by(&two));
+        // noninterference: any taint violates (the strict strawman)
+        assert!(!Property::Noninterference.violated_by(&bot));
+        assert!(Property::Noninterference.violated_by(&one));
+        assert!(Property::Noninterference.violated_by(&two));
+        assert_eq!(Property::default(), Property::Nonreversibility);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Verdict::Safe.to_string(), "safe (⊥)");
+        assert!(Verdict::Reversible(SourceId::new(1))
+            .to_string()
+            .contains("t1"));
+        let two = TaintSet::from_sources([SourceId::new(1), SourceId::new(2)]);
+        assert!(Verdict::of(&two).to_string().contains("⊤"));
+    }
+}

@@ -1,0 +1,181 @@
+//! EDL file structure.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed EDL file: the enclave's trusted/untrusted interface.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EdlFile {
+    /// ECALL prototypes (host calls into the enclave).
+    pub trusted: Vec<Prototype>,
+    /// OCALL prototypes (enclave calls out to the host).
+    pub untrusted: Vec<Prototype>,
+}
+
+impl EdlFile {
+    /// Looks up an ECALL by name.
+    pub fn ecall(&self, name: &str) -> Option<&Prototype> {
+        self.trusted.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up an OCALL by name.
+    pub fn ocall(&self, name: &str) -> Option<&Prototype> {
+        self.untrusted.iter().find(|p| p.name == name)
+    }
+
+    /// Names of all OCALLs — the default sink-function set.
+    pub fn ocall_names(&self) -> Vec<String> {
+        self.untrusted.iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+/// An ECALL/OCALL prototype.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prototype {
+    /// Function name.
+    pub name: String,
+    /// Return type, as written (e.g. `int`, `void`).
+    pub return_type: String,
+    /// Whether declared `public` (directly callable).
+    pub public: bool,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+}
+
+/// One parameter of a prototype.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// The C type as written (e.g. `char*`, `double *`).
+    pub c_type: String,
+    /// Marshalling attributes (empty for scalars).
+    pub attributes: ParamAttributes,
+}
+
+impl Param {
+    /// Whether the type is a pointer.
+    pub fn is_pointer(&self) -> bool {
+        self.c_type.contains('*')
+    }
+}
+
+/// Marshalling direction of a pointer parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// `[in]` — marshalled host → enclave (a secret source by default).
+    In,
+    /// `[out]` — marshalled enclave → host (an observable sink).
+    Out,
+    /// `[in, out]` — both.
+    InOut,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => write!(f, "in"),
+            Direction::Out => write!(f, "out"),
+            Direction::InOut => write!(f, "in, out"),
+        }
+    }
+}
+
+/// The bracketed attribute list of a parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ParamAttributes {
+    /// Marshalling direction, if any.
+    pub direction: Option<Direction>,
+    /// `size=` bound: byte size, either a constant or a parameter name.
+    pub size: Option<Bound>,
+    /// `count=` bound: element count.
+    pub count: Option<Bound>,
+    /// `string` attribute (NUL-terminated).
+    pub string: bool,
+}
+
+impl ParamAttributes {
+    /// Whether data flows into the enclave through this parameter.
+    pub fn is_in(&self) -> bool {
+        matches!(self.direction, Some(Direction::In) | Some(Direction::InOut))
+    }
+
+    /// Whether data flows out of the enclave through this parameter.
+    pub fn is_out(&self) -> bool {
+        matches!(
+            self.direction,
+            Some(Direction::Out) | Some(Direction::InOut)
+        )
+    }
+}
+
+/// A `size=`/`count=` bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// A constant bound, e.g. `size=16`.
+    Const(u64),
+    /// A bound given by another parameter, e.g. `count=len`.
+    Param(String),
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Const(n) => write!(f, "{n}"),
+            Bound::Param(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_queries() {
+        let mut attrs = ParamAttributes::default();
+        assert!(!attrs.is_in() && !attrs.is_out());
+        attrs.direction = Some(Direction::In);
+        assert!(attrs.is_in() && !attrs.is_out());
+        attrs.direction = Some(Direction::InOut);
+        assert!(attrs.is_in() && attrs.is_out());
+    }
+
+    #[test]
+    fn pointer_detection() {
+        let param = Param {
+            name: "buf".into(),
+            c_type: "char*".into(),
+            attributes: ParamAttributes::default(),
+        };
+        assert!(param.is_pointer());
+        let scalar = Param {
+            name: "n".into(),
+            c_type: "int".into(),
+            attributes: ParamAttributes::default(),
+        };
+        assert!(!scalar.is_pointer());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let file = EdlFile {
+            trusted: vec![Prototype {
+                name: "f".into(),
+                return_type: "int".into(),
+                public: true,
+                params: vec![],
+            }],
+            untrusted: vec![Prototype {
+                name: "ocall_g".into(),
+                return_type: "void".into(),
+                public: false,
+                params: vec![],
+            }],
+        };
+        assert!(file.ecall("f").is_some());
+        assert!(file.ecall("ocall_g").is_none());
+        assert_eq!(file.ocall_names(), vec!["ocall_g"]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The analyzer's XML configuration file (§V-C).
+//!
+//! Prior to analysis, PrivacyScope processes a user-provided XML file
+//! naming the functions to evaluate and any policy overrides. The schema:
+//!
+//! ```xml
+//! <privacyscope>
+//!   <target function="enclave_process_data"/>
+//!   <secret param="secrets"/>            <!-- override: mark as secret -->
+//!   <public param="len"/>                <!-- override: not a secret -->
+//!   <sink function="ocall_send"/>        <!-- extra observable sink -->
+//!   <decrypt function="ipp_aes_decrypt"/><!-- predefined decrypt list -->
+//!   <option name="loop-bound" value="4"/>
+//!   <option name="max-paths" value="4096"/>
+//! </privacyscope>
+//! ```
+//!
+//! A tiny, dependency-free XML subset parser: elements with attributes,
+//! self-closing or with a matching end tag, comments, and no text content.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A configuration-file error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+    position: usize,
+}
+
+impl ConfigError {
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The parsed analysis configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Functions to analyze; empty means "every public ECALL in the EDL".
+    pub targets: Vec<String>,
+    /// Parameter names forced to be secret sources.
+    pub secret_params: Vec<String>,
+    /// Parameter names forced to be non-secret.
+    pub public_params: Vec<String>,
+    /// Extra sink functions beyond the EDL's OCALLs.
+    pub sinks: Vec<String>,
+    /// Decrypt-style source functions (the predefined IPP list).
+    pub decrypt_functions: Vec<String>,
+    /// Free-form engine options (`loop-bound`, `max-paths`, …).
+    pub options: BTreeMap<String, String>,
+}
+
+impl AnalysisConfig {
+    /// Parses the XML configuration text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on malformed XML or unknown elements.
+    pub fn from_xml(source: &str) -> Result<AnalysisConfig, ConfigError> {
+        let mut config = AnalysisConfig::default();
+        let elements = parse_elements(source)?;
+        let Some(root) = elements.first() else {
+            return Err(ConfigError {
+                message: "missing <privacyscope> root".into(),
+                position: 0,
+            });
+        };
+        if root.name != "privacyscope" {
+            return Err(ConfigError {
+                message: format!("expected <privacyscope> root, found <{}>", root.name),
+                position: root.position,
+            });
+        }
+        for child in &root.children {
+            let attr = |key: &str| -> Result<String, ConfigError> {
+                child.attrs.get(key).cloned().ok_or_else(|| ConfigError {
+                    message: format!("<{}> needs a `{key}` attribute", child.name),
+                    position: child.position,
+                })
+            };
+            match child.name.as_str() {
+                "target" => config.targets.push(attr("function")?),
+                "secret" => config.secret_params.push(attr("param")?),
+                "public" => config.public_params.push(attr("param")?),
+                "sink" => config.sinks.push(attr("function")?),
+                "decrypt" => config.decrypt_functions.push(attr("function")?),
+                "option" => {
+                    config.options.insert(attr("name")?, attr("value")?);
+                }
+                other => {
+                    return Err(ConfigError {
+                        message: format!("unknown element <{other}>"),
+                        position: child.position,
+                    })
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Reads an integer option, falling back to `default`.
+    pub fn option_usize(&self, name: &str, default: usize) -> usize {
+        self.options
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+#[derive(Debug)]
+struct Element {
+    name: String,
+    attrs: BTreeMap<String, String>,
+    children: Vec<Element>,
+    position: usize,
+}
+
+fn parse_elements(source: &str) -> Result<Vec<Element>, ConfigError> {
+    let mut pos = 0;
+    let mut stack: Vec<Element> = Vec::new();
+    let mut roots = Vec::new();
+    let bytes = source.as_bytes();
+
+    while pos < bytes.len() {
+        // skip whitespace/text
+        if bytes[pos] != b'<' {
+            pos += 1;
+            continue;
+        }
+        if source[pos..].starts_with("<!--") {
+            match source[pos..].find("-->") {
+                Some(end) => pos += end + 3,
+                None => {
+                    return Err(ConfigError {
+                        message: "unterminated comment".into(),
+                        position: pos,
+                    })
+                }
+            }
+            continue;
+        }
+        if source[pos..].starts_with("<?") {
+            match source[pos..].find("?>") {
+                Some(end) => pos += end + 2,
+                None => {
+                    return Err(ConfigError {
+                        message: "unterminated processing instruction".into(),
+                        position: pos,
+                    })
+                }
+            }
+            continue;
+        }
+        if source[pos..].starts_with("</") {
+            let end = source[pos..].find('>').ok_or(ConfigError {
+                message: "unterminated end tag".into(),
+                position: pos,
+            })?;
+            let name = source[pos + 2..pos + end].trim();
+            let element = stack.pop().ok_or(ConfigError {
+                message: format!("unmatched </{name}>"),
+                position: pos,
+            })?;
+            if element.name != name {
+                return Err(ConfigError {
+                    message: format!("expected </{}>, found </{name}>", element.name),
+                    position: pos,
+                });
+            }
+            pos += end + 1;
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(element),
+                None => roots.push(element),
+            }
+            continue;
+        }
+        // start tag
+        let tag_end = source[pos..].find('>').ok_or(ConfigError {
+            message: "unterminated tag".into(),
+            position: pos,
+        })?;
+        let inner = &source[pos + 1..pos + tag_end];
+        let self_closing = inner.ends_with('/');
+        let inner = inner.trim_end_matches('/').trim();
+        let mut parts = inner.splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or_default().to_string();
+        if name.is_empty() {
+            return Err(ConfigError {
+                message: "empty tag name".into(),
+                position: pos,
+            });
+        }
+        let mut attrs = BTreeMap::new();
+        if let Some(rest) = parts.next() {
+            parse_attrs(rest, pos, &mut attrs)?;
+        }
+        let element = Element {
+            name,
+            attrs,
+            children: Vec::new(),
+            position: pos,
+        };
+        pos += tag_end + 1;
+        if self_closing {
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(element),
+                None => roots.push(element),
+            }
+        } else {
+            stack.push(element);
+        }
+    }
+
+    if let Some(open) = stack.pop() {
+        return Err(ConfigError {
+            message: format!("unclosed <{}>", open.name),
+            position: open.position,
+        });
+    }
+    Ok(roots)
+}
+
+fn parse_attrs(
+    text: &str,
+    position: usize,
+    out: &mut BTreeMap<String, String>,
+) -> Result<(), ConfigError> {
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or(ConfigError {
+            message: format!("malformed attribute near `{rest}`"),
+            position,
+        })?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let quote = after.chars().next().ok_or(ConfigError {
+            message: "missing attribute value".into(),
+            position,
+        })?;
+        if quote != '"' && quote != '\'' {
+            return Err(ConfigError {
+                message: "attribute value must be quoted".into(),
+                position,
+            });
+        }
+        let close = after[1..].find(quote).ok_or(ConfigError {
+            message: "unterminated attribute value".into(),
+            position,
+        })?;
+        let value = after[1..1 + close].to_string();
+        out.insert(key, value);
+        rest = after[close + 2..].trim_start();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<privacyscope>
+  <!-- analyze the batch entry point -->
+  <target function="enclave_process_data"/>
+  <secret param="secrets"/>
+  <public param="len"/>
+  <sink function="ocall_send"/>
+  <decrypt function="ipp_aes_decrypt"/>
+  <option name="loop-bound" value="6"/>
+</privacyscope>
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let config = AnalysisConfig::from_xml(SAMPLE).expect("parses");
+        assert_eq!(config.targets, vec!["enclave_process_data"]);
+        assert_eq!(config.secret_params, vec!["secrets"]);
+        assert_eq!(config.public_params, vec!["len"]);
+        assert_eq!(config.sinks, vec!["ocall_send"]);
+        assert_eq!(config.decrypt_functions, vec!["ipp_aes_decrypt"]);
+        assert_eq!(config.option_usize("loop-bound", 4), 6);
+        assert_eq!(config.option_usize("max-paths", 4096), 4096);
+    }
+
+    #[test]
+    fn empty_root_is_valid() {
+        let config = AnalysisConfig::from_xml("<privacyscope></privacyscope>").unwrap();
+        assert!(config.targets.is_empty());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let err = AnalysisConfig::from_xml("<settings/>").unwrap_err();
+        assert!(err.to_string().contains("privacyscope"));
+    }
+
+    #[test]
+    fn unknown_element_rejected() {
+        let err = AnalysisConfig::from_xml("<privacyscope><mystery/></privacyscope>").unwrap_err();
+        assert!(err.to_string().contains("unknown element"));
+    }
+
+    #[test]
+    fn missing_attribute_rejected() {
+        let err = AnalysisConfig::from_xml("<privacyscope><target/></privacyscope>").unwrap_err();
+        assert!(err.to_string().contains("function"));
+    }
+
+    #[test]
+    fn unclosed_tag_rejected() {
+        let err = AnalysisConfig::from_xml("<privacyscope>").unwrap_err();
+        assert!(err.to_string().contains("unclosed"));
+    }
+
+    #[test]
+    fn mismatched_end_tag_rejected() {
+        let err = AnalysisConfig::from_xml("<privacyscope></oops>").unwrap_err();
+        assert!(err.to_string().contains("expected </privacyscope>"));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let config =
+            AnalysisConfig::from_xml("<privacyscope><target function='f'/></privacyscope>")
+                .unwrap();
+        assert_eq!(config.targets, vec!["f"]);
+    }
+}

@@ -1,0 +1,42 @@
+//! SGX EDL (Enclave Definition Language) parsing and analysis
+//! configuration.
+//!
+//! An EDL file declares an enclave's boundary: `trusted` ECALLs (host →
+//! enclave) and `untrusted` OCALLs (enclave → host), each a C-like function
+//! prototype whose pointer parameters carry marshalling attributes —
+//! `[in]`, `[out]`, `[in, out]`, with optional `size=`/`count=` bounds.
+//! PrivacyScope reads the same file the SGX SDK's `edger8r` does and derives
+//! its default policy from it (§V-C, §VI-B): `[in]` parameters are secret
+//! sources, `[out]` parameters and return values are observable sinks.
+//!
+//! The crate also implements the analyzer's XML configuration file
+//! ([`config`]): the user-provided list of target functions, secret/sink
+//! overrides, and the predefined decrypt-function list.
+//!
+//! # Examples
+//!
+//! ```
+//! let edl = edl::parse_edl(r#"
+//!     enclave {
+//!         trusted {
+//!             public int enclave_process_data([in] char *secrets, [out] char *output);
+//!         };
+//!         untrusted {
+//!             void ocall_log([in] char *msg);
+//!         };
+//!     };
+//! "#)?;
+//! let ecall = &edl.trusted[0];
+//! assert_eq!(ecall.name, "enclave_process_data");
+//! assert!(ecall.params[0].attributes.is_in());
+//! assert!(ecall.params[1].attributes.is_out());
+//! # Ok::<(), edl::EdlError>(())
+//! ```
+
+pub mod ast;
+pub mod config;
+pub mod parser;
+
+pub use ast::{Direction, EdlFile, ParamAttributes, Prototype};
+pub use config::{AnalysisConfig, ConfigError};
+pub use parser::{parse_edl, EdlError};

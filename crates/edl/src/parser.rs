@@ -1,0 +1,438 @@
+//! A hand-written parser for the EDL subset the SGX SDK corpus uses.
+
+use std::fmt;
+
+use crate::ast::{Bound, Direction, EdlFile, Param, ParamAttributes, Prototype};
+
+/// An EDL parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdlError {
+    message: String,
+    position: usize,
+}
+
+impl EdlError {
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset in the source.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for EdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EDL error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for EdlError {}
+
+/// Parses an EDL file.
+///
+/// Supported: the `enclave { trusted { … }; untrusted { … }; };` skeleton,
+/// `public` markers, C scalar/pointer parameter types, and the `[in]`,
+/// `[out]`, `[in, out]`, `size=`, `count=`, `string` attributes. `include`
+/// and `from … import` lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`EdlError`] on malformed input.
+pub fn parse_edl(source: &str) -> Result<EdlFile, EdlError> {
+    let mut p = Parser {
+        src: source,
+        pos: 0,
+    };
+    p.file()
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn error(&self, message: impl Into<String>) -> EdlError {
+        EdlError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with("//") {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else if self.src[self.pos..].starts_with("/*") {
+                match self.src[self.pos..].find("*/") {
+                    Some(end) => self.pos += end + 2,
+                    None => self.pos = bytes.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), EdlError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.starts_with(kw) {
+            let after = rest.as_bytes().get(kw.len()).copied();
+            if after.is_none_or(|b| !b.is_ascii_alphanumeric() && b != b'_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, EdlError> {
+        self.skip_ws();
+        let bytes = self.src.as_bytes();
+        let start = self.pos;
+        if start >= bytes.len() || !(bytes[start].is_ascii_alphabetic() || bytes[start] == b'_') {
+            return Err(self.error("expected identifier"));
+        }
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        self.pos = end;
+        Ok(self.src[start..end].to_string())
+    }
+
+    fn skip_line(&mut self) {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn file(&mut self) -> Result<EdlFile, EdlError> {
+        self.expect("enclave")?;
+        self.expect("{")?;
+        let mut file = EdlFile::default();
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                let _ = self.eat(";");
+                break;
+            }
+            if self.eat_keyword("include") || self.eat_keyword("from") {
+                self.skip_line();
+                continue;
+            }
+            if self.eat_keyword("trusted") {
+                self.expect("{")?;
+                self.prototypes(&mut file.trusted)?;
+                let _ = self.eat(";");
+                continue;
+            }
+            if self.eat_keyword("untrusted") {
+                self.expect("{")?;
+                self.prototypes(&mut file.untrusted)?;
+                let _ = self.eat(";");
+                continue;
+            }
+            return Err(self.error("expected `trusted`, `untrusted`, or `}`"));
+        }
+        Ok(file)
+    }
+
+    fn prototypes(&mut self, out: &mut Vec<Prototype>) -> Result<(), EdlError> {
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                return Ok(());
+            }
+            if self.eat_keyword("include") {
+                self.skip_line();
+                continue;
+            }
+            out.push(self.prototype()?);
+        }
+    }
+
+    fn prototype(&mut self) -> Result<Prototype, EdlError> {
+        let public = self.eat_keyword("public");
+        let return_type = self.c_type()?;
+        let name = self.ident()?;
+        self.expect("(")?;
+        let mut params = Vec::new();
+        self.skip_ws();
+        if !self.eat(")") {
+            if self.eat_keyword("void") {
+                self.expect(")")?;
+            } else {
+                loop {
+                    params.push(self.param()?);
+                    self.skip_ws();
+                    if self.eat(",") {
+                        continue;
+                    }
+                    self.expect(")")?;
+                    break;
+                }
+            }
+        }
+        self.expect(";")?;
+        Ok(Prototype {
+            name,
+            return_type,
+            public,
+            params,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, EdlError> {
+        let attributes = if self.eat("[") {
+            self.attributes()?
+        } else {
+            ParamAttributes::default()
+        };
+        let mut c_type = self.c_type()?;
+        let name = self.ident()?;
+        // `char buf[16]`-style suffixes fold into the type
+        self.skip_ws();
+        while self.eat("[") {
+            let mut len = String::new();
+            self.skip_ws();
+            while let Some(c) = self.src[self.pos..].chars().next() {
+                if c == ']' {
+                    break;
+                }
+                len.push(c);
+                self.pos += c.len_utf8();
+            }
+            self.expect("]")?;
+            c_type = format!("{c_type}[{}]", len.trim());
+        }
+        Ok(Param {
+            name,
+            c_type,
+            attributes,
+        })
+    }
+
+    fn attributes(&mut self) -> Result<ParamAttributes, EdlError> {
+        let mut attrs = ParamAttributes::default();
+        loop {
+            self.skip_ws();
+            if self.eat("]") {
+                return Ok(attrs);
+            }
+            let word = self.ident()?;
+            match word.as_str() {
+                "in" => {
+                    attrs.direction = Some(match attrs.direction {
+                        Some(Direction::Out) | Some(Direction::InOut) => Direction::InOut,
+                        _ => Direction::In,
+                    });
+                }
+                "out" => {
+                    attrs.direction = Some(match attrs.direction {
+                        Some(Direction::In) | Some(Direction::InOut) => Direction::InOut,
+                        _ => Direction::Out,
+                    });
+                }
+                "string" => attrs.string = true,
+                "user_check" => {}
+                "size" | "count" => {
+                    self.expect("=")?;
+                    let bound = self.bound()?;
+                    if word == "size" {
+                        attrs.size = Some(bound);
+                    } else {
+                        attrs.count = Some(bound);
+                    }
+                }
+                other => {
+                    return Err(self.error(format!("unknown attribute `{other}`")));
+                }
+            }
+            self.skip_ws();
+            let _ = self.eat(",");
+        }
+    }
+
+    fn bound(&mut self) -> Result<Bound, EdlError> {
+        self.skip_ws();
+        let bytes = self.src.as_bytes();
+        if self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+            let start = self.pos;
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = &self.src[start..self.pos];
+            return text
+                .parse::<u64>()
+                .map(Bound::Const)
+                .map_err(|_| self.error("bound out of range"));
+        }
+        Ok(Bound::Param(self.ident()?))
+    }
+
+    fn c_type(&mut self) -> Result<String, EdlError> {
+        self.skip_ws();
+        let mut parts = Vec::new();
+        loop {
+            let before = self.pos;
+            if self.eat_keyword("const")
+                || self.eat_keyword("unsigned")
+                || self.eat_keyword("signed")
+                || self.eat_keyword("struct")
+            {
+                parts.push(self.src[before..self.pos].trim().to_string());
+                continue;
+            }
+            break;
+        }
+        let base = self.ident()?;
+        let base_is_long = base == "long";
+        parts.push(base);
+        // `long long` / `long int` collapse to `long long`-style doubling
+        if base_is_long && (self.eat_keyword("long") || self.eat_keyword("int")) {
+            parts.push("long".into());
+        }
+        let mut ty = parts.join(" ");
+        loop {
+            self.skip_ws();
+            if self.eat("*") {
+                ty.push('*');
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        enclave {
+            include "sgx_tseal.h"
+            trusted {
+                /* process one batch */
+                public int enclave_process_data([in, size=len] char *secrets,
+                                                [out, count=4] char *output,
+                                                int len);
+                public void enclave_reset(void);
+            };
+            untrusted {
+                void ocall_log([in, string] char *msg);
+                int ocall_send([in] char *buf, int n);
+            };
+        };
+    "#;
+
+    #[test]
+    fn parses_sample() {
+        let file = parse_edl(SAMPLE).expect("parses");
+        assert_eq!(file.trusted.len(), 2);
+        assert_eq!(file.untrusted.len(), 2);
+    }
+
+    #[test]
+    fn attributes_and_bounds() {
+        let file = parse_edl(SAMPLE).unwrap();
+        let ecall = file.ecall("enclave_process_data").unwrap();
+        assert!(ecall.public);
+        assert_eq!(ecall.return_type, "int");
+        assert_eq!(ecall.params.len(), 3);
+        let secrets = &ecall.params[0];
+        assert!(secrets.attributes.is_in());
+        assert!(!secrets.attributes.is_out());
+        assert_eq!(secrets.attributes.size, Some(Bound::Param("len".into())));
+        let output = &ecall.params[1];
+        assert!(output.attributes.is_out());
+        assert_eq!(output.attributes.count, Some(Bound::Const(4)));
+        let len = &ecall.params[2];
+        assert!(!len.is_pointer());
+        assert_eq!(len.c_type, "int");
+    }
+
+    #[test]
+    fn void_parameter_list() {
+        let file = parse_edl(SAMPLE).unwrap();
+        let reset = file.ecall("enclave_reset").unwrap();
+        assert!(reset.params.is_empty());
+    }
+
+    #[test]
+    fn in_out_combines() {
+        let file = parse_edl("enclave { trusted { public void f([in, out] int *x); }; };").unwrap();
+        let param = &file.trusted[0].params[0];
+        assert_eq!(param.attributes.direction, Some(Direction::InOut));
+        assert!(param.attributes.is_in() && param.attributes.is_out());
+    }
+
+    #[test]
+    fn string_and_user_check() {
+        let file = parse_edl(SAMPLE).unwrap();
+        let log = file.ocall("ocall_log").unwrap();
+        assert!(log.params[0].attributes.string);
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let err =
+            parse_edl("enclave { trusted { public void f([inout] int *x); }; };").unwrap_err();
+        assert!(err.to_string().contains("unknown attribute"));
+    }
+
+    #[test]
+    fn missing_semicolon_rejected() {
+        assert!(parse_edl("enclave { trusted { public void f() }; };").is_err());
+    }
+
+    #[test]
+    fn pointer_types_render_with_stars() {
+        let file =
+            parse_edl("enclave { trusted { public void f([in] const unsigned char **p); }; };")
+                .unwrap();
+        assert_eq!(file.trusted[0].params[0].c_type, "const unsigned char**");
+    }
+
+    #[test]
+    fn ocall_names_as_default_sinks() {
+        let file = parse_edl(SAMPLE).unwrap();
+        assert_eq!(file.ocall_names(), vec!["ocall_log", "ocall_send"]);
+    }
+
+    #[test]
+    fn empty_enclave() {
+        let file = parse_edl("enclave { };").unwrap();
+        assert!(file.trusted.is_empty() && file.untrusted.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Frontend error type.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// The kind of a frontend failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The lexer met a character or literal it cannot tokenize.
+    Lex,
+    /// The parser met an unexpected token.
+    Parse,
+    /// Symbol resolution or type checking failed.
+    Sema,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex error"),
+            ErrorKind::Parse => write!(f, "parse error"),
+            ErrorKind::Sema => write!(f, "semantic error"),
+        }
+    }
+}
+
+/// A lexical, syntactic or semantic error with its source span.
+///
+/// # Examples
+///
+/// ```
+/// let err = minic::parse("int x = @;").unwrap_err();
+/// assert!(err.to_string().contains("lex error"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    message: String,
+    span: Span,
+}
+
+impl Error {
+    /// Creates an error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, span: Span) -> Self {
+        Error {
+            kind,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Convenience constructor for lexer errors.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        Error::new(ErrorKind::Lex, message, span)
+    }
+
+    /// Convenience constructor for parser errors.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        Error::new(ErrorKind::Parse, message, span)
+    }
+
+    /// Convenience constructor for semantic errors.
+    pub fn sema(message: impl Into<String>, span: Span) -> Self {
+        Error::new(ErrorKind::Sema, message, span)
+    }
+
+    /// The failure category.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// The human-readable message (without the span).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the source the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at byte {}: {}",
+            self.kind, self.span.start, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_position() {
+        let err = Error::parse("expected `;`", Span::new(10, 11));
+        let text = err.to_string();
+        assert!(text.contains("parse error"));
+        assert!(text.contains("10"));
+        assert!(text.contains("expected `;`"));
+    }
+
+    #[test]
+    fn accessors() {
+        let err = Error::sema("unknown variable `x`", Span::new(3, 4));
+        assert_eq!(*err.kind(), ErrorKind::Sema);
+        assert_eq!(err.message(), "unknown variable `x`");
+        assert_eq!(err.span(), Span::new(3, 4));
+    }
+}

@@ -1,0 +1,441 @@
+//! The Mini-C lexer.
+
+use crate::error::Error;
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Tokenizes Mini-C source text.
+///
+/// Comments (`//…` and `/*…*/`) and whitespace are skipped. The returned
+/// vector always ends with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`Error`] on unterminated comments/literals, malformed numeric
+/// literals, or characters outside the language.
+///
+/// # Examples
+///
+/// ```
+/// use minic::token::TokenKind;
+/// let tokens = minic::lexer::lex("x += 0x10;")?;
+/// assert_eq!(tokens.len(), 5); // x, +=, 16, ;, EOF
+/// assert!(matches!(tokens[2].kind, TokenKind::IntLit(16)));
+/// # Ok::<(), minic::Error>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Error> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(byte) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::point(self.pos),
+                });
+                return Ok(tokens);
+            };
+            let kind = match byte {
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.char_literal()?,
+                b'"' => self.string_literal()?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.ident_or_keyword(),
+                _ => self.punct()?,
+            };
+            tokens.push(Token {
+                kind,
+                span: Span::new(start, self.pos),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(Error::lex(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Some(b'#') => {
+                    // Preprocessor lines (e.g. `#include`) are tolerated and
+                    // skipped: the corpus ships self-contained sources.
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            if self.pos == digits_start {
+                return Err(Error::lex(
+                    "hex literal needs at least one digit",
+                    Span::new(start, self.pos),
+                ));
+            }
+            let text = &self.src[digits_start..self.pos];
+            let value = i64::from_str_radix(text, 16)
+                .map_err(|_| Error::lex("hex literal out of range", Span::new(start, self.pos)))?;
+            self.integer_suffix();
+            return Ok(TokenKind::IntLit(value));
+        }
+
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(b) if b.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut look = 1;
+            if matches!(self.peek_at(1), Some(b'+') | Some(b'-')) {
+                look = 2;
+            }
+            if matches!(self.peek_at(look), Some(b) if b.is_ascii_digit()) {
+                is_float = true;
+                self.pos += look;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| Error::lex("malformed float literal", Span::new(start, self.pos)))?;
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.pos += 1;
+            }
+            Ok(TokenKind::FloatLit(value))
+        } else {
+            let value: i64 = text.parse().map_err(|_| {
+                Error::lex("integer literal out of range", Span::new(start, self.pos))
+            })?;
+            self.integer_suffix();
+            Ok(TokenKind::IntLit(value))
+        }
+    }
+
+    fn integer_suffix(&mut self) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn escape(&mut self, start: usize) -> Result<i64, Error> {
+        let Some(code) = self.bump() else {
+            return Err(Error::lex(
+                "unterminated escape sequence",
+                Span::new(start, self.pos),
+            ));
+        };
+        Ok(match code {
+            b'n' => b'\n' as i64,
+            b't' => b'\t' as i64,
+            b'r' => b'\r' as i64,
+            b'0' => 0,
+            b'\\' => b'\\' as i64,
+            b'\'' => b'\'' as i64,
+            b'"' => b'"' as i64,
+            other => {
+                return Err(Error::lex(
+                    format!("unknown escape `\\{}`", other as char),
+                    Span::new(start, self.pos),
+                ))
+            }
+        })
+    }
+
+    fn char_literal(&mut self) -> Result<TokenKind, Error> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let value = match self.bump() {
+            Some(b'\\') => self.escape(start)?,
+            Some(b'\'') | None => {
+                return Err(Error::lex("empty char literal", Span::new(start, self.pos)))
+            }
+            Some(b) => b as i64,
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(Error::lex(
+                "unterminated char literal",
+                Span::new(start, self.pos),
+            ));
+        }
+        Ok(TokenKind::CharLit(value))
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind, Error> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::StrLit(text)),
+                Some(b'\\') => {
+                    let value = self.escape(start)?;
+                    text.push(value as u8 as char);
+                }
+                Some(b) => text.push(b as char),
+                None => {
+                    return Err(Error::lex(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn punct(&mut self) -> Result<TokenKind, Error> {
+        let rest = &self.src[self.pos..];
+        for (punct, text) in Punct::ALL {
+            if rest.starts_with(text) {
+                self.pos += text.len();
+                return Ok(TokenKind::Punct(*punct));
+            }
+        }
+        let bad = rest.chars().next().expect("peeked non-empty");
+        Err(Error::lex(
+            format!("unexpected character `{bad}`"),
+            Span::new(self.pos, self.pos + bad.len_utf8()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn empty_source_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn integers_decimal_hex() {
+        assert_eq!(
+            kinds("42 0x2A 0"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_suffixes_are_consumed() {
+        assert_eq!(
+            kinds("10UL 3u"),
+            vec![TokenKind::IntLit(10), TokenKind::IntLit(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(
+            kinds("0.5 1e3 2.5e-1 1.0f"),
+            vec![
+                TokenKind::FloatLit(0.5),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.25),
+                TokenKind::FloatLit(1.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_is_not_a_float() {
+        assert_eq!(
+            kinds("a.b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::Dot),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\t""#),
+            vec![
+                TokenKind::CharLit(97),
+                TokenKind::CharLit(10),
+                TokenKind::StrLit("hi\t".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("int integer"),
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("integer".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a <<= b >> c->d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(Punct::ShlAssign),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(Punct::Shr),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct(Punct::Arrow),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_are_skipped() {
+        assert_eq!(
+            kinds("#include <stdio.h>\n// line\nint /* block */ x;"),
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = lex("int @").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let tokens = lex("ab + cd").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(3, 4));
+        assert_eq!(tokens[2].span, Span::new(5, 7));
+    }
+}

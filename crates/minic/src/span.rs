@@ -1,0 +1,137 @@
+//! Source locations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` into the source text.
+///
+/// # Examples
+///
+/// ```
+/// use minic::Span;
+/// let span = Span::new(4, 9);
+/// assert_eq!(span.len(), 5);
+/// assert_eq!(span.slice("int x = 10;"), "x = 1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "span start {start} must not exceed end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is zero-width.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The text this span covers (clamped to the source length).
+    pub fn slice(self, source: &str) -> &str {
+        let start = self.start.min(source.len());
+        let end = self.end.min(source.len());
+        &source[start..end]
+    }
+
+    /// Computes the 1-based line/column of the span start.
+    pub fn line_col(self, source: &str) -> LineCol {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map(|nl| self.start - nl)
+            .unwrap_or(self.start + 1);
+        LineCol { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// 1-based line and column numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spans() {
+        assert_eq!(Span::new(2, 5).to(Span::new(4, 9)), Span::new(2, 9));
+        assert_eq!(Span::new(4, 9).to(Span::new(2, 5)), Span::new(2, 9));
+    }
+
+    #[test]
+    fn line_col_first_line() {
+        let src = "abc def";
+        assert_eq!(Span::new(4, 7).line_col(src), LineCol { line: 1, col: 5 });
+    }
+
+    #[test]
+    fn line_col_later_line() {
+        let src = "a\nbb\nccc";
+        let pos = src.find("ccc").unwrap();
+        assert_eq!(Span::point(pos).line_col(src), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn slice_is_clamped() {
+        assert_eq!(Span::new(2, 100).slice("abcd"), "cd");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+}

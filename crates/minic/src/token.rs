@@ -1,0 +1,225 @@
+//! Token kinds produced by the lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is (and its payload for literals/identifiers).
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+/// The kinds of Mini-C tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier, e.g. `secrets`.
+    Ident(String),
+    /// An integer literal (decimal, `0x` hex, or `0` octal), e.g. `100`.
+    IntLit(i64),
+    /// A floating literal, e.g. `0.5`.
+    FloatLit(f64),
+    /// A character literal, e.g. `'a'`, stored as its numeric value.
+    CharLit(i64),
+    /// A string literal with escapes resolved.
+    StrLit(String),
+    /// A keyword, e.g. `while`.
+    Keyword(Keyword),
+    /// Punctuation or an operator, e.g. `+=`.
+    Punct(Punct),
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::CharLit(v) => write!(f, "char literal `{v}`"),
+            TokenKind::StrLit(s) => write!(f, "string literal {s:?}"),
+            TokenKind::Keyword(kw) => write!(f, "keyword `{kw}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Mini-C keywords.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Keyword {
+            $(#[doc = concat!("The `", $text, "` keyword.")] $variant),+
+        }
+
+        impl Keyword {
+            /// Looks up a keyword from identifier text.
+            #[allow(clippy::should_implement_trait)] // fallible lookup, not parsing
+            pub fn from_str(text: &str) -> Option<Keyword> {
+                match text {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The keyword's source text.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)+
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Void => "void",
+    Char => "char",
+    Int => "int",
+    Long => "long",
+    Float => "float",
+    Double => "double",
+    Unsigned => "unsigned",
+    Signed => "signed",
+    Struct => "struct",
+    If => "if",
+    Else => "else",
+    While => "while",
+    Do => "do",
+    For => "for",
+    Return => "return",
+    Break => "break",
+    Continue => "continue",
+    Sizeof => "sizeof",
+    Const => "const",
+    Static => "static",
+}
+
+macro_rules! puncts {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Punctuation and operator tokens, longest first in the lexer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Punct {
+            $(#[doc = concat!("`", $text, "`")] $variant),+
+        }
+
+        impl Punct {
+            /// All punctuation in match order (longest first).
+            pub const ALL: &'static [(Punct, &'static str)] = &[
+                $((Punct::$variant, $text),)+
+            ];
+
+            /// The operator's source text.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Punct::$variant => $text,)+
+                }
+            }
+        }
+
+        impl fmt::Display for Punct {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+// Order matters: the lexer tries these in sequence, so multi-character
+// operators must precede their prefixes.
+puncts! {
+    ShlAssign => "<<=",
+    ShrAssign => ">>=",
+    Ellipsis => "...",
+    Arrow => "->",
+    PlusPlus => "++",
+    MinusMinus => "--",
+    Shl => "<<",
+    Shr => ">>",
+    Le => "<=",
+    Ge => ">=",
+    EqEq => "==",
+    Ne => "!=",
+    AndAnd => "&&",
+    OrOr => "||",
+    PlusAssign => "+=",
+    MinusAssign => "-=",
+    StarAssign => "*=",
+    SlashAssign => "/=",
+    PercentAssign => "%=",
+    AmpAssign => "&=",
+    PipeAssign => "|=",
+    CaretAssign => "^=",
+    Plus => "+",
+    Minus => "-",
+    Star => "*",
+    Slash => "/",
+    Percent => "%",
+    Amp => "&",
+    Pipe => "|",
+    Caret => "^",
+    Tilde => "~",
+    Bang => "!",
+    Assign => "=",
+    Lt => "<",
+    Gt => ">",
+    Question => "?",
+    Colon => ":",
+    Semi => ";",
+    Comma => ",",
+    Dot => ".",
+    LParen => "(",
+    RParen => ")",
+    LBrace => "{",
+    RBrace => "}",
+    LBracket => "[",
+    RBracket => "]",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Int, Keyword::While, Keyword::Sizeof] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("enum"), None);
+    }
+
+    #[test]
+    fn punct_order_is_longest_first() {
+        // If an earlier operator were a prefix of a later one, the lexer
+        // would always match the short form and never reach the long one.
+        for (i, (_, a)) in Punct::ALL.iter().enumerate() {
+            for (_, b) in &Punct::ALL[..i] {
+                assert!(
+                    !a.starts_with(b),
+                    "`{a}` is unreachable: its prefix `{b}` matches first"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::Punct(Punct::Arrow).to_string(), "`->`");
+        assert_eq!(
+            TokenKind::Keyword(Keyword::For).to_string(),
+            "keyword `for`"
+        );
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

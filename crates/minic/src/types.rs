@@ -1,0 +1,223 @@
+//! The Mini-C type representation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A Mini-C type.
+///
+/// The subset covers everything the PrivacyScope evaluation corpus uses:
+/// scalars, pointers, fixed-size arrays and named structs.
+///
+/// # Examples
+///
+/// ```
+/// use minic::types::Type;
+/// let ty = Type::Ptr(Box::new(Type::Char));
+/// assert!(ty.is_pointer());
+/// assert_eq!(ty.to_string(), "char*");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// `void` — only valid as a return type or behind a pointer.
+    Void,
+    /// `char` (signed, 1 byte).
+    Char,
+    /// `int` (4 bytes).
+    Int,
+    /// `long` (8 bytes).
+    Long,
+    /// `unsigned int`.
+    UInt,
+    /// `unsigned long`.
+    ULong,
+    /// `float` (4 bytes).
+    Float,
+    /// `double` (8 bytes).
+    Double,
+    /// A pointer `T*`.
+    Ptr(Box<Type>),
+    /// A fixed-size array `T[n]`.
+    Array(Box<Type>, usize),
+    /// A named struct `struct S`.
+    Struct(String),
+}
+
+impl Type {
+    /// Whether this is an integer type (including `char`).
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Type::Char | Type::Int | Type::Long | Type::UInt | Type::ULong
+        )
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float | Type::Double)
+    }
+
+    /// Whether this is an arithmetic (integer or floating) type.
+    pub fn is_arithmetic(&self) -> bool {
+        self.is_integer() || self.is_float()
+    }
+
+    /// Whether this is a pointer type.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Whether this is an array type.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array(..))
+    }
+
+    /// Whether values of this type fit in a machine scalar (arithmetic or
+    /// pointer).
+    pub fn is_scalar(&self) -> bool {
+        self.is_arithmetic() || self.is_pointer()
+    }
+
+    /// The element type a pointer or array refers to.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            Type::Array(inner, _) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay: `T[n]` becomes `T*`; other types unchanged.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(inner, _) => Type::Ptr(inner.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Size in bytes under the Mini-C data model (LP64).
+    ///
+    /// Struct sizes require layout information and are resolved by
+    /// [`crate::sema`]; this returns `None` for structs and `void`.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            Type::Void => None,
+            Type::Char => Some(1),
+            Type::Int | Type::UInt | Type::Float => Some(4),
+            Type::Long | Type::ULong | Type::Double | Type::Ptr(_) => Some(8),
+            Type::Array(inner, n) => inner.size().map(|s| s * n),
+            Type::Struct(_) => None,
+        }
+    }
+
+    /// The usual arithmetic conversion of C, simplified to the Mini-C model:
+    /// any `double`/`float` operand promotes the result to `Double`; else any
+    /// 8-byte integer promotes to `Long`; else `Int`.
+    pub fn usual_arithmetic(&self, other: &Type) -> Type {
+        if self.is_float() || other.is_float() {
+            Type::Double
+        } else if matches!(self, Type::Long | Type::ULong)
+            || matches!(other, Type::Long | Type::ULong)
+        {
+            Type::Long
+        } else {
+            Type::Int
+        }
+    }
+
+    /// Whether a value of type `from` can be assigned to this type without a
+    /// cast (arithmetic conversions, matching pointers, array decay,
+    /// `void*` compatibility).
+    pub fn assignable_from(&self, from: &Type) -> bool {
+        let from = from.decay();
+        match (self, &from) {
+            _ if *self == from => true,
+            (a, b) if a.is_arithmetic() && b.is_arithmetic() => true,
+            (Type::Ptr(a), Type::Ptr(b)) => {
+                **a == **b || matches!(**a, Type::Void) || matches!(**b, Type::Void)
+            }
+            // Integer literals are allowed as null pointers; the checker is
+            // deliberately permissive here (it cannot see the value).
+            (Type::Ptr(_), b) if b.is_integer() => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Char => write!(f, "char"),
+            Type::Int => write!(f, "int"),
+            Type::Long => write!(f, "long"),
+            Type::UInt => write!(f, "unsigned int"),
+            Type::ULong => write!(f, "unsigned long"),
+            Type::Float => write!(f, "float"),
+            Type::Double => write!(f, "double"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+            Type::Array(inner, n) => write!(f, "{inner}[{n}]"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Type::Char.is_integer());
+        assert!(Type::Double.is_float());
+        assert!(Type::Ptr(Box::new(Type::Int)).is_scalar());
+        assert!(!Type::Struct("s".into()).is_scalar());
+        assert!(!Type::Void.is_arithmetic());
+    }
+
+    #[test]
+    fn decay_only_affects_arrays() {
+        let arr = Type::Array(Box::new(Type::Int), 4);
+        assert_eq!(arr.decay(), Type::Ptr(Box::new(Type::Int)));
+        assert_eq!(Type::Int.decay(), Type::Int);
+    }
+
+    #[test]
+    fn sizes_lp64() {
+        assert_eq!(Type::Char.size(), Some(1));
+        assert_eq!(Type::Int.size(), Some(4));
+        assert_eq!(Type::Ptr(Box::new(Type::Void)).size(), Some(8));
+        assert_eq!(Type::Array(Box::new(Type::Double), 3).size(), Some(24));
+        assert_eq!(Type::Struct("s".into()).size(), None);
+    }
+
+    #[test]
+    fn usual_arithmetic_promotions() {
+        assert_eq!(Type::Int.usual_arithmetic(&Type::Double), Type::Double);
+        assert_eq!(Type::Float.usual_arithmetic(&Type::Char), Type::Double);
+        assert_eq!(Type::Long.usual_arithmetic(&Type::Int), Type::Long);
+        assert_eq!(Type::Char.usual_arithmetic(&Type::Int), Type::Int);
+    }
+
+    #[test]
+    fn assignability() {
+        let int_ptr = Type::Ptr(Box::new(Type::Int));
+        let void_ptr = Type::Ptr(Box::new(Type::Void));
+        let int_arr = Type::Array(Box::new(Type::Int), 8);
+        assert!(Type::Double.assignable_from(&Type::Int));
+        assert!(int_ptr.assignable_from(&int_arr));
+        assert!(int_ptr.assignable_from(&void_ptr));
+        assert!(void_ptr.assignable_from(&int_ptr));
+        assert!(!int_ptr.assignable_from(&Type::Ptr(Box::new(Type::Char))));
+        assert!(!Type::Int.assignable_from(&Type::Struct("s".into())));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Type::Array(Box::new(Type::Ptr(Box::new(Type::Char))), 3).to_string(),
+            "char*[3]"
+        );
+        assert_eq!(Type::Struct("point".into()).to_string(), "struct point");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property test: the pretty-printer emits parseable Mini-C whose re-parse
+//! is a fixpoint (parse ∘ pretty is idempotent on the printed form), for
+//! randomly generated expressions and statements.
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Int(i64),
+    Var(usize), // index into the parameter pool
+    Neg(Box<GenExpr>),
+    Not(Box<GenExpr>),
+    Bin(&'static str, Box<GenExpr>, Box<GenExpr>),
+    Index(Box<GenExpr>), // xs[e]
+    Call1(&'static str, Box<GenExpr>),
+    Ternary(Box<GenExpr>, Box<GenExpr>, Box<GenExpr>),
+}
+
+const VARS: &[&str] = &["a", "b", "c"];
+const BINOPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^", "<<", ">>", "&&",
+    "||",
+];
+
+fn arb_expr() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(GenExpr::Int),
+        (0usize..VARS.len()).prop_map(GenExpr::Var),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| GenExpr::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| GenExpr::Not(Box::new(e))),
+            ((0..BINOPS.len()), inner.clone(), inner.clone()).prop_map(|(i, a, b)| GenExpr::Bin(
+                BINOPS[i],
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.clone().prop_map(|e| GenExpr::Index(Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| GenExpr::Call1("abs", Box::new(e))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| GenExpr::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+        ]
+    })
+}
+
+fn render(e: &GenExpr) -> String {
+    match e {
+        GenExpr::Int(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        GenExpr::Var(i) => VARS[*i].to_string(),
+        GenExpr::Neg(a) => format!("(-{})", render(a)),
+        GenExpr::Not(a) => format!("(!{})", render(a)),
+        GenExpr::Bin(op, a, b) => format!("({} {op} {})", render(a), render(b)),
+        GenExpr::Index(i) => format!("xs[{}]", render(i)),
+        GenExpr::Call1(f, a) => format!("{f}({})", render(a)),
+        GenExpr::Ternary(c, t, e) => {
+            format!("({} ? {} : {})", render(c), render(t), render(e))
+        }
+    }
+}
+
+fn wrap(expr_text: &str) -> String {
+    format!("long f(int a, int b, int c, int *xs) {{ return {expr_text}; }}\n")
+}
+
+proptest! {
+    /// pretty(parse(src)) parses, and pretty ∘ parse is a fixpoint on it.
+    #[test]
+    fn pretty_print_round_trip(gen in arb_expr()) {
+        let source = wrap(&render(&gen));
+        let unit = match minic::parse(&source) {
+            Ok(unit) => unit,
+            // some generated expressions are ill-typed (e.g. `xs[i] && p`
+            // over pointers is fine, but `%` on a pointer is not); those
+            // are outside the property's domain.
+            Err(_) => return Ok(()),
+        };
+        let printed = minic::pretty::unit(&unit);
+        let reparsed = minic::parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty output does not parse: {e}\n{printed}"));
+        let reprinted = minic::pretty::unit(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// Lexing never panics and spans cover the input for arbitrary bytes.
+    #[test]
+    fn lexer_total_on_ascii(input in "[ -~\\n\\t]{0,120}") {
+        match minic::lexer::lex(&input) {
+            Ok(tokens) => {
+                prop_assert!(!tokens.is_empty());
+                for token in &tokens {
+                    prop_assert!(token.span.start <= token.span.end);
+                    prop_assert!(token.span.end <= input.len() + 1);
+                }
+            }
+            Err(err) => {
+                prop_assert!(err.span().start <= input.len());
+            }
+        }
+    }
+
+    /// The LoC counter is insensitive to appended comments and blank lines.
+    #[test]
+    fn loc_ignores_trivia(blanks in 0usize..5, comment in "[ -~]{0,30}") {
+        let base = "int x;\nint y;\n";
+        let mut noisy = String::from(base);
+        for _ in 0..blanks {
+            noisy.push('\n');
+        }
+        // guard against comment terminators inside the generated text
+        let safe = comment.replace("*/", "");
+        noisy.push_str(&format!("// {safe}\n/* {safe} */\n"));
+        prop_assert_eq!(minic::count_loc(base), minic::count_loc(&noisy));
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic synthetic datasets for running the corpus modules inside
+//! the simulated enclave (examples, end-to-end tests, benches).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear-regression training data: `NUM_ROWS`×`NUM_FEATURES` features
+/// (row-major) and targets generated from known ground-truth weights plus
+/// bounded noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionData {
+    /// Row-major features, `rows × 3`.
+    pub xs: Vec<f64>,
+    /// Targets, one per row.
+    pub ys: Vec<f64>,
+    /// The generating weights (for checking the trainer recovers them).
+    pub true_weights: [f64; 3],
+    /// The generating bias.
+    pub true_bias: f64,
+}
+
+/// Generates regression data for the corpus LR module (12 rows × 3
+/// features).
+pub fn regression(seed: u64) -> RegressionData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_weights = [2.0, -1.0, 0.5];
+    let true_bias = 3.0;
+    let mut xs = Vec::with_capacity(12 * 3);
+    let mut ys = Vec::with_capacity(12);
+    for _ in 0..12 {
+        let row: [f64; 3] = [
+            rng.gen_range(-5.0..5.0),
+            rng.gen_range(-5.0..5.0),
+            rng.gen_range(-5.0..5.0),
+        ];
+        let noise: f64 = rng.gen_range(-0.05..0.05);
+        let y = true_bias
+            + row
+                .iter()
+                .zip(true_weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>()
+            + noise;
+        xs.extend(row);
+        ys.push(y);
+    }
+    RegressionData {
+        xs,
+        ys,
+        true_weights,
+        true_bias,
+    }
+}
+
+/// 1-D k-means points: two well-separated Gaussian-ish blobs (10 points,
+/// matching the corpus module).
+pub fn kmeans_points(seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(10);
+    for i in 0..10 {
+        let center = if i % 2 == 0 { 10.0 } else { 90.0 };
+        points.push(center + rng.gen_range(-3.0..3.0));
+    }
+    points
+}
+
+/// A 4-user × 5-item rating matrix (flat, row-major) with correlated
+/// users, values in 0..=5.
+pub fn ratings(seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: [f64; 5] = [5.0, 3.0, 4.0, 1.0, 2.0];
+    let mut matrix = Vec::with_capacity(20);
+    for user in 0..4 {
+        for item_base in base {
+            let drift = rng.gen_range(-1.0..1.0) + user as f64 * 0.25;
+            let value: f64 = (item_base + drift).clamp(0.0, 5.0);
+            matrix.push((value * 2.0).round() / 2.0);
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_shapes_and_determinism() {
+        let a = regression(7);
+        let b = regression(7);
+        assert_eq!(a, b);
+        assert_eq!(a.xs.len(), 36);
+        assert_eq!(a.ys.len(), 12);
+        // targets follow the generating model up to noise
+        for row in 0..12 {
+            let predicted: f64 = a.true_bias
+                + (0..3)
+                    .map(|c| a.xs[row * 3 + c] * a.true_weights[c])
+                    .sum::<f64>();
+            assert!((predicted - a.ys[row]).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn kmeans_points_form_two_blobs() {
+        let points = kmeans_points(1);
+        assert_eq!(points.len(), 10);
+        let low = points.iter().filter(|p| **p < 50.0).count();
+        let high = points.iter().filter(|p| **p >= 50.0).count();
+        assert_eq!(low, 5);
+        assert_eq!(high, 5);
+    }
+
+    #[test]
+    fn ratings_are_bounded() {
+        let matrix = ratings(3);
+        assert_eq!(matrix.len(), 20);
+        assert!(matrix.iter().all(|r| (0.0..=5.0).contains(r)));
+        assert_ne!(ratings(3), ratings(4));
+    }
+}

@@ -1,0 +1,134 @@
+//! Malicious-logic injection (case study 2, §VI-D-2).
+//!
+//! The paper mimics a malicious enclave writer by embedding explicit and
+//! implicit leakage logic into the Kmeans module and verifying PrivacyScope
+//! detects it. The corpus sources carry `/* inject: prologue */` and
+//! `/* inject: epilogue */` anchor comments; this module splices payloads
+//! at those anchors (comments are invisible to the clean build and to the
+//! LoC metric).
+
+use crate::Module;
+
+/// Where a payload is spliced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// At function entry, before any benign branching (implicit payloads
+    /// must fire while π still depends on a single secret).
+    Prologue,
+    /// Just before the final `return`.
+    Epilogue,
+}
+
+/// A ready-to-analyze injected variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Payload label, e.g. `explicit-out-copy`.
+    pub name: &'static str,
+    /// `true` for explicit payloads, `false` for implicit ones.
+    pub explicit: bool,
+    /// The modified module (same EDL, same entry).
+    pub module: Module,
+    /// The payload text, for reports.
+    pub payload: &'static str,
+}
+
+fn splice(source: &'static str, site: Site, payload: &'static str) -> String {
+    let anchor = match site {
+        Site::Prologue => "/* inject: prologue */",
+        Site::Epilogue => "/* inject: epilogue */",
+    };
+    assert!(
+        source.contains(anchor),
+        "module source lacks the `{anchor}` anchor"
+    );
+    source.replace(anchor, payload)
+}
+
+/// Leaked sources live here so tests can name them.
+pub const EXPLICIT_OUT_PAYLOAD: &str = "result[2] = points[0] * 2.0;";
+/// An explicit leak through the debug OCALL.
+pub const EXPLICIT_OCALL_PAYLOAD: &str = "ocall_debug((int)points[1]);";
+/// An implicit leak: which progress code is sent depends on one point.
+pub const IMPLICIT_OCALL_PAYLOAD: &str =
+    "if (points[0] > 50.0) { ocall_progress(1); } else { ocall_progress(0); }";
+
+/// The three injected Kmeans variants of case study 2.
+///
+/// # Panics
+///
+/// Panics if the corpus source lost its anchors (a corpus bug).
+pub fn kmeans_injections() -> Vec<Injection> {
+    let base = crate::kmeans::module();
+    let mk = |name, explicit, site, payload| {
+        let source = splice(base.source, site, payload);
+        Injection {
+            name,
+            explicit,
+            module: Module {
+                name: "Kmeans(injected)",
+                // leak the modified source; Module.source is &'static str,
+                // so injected variants carry owned sources via Box::leak —
+                // they are created once per process in practice.
+                source: Box::leak(source.into_boxed_str()),
+                edl: base.edl,
+                entry: base.entry,
+                expected_violations: 1,
+            },
+            payload,
+        }
+    };
+    vec![
+        mk(
+            "explicit-out-copy",
+            true,
+            Site::Epilogue,
+            EXPLICIT_OUT_PAYLOAD,
+        ),
+        mk(
+            "explicit-ocall",
+            true,
+            Site::Prologue,
+            EXPLICIT_OCALL_PAYLOAD,
+        ),
+        mk(
+            "implicit-ocall",
+            false,
+            Site::Prologue,
+            IMPLICIT_OCALL_PAYLOAD,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_variants_parse() {
+        for injection in kmeans_injections() {
+            minic::parse(injection.module.source).unwrap_or_else(|e| {
+                panic!("{} does not parse: {e}", injection.name);
+            });
+        }
+    }
+
+    #[test]
+    fn payloads_are_spliced_at_anchors() {
+        let injections = kmeans_injections();
+        assert_eq!(injections.len(), 3);
+        for injection in &injections {
+            assert!(injection.module.source.contains(injection.payload));
+        }
+        // epilogue payload lands after the clustering, prologue before it
+        let explicit = &injections[0];
+        let idx_payload = explicit.module.source.find(explicit.payload).unwrap();
+        let idx_init = explicit.module.source.find("init_centroids(").unwrap();
+        assert!(idx_payload > idx_init);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor")]
+    fn missing_anchor_panics() {
+        let _ = splice("int f() { return 0; }", Site::Prologue, "x;");
+    }
+}

@@ -1,0 +1,211 @@
+//! The LinearRegression module (Table V: 161 LoC).
+//!
+//! A port of an open-source multivariate linear-regression trainer
+//! (3 features + bias, z-score standardization, batch gradient descent,
+//! per-epoch loss tracking) into a Mini-C enclave. The module is *clean*:
+//! every model coefficient aggregates all training rows, so every
+//! observable output carries ⊤ taint and nonreversibility holds.
+
+use crate::Module;
+
+/// The enclave source (161 LoC, matching the paper's Table V).
+pub const SOURCE: &str = r#"/* LinearRegression enclave module: multivariate GD trainer. */
+int NUM_ROWS = 12;
+int NUM_FEATURES = 3;
+int EPOCHS = 60;
+double LEARNING_RATE = 0.1;
+
+double feature_at(double *xs, int row, int col) {
+    return xs[row * 3 + col];
+}
+
+double column_mean(double *xs, int col) {
+    double total = 0.0;
+    int row = 0;
+    for (row = 0; row < 12; row++) {
+        total = total + feature_at(xs, row, col);
+    }
+    return total / 12.0;
+}
+
+double column_std(double *xs, int col, double mean) {
+    double accum = 0.0;
+    int row = 0;
+    for (row = 0; row < 12; row++) {
+        double delta = feature_at(xs, row, col) - mean;
+        accum = accum + delta * delta;
+    }
+    double variance = accum / 12.0;
+    return sqrt(variance + 0.000001);
+}
+
+void standardize(double *xs, double *mu, double *sigma) {
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        double mean = column_mean(xs, col);
+        double sd = column_std(xs, col, mean);
+        mu[col] = mean;
+        sigma[col] = sd;
+        int row = 0;
+        for (row = 0; row < 12; row++) {
+            double centered = feature_at(xs, row, col) - mean;
+            xs[row * 3 + col] = centered / sd;
+        }
+    }
+}
+
+double predict_row(double *xs, double *weights, double bias, int row) {
+    double total = bias;
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        total = total + weights[col] * feature_at(xs, row, col);
+    }
+    return total;
+}
+
+double mean_squared_error(double *xs, double *ys, double *weights, double bias) {
+    double total = 0.0;
+    int row = 0;
+    for (row = 0; row < 12; row++) {
+        double err = predict_row(xs, weights, bias, row) - ys[row];
+        total = total + err * err;
+    }
+    return total / 12.0;
+}
+
+void zero_gradients(double *grad_w, double *grad_b) {
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        grad_w[col] = 0.0;
+    }
+    grad_b[0] = 0.0;
+}
+
+void accumulate_gradients(double *xs, double *ys, double *weights,
+                          double bias, double *grad_w, double *grad_b) {
+    int row = 0;
+    for (row = 0; row < 12; row++) {
+        double err = predict_row(xs, weights, bias, row) - ys[row];
+        int col = 0;
+        for (col = 0; col < 3; col++) {
+            double contribution = err * feature_at(xs, row, col);
+            grad_w[col] = grad_w[col] + contribution;
+        }
+        grad_b[0] = grad_b[0] + err;
+    }
+}
+
+void apply_gradients(double *weights, double *bias_cell,
+                     double *grad_w, double *grad_b, double lr) {
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        double step = lr * (2.0 / 12.0) * grad_w[col];
+        weights[col] = weights[col] - step;
+    }
+    double bias_step = lr * (2.0 / 12.0) * grad_b[0];
+    bias_cell[0] = bias_cell[0] - bias_step;
+}
+
+void scale_gradients(double *grad_w, double *grad_b, double factor) {
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        grad_w[col] = grad_w[col] * factor;
+    }
+    grad_b[0] = grad_b[0] * factor;
+}
+
+double total_sum_squares(double *ys) {
+    double mean_y = 0.0;
+    int row = 0;
+    for (row = 0; row < 12; row++) {
+        mean_y = mean_y + ys[row];
+    }
+    mean_y = mean_y / 12.0;
+    double total = 0.0;
+    for (row = 0; row < 12; row++) {
+        double dev = ys[row] - mean_y;
+        total = total + dev * dev;
+    }
+    return total;
+}
+
+double r_squared(double *xs, double *ys, double *weights, double bias) {
+    double tss = total_sum_squares(ys);
+    double rss = mean_squared_error(xs, ys, weights, bias) * 12.0;
+    double denom = tss + 0.000001;
+    double ratio = rss / denom;
+    return 1.0 - ratio;
+}
+
+void train_epochs(double *xs, double *ys, double *weights,
+                  double *bias_cell, double *loss_cell) {
+    double grad_w[3];
+    double grad_b[1];
+    int epoch = 0;
+    for (epoch = 0; epoch < 60; epoch++) {
+        zero_gradients(grad_w, grad_b);
+        accumulate_gradients(xs, ys, weights, bias_cell[0], grad_w, grad_b);
+        scale_gradients(grad_w, grad_b, 1.0);
+        apply_gradients(weights, bias_cell, grad_w, grad_b, 0.1);
+    }
+    loss_cell[0] = mean_squared_error(xs, ys, weights, bias_cell[0]);
+}
+
+void denormalize(double *weights, double *bias_cell, double *mu, double *sigma) {
+    double shift = 0.0;
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        double scaled = weights[col] / sigma[col];
+        shift = shift + scaled * mu[col];
+        weights[col] = scaled;
+    }
+    bias_cell[0] = bias_cell[0] - shift;
+}
+
+int enclave_train_lr(double *xs, double *ys, double *model) {
+    double mu[3];
+    double sigma[3];
+    double weights[3];
+    double bias_cell[1];
+    double loss_cell[1];
+    int col = 0;
+    for (col = 0; col < 3; col++) {
+        weights[col] = 0.0;
+    }
+    bias_cell[0] = 0.0;
+    loss_cell[0] = 0.0;
+    standardize(xs, mu, sigma);
+    train_epochs(xs, ys, weights, bias_cell, loss_cell);
+    model[5] = r_squared(xs, ys, weights, bias_cell[0]);
+    denormalize(weights, bias_cell, mu, sigma);
+    model[0] = weights[0];
+    model[1] = weights[1];
+    model[2] = weights[2];
+    model[3] = bias_cell[0];
+    model[4] = loss_cell[0];
+    model[6] = 12.0;
+    return 0;
+}
+"#;
+
+/// The enclave interface.
+pub const EDL: &str = r#"
+enclave {
+    trusted {
+        public int enclave_train_lr([in, count=36] double *xs,
+                                    [in, count=12] double *ys,
+                                    [out, count=7] double *model);
+    };
+};
+"#;
+
+/// The corpus entry for Table V.
+pub fn module() -> Module {
+    Module {
+        name: "LinearRegression",
+        source: SOURCE,
+        edl: EDL,
+        entry: "enclave_train_lr",
+        expected_violations: 0,
+    }
+}

@@ -1,0 +1,270 @@
+//! The Recommender module (Table V: 117 LoC) — case study 1.
+//!
+//! A port of an open-source user-user collaborative-filtering library into
+//! a Mini-C enclave. The port reproduces **six nonreversibility
+//! violations** analogous to the preexisting leaks the paper reported in
+//! the real project (§VI-D-1):
+//!
+//! | # | Kind | Site | What leaks |
+//! |---|---|---|---|
+//! | 1 | explicit | `out[5] = ratings[1] * 2 + 7` | a raw rating through an affine debug leftover |
+//! | 2 | explicit | `out[6] = ratings[2]²` | a single rating through a square |
+//! | 3 | explicit | `ocall_log_rating(ratings[3] + 1)` | a rating through a logging OCALL |
+//! | 4 | explicit | `out[7] = scale_rating(ratings[4])` | a rating through a helper (×3) |
+//! | 5 | implicit | `if (ratings[0] > 3) rc = 1 else rc = 0` | the return code pins a branch over one rating |
+//! | 6 | implicit | `if (ratings[0] == 0) out[8] = 1 else out[8] = 0` | a cold-start flag pins the same rating |
+//!
+//! [`fixed`] is the repaired variant (all six sites removed/aggregated),
+//! used by the no-false-positive tests.
+
+use crate::Module;
+
+/// The as-ported (leaky) enclave source — what the paper analyzed.
+pub const SOURCE: &str = r#"/* Recommender enclave module: user-user collaborative filtering. */
+int NUM_USERS = 4;
+int NUM_ITEMS = 5;
+
+void ocall_log_rating(double value);
+
+double rating_at(double *ratings, int user, int item) {
+    int index = user * 5 + item;
+    return ratings[index];
+}
+
+double dot_users(double *ratings, int a, int b) {
+    double total = 0.0;
+    int item = 0;
+    for (item = 0; item < 5; item++) {
+        double ra = rating_at(ratings, a, item);
+        double rb = rating_at(ratings, b, item);
+        total = total + ra * rb;
+    }
+    return total;
+}
+
+double norm_user(double *ratings, int user) {
+    double self_dot = dot_users(ratings, user, user);
+    return sqrt(self_dot + 0.000001);
+}
+
+double cosine_similarity(double *ratings, int a, int b) {
+    double numerator = dot_users(ratings, a, b);
+    double na = norm_user(ratings, a);
+    double nb = norm_user(ratings, b);
+    double denominator = na * nb;
+    return numerator / denominator;
+}
+
+double user_mean(double *ratings, int user) {
+    double total = 0.0;
+    int item = 0;
+    for (item = 0; item < 5; item++) {
+        total = total + rating_at(ratings, user, item);
+    }
+    double mean = total / 5.0;
+    return mean;
+}
+
+void compute_user_means(double *ratings, double *means) {
+    int user = 0;
+    for (user = 0; user < 4; user++) {
+        means[user] = user_mean(ratings, user);
+    }
+}
+
+double centered_rating(double *ratings, double *means, int user, int item) {
+    double raw = rating_at(ratings, user, item);
+    return raw - means[user];
+}
+
+double dot_centered(double *ratings, double *means, int a, int b) {
+    double total = 0.0;
+    int item = 0;
+    for (item = 0; item < 5; item++) {
+        double ca = centered_rating(ratings, means, a, item);
+        double cb = centered_rating(ratings, means, b, item);
+        total = total + ca * cb;
+    }
+    return total;
+}
+
+double norm_centered(double *ratings, double *means, int user) {
+    double self_dot = dot_centered(ratings, means, user, user);
+    return sqrt(self_dot + 0.000001);
+}
+
+double pearson_similarity(double *ratings, double *means, int a, int b) {
+    double numerator = dot_centered(ratings, means, a, b);
+    double na = norm_centered(ratings, means, a);
+    double nb = norm_centered(ratings, means, b);
+    double denominator = na * nb + 0.000001;
+    return numerator / denominator;
+}
+
+double scale_rating(double value) {
+    return value * 3.0;
+}
+
+double predict_item(double *ratings, double *means, double *sims, int item) {
+    double weighted = 0.0;
+    double sim_total = 0.0;
+    int user = 1;
+    for (user = 1; user < 4; user++) {
+        double sim = sims[user];
+        double centered = centered_rating(ratings, means, user, item);
+        weighted = weighted + sim * centered;
+        sim_total = sim_total + sim * sim;
+    }
+    double denom = sim_total + 0.000001;
+    return means[0] + weighted / denom;
+}
+
+int enclave_recommend(double *ratings, double *out) {
+    double sims[4];
+    double means[4];
+    int user = 0;
+    int item = 0;
+    int rc = 0;
+    sims[0] = 1.0;
+    compute_user_means(ratings, means);
+    for (user = 1; user < 4; user++) {
+        sims[user] = pearson_similarity(ratings, means, 0, user);
+    }
+    for (item = 0; item < 5; item++) {
+        out[item] = predict_item(ratings, means, sims, item);
+    }
+    double debug_value = ratings[1] * 2.0;
+    out[5] = debug_value + 7.0;
+    double squared = ratings[2] * ratings[2];
+    out[6] = squared;
+    double log_value = ratings[3] + 1.0;
+    ocall_log_rating(log_value);
+    out[7] = scale_rating(ratings[4]);
+    if (ratings[0] > 3.0) {
+        rc = 1;
+    } else {
+        rc = 0;
+    }
+    if (ratings[0] == 0.0) {
+        out[8] = 1.0;
+    } else {
+        out[8] = 0.0;
+    }
+    return rc;
+}
+"#;
+
+/// The repaired variant: every observable is an aggregate over all users.
+pub const FIXED_SOURCE: &str = r#"/* Recommender enclave module, repaired after disclosure. */
+int NUM_USERS = 4;
+int NUM_ITEMS = 5;
+
+void ocall_log_rating(double value);
+
+double rating_at(double *ratings, int user, int item) {
+    return ratings[user * 5 + item];
+}
+
+double dot_users(double *ratings, int a, int b) {
+    double total = 0.0;
+    int item = 0;
+    for (item = 0; item < 5; item++) {
+        double ra = rating_at(ratings, a, item);
+        double rb = rating_at(ratings, b, item);
+        total = total + ra * rb;
+    }
+    return total;
+}
+
+double norm_user(double *ratings, int user) {
+    double self_dot = dot_users(ratings, user, user);
+    return sqrt(self_dot + 0.000001);
+}
+
+double cosine_similarity(double *ratings, int a, int b) {
+    double numerator = dot_users(ratings, a, b);
+    double denominator = norm_user(ratings, a) * norm_user(ratings, b);
+    return numerator / denominator;
+}
+
+double predict_item(double *ratings, double *sims, int item) {
+    double weighted = 0.0;
+    double sim_total = 0.0;
+    int user = 1;
+    for (user = 1; user < 4; user++) {
+        double sim = sims[user];
+        double rating = rating_at(ratings, user, item);
+        weighted = weighted + sim * rating;
+        sim_total = sim_total + sim;
+    }
+    return weighted / (sim_total + 0.000001);
+}
+
+double mean_prediction(double *out) {
+    double total = 0.0;
+    int item = 0;
+    for (item = 0; item < 5; item++) {
+        total = total + out[item];
+    }
+    return total / 5.0;
+}
+
+int enclave_recommend(double *ratings, double *out) {
+    double sims[4];
+    int user = 0;
+    int item = 0;
+    sims[0] = 1.0;
+    for (user = 1; user < 4; user++) {
+        sims[user] = cosine_similarity(ratings, 0, user);
+    }
+    for (item = 0; item < 5; item++) {
+        out[item] = predict_item(ratings, sims, item);
+    }
+    double mean = mean_prediction(out);
+    out[5] = mean;
+    out[6] = mean * mean;
+    out[7] = sims[1] + sims[2] + sims[3];
+    out[8] = 0.0;
+    return 0;
+}
+"#;
+
+/// The enclave interface (shared by both variants).
+pub const EDL: &str = r#"
+enclave {
+    trusted {
+        public int enclave_recommend([in, count=20] double *ratings,
+                                     [out, count=9] double *out);
+    };
+    untrusted {
+        void ocall_log_rating(double value);
+    };
+};
+"#;
+
+/// The corpus entry for Table V — the as-ported, leaky variant.
+pub fn module() -> Module {
+    Module {
+        name: "Recommender",
+        source: SOURCE,
+        edl: EDL,
+        entry: "enclave_recommend",
+        expected_violations: 6,
+    }
+}
+
+/// The leaky variant under its case-study name.
+pub fn vulnerable() -> Module {
+    module()
+}
+
+/// The repaired variant (zero violations expected).
+pub fn fixed() -> Module {
+    Module {
+        name: "Recommender(fixed)",
+        source: FIXED_SOURCE,
+        edl: EDL,
+        entry: "enclave_recommend",
+        expected_violations: 0,
+    }
+}

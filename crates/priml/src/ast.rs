@@ -1,0 +1,260 @@
+//! The PRIML abstract syntax (the BNF of §V-A).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A PRIML program: a sequence of statements (the `s₁; s₂` composition).
+pub type Program = Vec<Stmt>;
+
+/// PRIML statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `skip` — does nothing.
+    Skip,
+    /// `var := exp`.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Right-hand side.
+        exp: Exp,
+    },
+    /// `if exp then s₁ else s₂`.
+    If {
+        /// Branch condition (non-zero means true).
+        cond: Exp,
+        /// Taken when the condition is non-zero.
+        then_s: Box<Stmt>,
+        /// Taken when the condition is zero.
+        else_s: Box<Stmt>,
+    },
+    /// A braced group `{ s₁; s₂; … }` (syntactic sugar for composition).
+    Block(Vec<Stmt>),
+    /// A bare expression statement (e.g. `declassify(x)`).
+    Expr(Exp),
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Skip => write!(f, "skip"),
+            Stmt::Assign { var, exp } => write!(f, "{var} := {exp}"),
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => write!(f, "if {cond} then {then_s} else {else_s}"),
+            Stmt::Block(stmts) => {
+                write!(f, "{{ ")?;
+                for (i, s) in stmts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, " }}")
+            }
+            Stmt::Expr(exp) => write!(f, "{exp}"),
+        }
+    }
+}
+
+/// PRIML expressions. All values are 32-bit unsigned integers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exp {
+    /// A literal value.
+    Lit(u32),
+    /// A variable read.
+    Var(String),
+    /// `exp ⊙b exp`.
+    Bin {
+        /// The binary operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Exp>,
+        /// Right operand.
+        rhs: Box<Exp>,
+    },
+    /// `⊙u exp`.
+    Un {
+        /// The unary operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<Exp>,
+    },
+    /// `get_secret(secret)` — retrieves the next high input.
+    GetSecret,
+    /// `declassify(exp)` — reveals a value to the outside world.
+    Declassify(Box<Exp>),
+}
+
+impl fmt::Display for Exp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exp::Lit(v) => write!(f, "{v}"),
+            Exp::Var(name) => write!(f, "{name}"),
+            Exp::Bin { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Exp::Un { op, arg } => write!(f, "({op}{arg})"),
+            Exp::GetSecret => write!(f, "get_secret(secret)"),
+            Exp::Declassify(inner) => write!(f, "declassify({inner})"),
+        }
+    }
+}
+
+/// Typical binary operators (`⊙b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+` (wrapping)
+    Add,
+    /// `-` (wrapping)
+    Sub,
+    /// `*` (wrapping)
+    Mul,
+    /// `/` (div-by-zero halts abnormally)
+    Div,
+    /// `%`
+    Rem,
+    /// `==` (1/0)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// Applies the operator with PRIML's u32 semantics.
+    ///
+    /// Returns `None` for division/remainder by zero (abnormal halt).
+    pub fn apply(self, a: u32, b: u32) -> Option<u32> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => a.checked_div(b)?,
+            BinOp::Rem => a.checked_rem(b)?,
+            BinOp::Eq => u32::from(a == b),
+            BinOp::Ne => u32::from(a != b),
+            BinOp::Lt => u32::from(a < b),
+            BinOp::Le => u32::from(a <= b),
+            BinOp::Gt => u32::from(a > b),
+            BinOp::Ge => u32::from(a >= b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b),
+            BinOp::Shr => a.wrapping_shr(b),
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typical unary operators (`⊙u`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation (two's complement).
+    Neg,
+    /// Logical negation (`!0 = 1`).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+impl UnOp {
+    /// Applies the operator with PRIML's u32 semantics.
+    pub fn apply(self, v: u32) -> u32 {
+        match self {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::Not => u32::from(v == 0),
+            UnOp::BitNot => !v,
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(u32::MAX, 1), Some(0));
+        assert_eq!(BinOp::Sub.apply(0, 1), Some(u32::MAX));
+        assert_eq!(BinOp::Div.apply(7, 2), Some(3));
+        assert_eq!(BinOp::Div.apply(7, 0), None);
+        assert_eq!(BinOp::Eq.apply(3, 3), Some(1));
+        assert_eq!(BinOp::Lt.apply(2, 3), Some(1));
+    }
+
+    #[test]
+    fn unop_semantics() {
+        assert_eq!(UnOp::Neg.apply(1), u32::MAX);
+        assert_eq!(UnOp::Not.apply(0), 1);
+        assert_eq!(UnOp::Not.apply(5), 0);
+        assert_eq!(UnOp::BitNot.apply(0), u32::MAX);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let e = Exp::Bin {
+            op: BinOp::Mul,
+            lhs: Box::new(Exp::Lit(2)),
+            rhs: Box::new(Exp::GetSecret),
+        };
+        assert_eq!(e.to_string(), "(2 * get_secret(secret))");
+        let s = Stmt::Assign {
+            var: "h".into(),
+            exp: e,
+        };
+        assert_eq!(s.to_string(), "h := (2 * get_secret(secret))");
+    }
+}

@@ -1,0 +1,215 @@
+//! The base operational semantics of PRIML (§V-A): a concrete interpreter.
+//!
+//! The rules implemented are exactly the paper's: INPUT (a value is read
+//! from the secret stream), VAR, CONST, UNOP, BINOP, ASSIGN, TCOND/FCOND,
+//! COMP, and DECLASS (the value is appended to the observable output). A
+//! program that divides by zero or exhausts the secret stream *halts
+//! abnormally* — "if no rule matches, the machine halts abnormally".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{Exp, Program, Stmt};
+
+/// Why a PRIML program halted abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A variable was read before being assigned.
+    UnboundVariable(String),
+    /// `get_secret` was evaluated but the secret stream was empty.
+    SecretStreamExhausted,
+    /// Division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            RunError::SecretStreamExhausted => write!(f, "secret stream exhausted"),
+            RunError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The result of a terminating run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunOutcome {
+    /// Values revealed by `declassify`, in evaluation order — the
+    /// attacker-observable behaviour of the program.
+    pub declassified: Vec<u32>,
+    /// Final variable context Δ.
+    pub store: BTreeMap<String, u32>,
+    /// How many secrets were consumed.
+    pub secrets_consumed: usize,
+}
+
+/// Runs a PRIML program with the given secret input stream.
+///
+/// # Errors
+///
+/// Returns [`RunError`] when the machine halts abnormally (unbound
+/// variable, exhausted secret stream, division by zero).
+///
+/// # Examples
+///
+/// ```
+/// let program = priml::parse("h := 2 * get_secret(secret); declassify(h + 1)")?;
+/// let out = priml::concrete::run(&program, &[21])?;
+/// assert_eq!(out.declassified, vec![43]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(program: &Program, secrets: &[u32]) -> Result<RunOutcome, RunError> {
+    let mut machine = Machine {
+        store: BTreeMap::new(),
+        secrets,
+        next_secret: 0,
+        declassified: Vec::new(),
+    };
+    for stmt in program {
+        machine.exec(stmt)?;
+    }
+    Ok(RunOutcome {
+        declassified: machine.declassified,
+        store: machine.store,
+        secrets_consumed: machine.next_secret,
+    })
+}
+
+struct Machine<'s> {
+    store: BTreeMap<String, u32>,
+    secrets: &'s [u32],
+    next_secret: usize,
+    declassified: Vec<u32>,
+}
+
+impl<'s> Machine<'s> {
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), RunError> {
+        match stmt {
+            Stmt::Skip => Ok(()),
+            Stmt::Assign { var, exp } => {
+                let value = self.eval(exp)?;
+                self.store.insert(var.clone(), value);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let value = self.eval(cond)?;
+                if value != 0 {
+                    self.exec(then_s)
+                } else {
+                    self.exec(else_s)
+                }
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr(exp) => self.eval(exp).map(drop),
+        }
+    }
+
+    fn eval(&mut self, exp: &Exp) -> Result<u32, RunError> {
+        match exp {
+            Exp::Lit(v) => Ok(*v),
+            Exp::Var(name) => self
+                .store
+                .get(name)
+                .copied()
+                .ok_or_else(|| RunError::UnboundVariable(name.clone())),
+            Exp::Bin { op, lhs, rhs } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                op.apply(a, b).ok_or(RunError::DivisionByZero)
+            }
+            Exp::Un { op, arg } => Ok(op.apply(self.eval(arg)?)),
+            Exp::GetSecret => {
+                let value = self
+                    .secrets
+                    .get(self.next_secret)
+                    .copied()
+                    .ok_or(RunError::SecretStreamExhausted)?;
+                self.next_secret += 1;
+                Ok(value)
+            }
+            Exp::Declassify(inner) => {
+                let value = self.eval(inner)?;
+                self.declassified.push(value);
+                Ok(value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn example1_outputs() {
+        let program = parse(crate::examples::EXAMPLE1).unwrap();
+        let out = run(&program, &[10, 20]).unwrap();
+        // x = 2·10 + 3·20 = 80; h1 = 20
+        assert_eq!(out.declassified, vec![80, 20]);
+        assert_eq!(out.secrets_consumed, 2);
+        assert_eq!(out.store["h1"], 20);
+    }
+
+    #[test]
+    fn example2_branches() {
+        let program = parse(crate::examples::EXAMPLE2).unwrap();
+        // 2·s − 5 == 14 has no integer solution, so the else branch runs
+        // for any secret — but the paper's point is what an attacker *could*
+        // infer; concretely we always see 1 here.
+        assert_eq!(run(&program, &[9]).unwrap().declassified, vec![1]);
+        assert_eq!(run(&program, &[10]).unwrap().declassified, vec![1]);
+    }
+
+    #[test]
+    fn branch_taken_on_nonzero() {
+        let program = parse("if 2 then declassify(1) else declassify(0)").unwrap();
+        assert_eq!(run(&program, &[]).unwrap().declassified, vec![1]);
+    }
+
+    #[test]
+    fn unbound_variable_halts() {
+        let program = parse("declassify(x)").unwrap();
+        assert_eq!(
+            run(&program, &[]),
+            Err(RunError::UnboundVariable("x".into()))
+        );
+    }
+
+    #[test]
+    fn exhausted_secret_stream_halts() {
+        let program = parse("h := get_secret(secret)").unwrap();
+        assert_eq!(run(&program, &[]), Err(RunError::SecretStreamExhausted));
+    }
+
+    #[test]
+    fn division_by_zero_halts() {
+        let program = parse("x := 1 / 0").unwrap();
+        assert_eq!(run(&program, &[]), Err(RunError::DivisionByZero));
+    }
+
+    #[test]
+    fn declassify_is_an_expression() {
+        let program = parse("x := declassify(5) + 1; declassify(x)").unwrap();
+        let out = run(&program, &[]).unwrap();
+        assert_eq!(out.declassified, vec![5, 6]);
+    }
+
+    #[test]
+    fn skip_and_blocks() {
+        let program = parse("skip; { x := 1; skip; y := x + 1 }; declassify(y)").unwrap();
+        assert_eq!(run(&program, &[]).unwrap().declassified, vec![2]);
+    }
+}

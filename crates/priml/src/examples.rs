@@ -1,0 +1,40 @@
+//! The paper's running example programs (§V-B, Tables II and III).
+
+/// Example 1: explicit leakage.
+///
+/// Declassifying `x = 2·s₁ + 3·s₂` is safe (taint ⊤ — two sources mix, so
+/// neither secret can be recovered); declassifying `h₁ = 2·s₁` violates
+/// nonreversibility (an attacker divides the observed value by 2).
+pub const EXAMPLE1: &str = "\
+h1 := 2 * get_secret(secret)
+h2 := 3 * get_secret(secret)
+x := h1 + h2
+declassify(x)
+declassify(h1)";
+
+/// Example 2: implicit leakage.
+///
+/// Observing which constant is declassified reveals whether `h = 19`, i.e.
+/// whether the secret equals 9.5·… — the branch condition taints π, and the
+/// two paths declassify different values.
+pub const EXAMPLE2: &str = "\
+h := 2 * get_secret(secret)
+if h - 5 == 14 then declassify(0) else declassify(1)";
+
+/// A secure variant of Example 2: both branches declassify the *same*
+/// value, so nothing about the secret can be inferred.
+pub const EXAMPLE2_SECURE: &str = "\
+h := 2 * get_secret(secret)
+if h - 5 == 14 then declassify(7) else declassify(7)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_examples_parse() {
+        for src in [EXAMPLE1, EXAMPLE2, EXAMPLE2_SECURE] {
+            crate::parse(src).expect("example parses");
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Parser for PRIML concrete syntax.
+//!
+//! ```text
+//! program  ::= stmt (';' stmt)* [';']
+//! stmt     ::= 'skip'
+//!            | ident ':=' exp
+//!            | 'if' exp 'then' stmt 'else' stmt
+//!            | '{' program '}'
+//!            | exp                         (expression statement)
+//! exp      ::= cmp (('=='|'!='|'<'|'<='|'>'|'>=') cmp)*
+//! cmp      ::= term (('+'|'-'|'|'|'^') term)*
+//! term     ::= unary (('*'|'/'|'%'|'&'|'<<'|'>>') unary)*
+//! unary    ::= ('-'|'!'|'~') unary | atom
+//! atom     ::= number | ident | '(' exp ')'
+//!            | 'get_secret' '(' 'secret' ')'
+//!            | 'declassify' '(' exp ')'
+//! ```
+
+use std::fmt;
+
+use crate::ast::{BinOp, Exp, Program, Stmt, UnOp};
+
+/// A PRIML parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    position: usize,
+}
+
+impl ParseError {
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset in the source.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a PRIML program.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic violation.
+///
+/// # Examples
+///
+/// ```
+/// let program = priml::parse("h := 2 * get_secret(secret); declassify(h)")?;
+/// assert_eq!(program.len(), 2);
+/// # Ok::<(), priml::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let program = parser.program(true)?;
+    if parser.pos < parser.tokens.len() - 1 {
+        return Err(parser.error("trailing input"));
+    }
+    Ok(program)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u32),
+    Op(&'static str),
+    Eof,
+}
+
+fn lex(source: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    const OPS: &[&str] = &[
+        ":=", "==", "!=", "<=", ">=", "<<", ">>", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+        "!", "~", "(", ")", "{", "}", ";",
+    ];
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    'outer: while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if b == b'#' {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            let text = &source[start..pos];
+            let value = text.parse::<u32>().map_err(|_| ParseError {
+                message: format!("number `{text}` out of u32 range"),
+                position: start,
+            })?;
+            tokens.push((Tok::Num(value), start));
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            tokens.push((Tok::Ident(source[start..pos].to_string()), start));
+            continue;
+        }
+        for op in OPS {
+            if source[pos..].starts_with(op) {
+                tokens.push((Tok::Op(op), pos));
+                pos += op.len();
+                continue 'outer;
+            }
+        }
+        return Err(ParseError {
+            message: format!("unexpected character `{}`", b as char),
+            position: pos,
+        });
+    }
+    tokens.push((Tok::Eof, source.len()));
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].0.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.tokens[self.pos.min(self.tokens.len() - 1)].1,
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if *self.peek() == Tok::Op(op_static(op)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), ParseError> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{op}`")))
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(id) if id == kw)
+    }
+
+    fn program(&mut self, top: bool) -> Result<Program, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            if *self.peek() == Tok::Eof || (!top && *self.peek() == Tok::Op("}")) {
+                break;
+            }
+            stmts.push(self.stmt()?);
+            // `;` separators are optional at line ends
+            while self.eat_op(";") {}
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_kw("skip") {
+            self.bump();
+            return Ok(Stmt::Skip);
+        }
+        if self.is_kw("if") {
+            self.bump();
+            let cond = self.exp()?;
+            if !self.is_kw("then") {
+                return Err(self.error("expected `then`"));
+            }
+            self.bump();
+            let then_s = Box::new(self.stmt()?);
+            if !self.is_kw("else") {
+                return Err(self.error("expected `else`"));
+            }
+            self.bump();
+            let else_s = Box::new(self.stmt()?);
+            return Ok(Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            });
+        }
+        if self.eat_op("{") {
+            let body = self.program(false)?;
+            self.expect_op("}")?;
+            return Ok(Stmt::Block(body));
+        }
+        // assignment or expression statement
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.0) == Some(&Tok::Op(":=")) {
+                self.bump();
+                self.bump();
+                let exp = self.exp()?;
+                return Ok(Stmt::Assign { var: name, exp });
+            }
+        }
+        Ok(Stmt::Expr(self.exp()?))
+    }
+
+    fn exp(&mut self) -> Result<Exp, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op("==") => BinOp::Eq,
+                Tok::Op("!=") => BinOp::Ne,
+                Tok::Op("<=") => BinOp::Le,
+                Tok::Op(">=") => BinOp::Ge,
+                Tok::Op("<") => BinOp::Lt,
+                Tok::Op(">") => BinOp::Gt,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Exp::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Exp, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op("+") => BinOp::Add,
+                Tok::Op("-") => BinOp::Sub,
+                Tok::Op("|") => BinOp::Or,
+                Tok::Op("^") => BinOp::Xor,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Exp::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Exp, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Op("*") => BinOp::Mul,
+                Tok::Op("/") => BinOp::Div,
+                Tok::Op("%") => BinOp::Rem,
+                Tok::Op("&") => BinOp::And,
+                Tok::Op("<<") => BinOp::Shl,
+                Tok::Op(">>") => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Exp::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Exp, ParseError> {
+        let op = match self.peek() {
+            Tok::Op("-") => Some(UnOp::Neg),
+            Tok::Op("!") => Some(UnOp::Not),
+            Tok::Op("~") => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let arg = self.unary()?;
+            return Ok(Exp::Un {
+                op,
+                arg: Box::new(arg),
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Exp, ParseError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(Exp::Lit(v)),
+            Tok::Op("(") => {
+                let inner = self.exp()?;
+                self.expect_op(")")?;
+                Ok(inner)
+            }
+            Tok::Ident(id) if id == "get_secret" => {
+                self.expect_op("(")?;
+                if !self.is_kw("secret") {
+                    return Err(self.error("expected `secret`"));
+                }
+                self.bump();
+                self.expect_op(")")?;
+                Ok(Exp::GetSecret)
+            }
+            Tok::Ident(id) if id == "declassify" => {
+                self.expect_op("(")?;
+                let inner = self.exp()?;
+                self.expect_op(")")?;
+                Ok(Exp::Declassify(Box::new(inner)))
+            }
+            Tok::Ident(name) => Ok(Exp::Var(name)),
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+fn op_static(op: &str) -> &'static str {
+    const OPS: &[&str] = &[
+        ":=", "==", "!=", "<=", ">=", "<<", ">>", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+        "!", "~", "(", ")", "{", "}", ";",
+    ];
+    OPS.iter().find(|o| **o == op).copied().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example1() {
+        let program = parse(crate::examples::EXAMPLE1).expect("parses");
+        assert_eq!(program.len(), 5);
+        assert!(matches!(program[0], Stmt::Assign { .. }));
+        assert!(matches!(program[4], Stmt::Expr(Exp::Declassify(_))));
+    }
+
+    #[test]
+    fn parses_example2() {
+        let program = parse(crate::examples::EXAMPLE2).expect("parses");
+        assert_eq!(program.len(), 2);
+        assert!(matches!(program[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let program = parse("x := 1 + 2 * 3").unwrap();
+        let Stmt::Assign { exp, .. } = &program[0] else {
+            panic!()
+        };
+        let Exp::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = exp
+        else {
+            panic!("got {exp}")
+        };
+        assert!(matches!(**rhs, Exp::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_is_loosest() {
+        let program = parse("x := h - 5 == 14").unwrap();
+        let Stmt::Assign { exp, .. } = &program[0] else {
+            panic!()
+        };
+        assert!(matches!(exp, Exp::Bin { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn blocks_and_nested_if() {
+        let program = parse("if a then { x := 1; y := 2 } else if b then skip else skip").unwrap();
+        assert_eq!(program.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let program = parse("# setup\nx := 1 # trailing\n").unwrap();
+        assert_eq!(program.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("x := @").unwrap_err();
+        assert_eq!(err.position(), 5);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn error_on_missing_then() {
+        let err = parse("if x declassify(1) else skip").unwrap_err();
+        assert!(err.message().contains("then"));
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        assert!(parse("x := 1 )").is_err());
+    }
+
+    #[test]
+    fn number_out_of_range() {
+        let err = parse("x := 99999999999").unwrap_err();
+        assert!(err.message().contains("u32"));
+    }
+}

@@ -1,0 +1,202 @@
+//! An executable reading of the nonreversibility definition (§IV).
+//!
+//! The paper defines nonreversibility over program semantics: a single high
+//! input `h` leaks if an attacker observing the low outputs can
+//! deterministically recover it. Operationally (over a finite input
+//! domain) we say secret *i* is **semantically reversible** when
+//!
+//! 1. the observable output depends only on secret *i* (varying any other
+//!    secret while holding *i* fixed never changes the output — no other
+//!    high variable can act as noise), and
+//! 2. the map from secret *i* to the output is injective (distinct values
+//!    of *i* produce distinct observations), and
+//! 3. the output actually depends on *i* (a constant output reveals
+//!    nothing).
+//!
+//! This brute-force checker exists to cross-validate the static analysis:
+//! the taint-based dependence set must over-approximate the semantic
+//! dependence set, and semantically reversible programs must be flagged.
+
+use std::collections::BTreeMap;
+
+use crate::ast::Program;
+use crate::concrete::{run, RunError};
+
+/// Semantic facts about one secret input, computed by brute force.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretFacts {
+    /// The observable output varies with this secret.
+    pub depends: bool,
+    /// The output is fully determined by this secret alone.
+    pub sole_determinant: bool,
+    /// Distinct values of this secret give distinct outputs (given the
+    /// others are held at any fixed value).
+    pub injective: bool,
+}
+
+impl SecretFacts {
+    /// Whether an attacker can deterministically recover this secret from
+    /// the observation (the nonreversibility violation, semantically).
+    pub fn reversible(&self) -> bool {
+        self.depends && self.sole_determinant && self.injective
+    }
+}
+
+/// Brute-forces the program over `domain` values per secret.
+///
+/// `n_secrets` is how many `get_secret` reads the program performs
+/// (must be consumed unconditionally — branch-dependent consumption is not
+/// supported by the brute-force model and yields `Err`).
+///
+/// # Errors
+///
+/// Returns the first abnormal halt ([`RunError`]) encountered, or an
+/// inconsistent secret consumption across inputs.
+pub fn analyze_semantics(
+    program: &Program,
+    n_secrets: usize,
+    domain: &[u32],
+) -> Result<Vec<SecretFacts>, RunError> {
+    assert!(!domain.is_empty(), "domain must be non-empty");
+    // Enumerate all assignments; record observation per assignment.
+    let mut observations: BTreeMap<Vec<u32>, Vec<u32>> = BTreeMap::new();
+    let total = domain.len().pow(n_secrets as u32);
+    for index in 0..total {
+        let mut assignment = Vec::with_capacity(n_secrets);
+        let mut rest = index;
+        for _ in 0..n_secrets {
+            assignment.push(domain[rest % domain.len()]);
+            rest /= domain.len();
+        }
+        let outcome = run(program, &assignment)?;
+        observations.insert(assignment, outcome.declassified);
+    }
+
+    let mut facts = Vec::with_capacity(n_secrets);
+    for i in 0..n_secrets {
+        let mut depends = false;
+        let mut sole_determinant = true;
+        let mut injective = true;
+        // Group observations by the value of secret i and by the values of
+        // the others.
+        let mut by_secret_i: BTreeMap<u32, &Vec<u32>> = BTreeMap::new();
+        for (assignment, obs) in &observations {
+            // depends: vary i, fix others at assignment's values
+            for &candidate in domain {
+                if candidate == assignment[i] {
+                    continue;
+                }
+                let mut other = assignment.clone();
+                other[i] = candidate;
+                if let Some(other_obs) = observations.get(&other) {
+                    if other_obs != obs {
+                        depends = true;
+                    }
+                }
+            }
+            // sole determinant: same i, different others ⇒ same output
+            match by_secret_i.get(&assignment[i]) {
+                None => {
+                    by_secret_i.insert(assignment[i], obs);
+                }
+                Some(prev) => {
+                    if *prev != obs {
+                        sole_determinant = false;
+                    }
+                }
+            }
+        }
+        // injectivity over secret i (meaningful only if sole determinant)
+        let mut seen: BTreeMap<&Vec<u32>, u32> = BTreeMap::new();
+        for (value, obs) in &by_secret_i {
+            if let Some(prev) = seen.insert(obs, *value) {
+                if prev != *value {
+                    injective = false;
+                }
+            }
+        }
+        facts.push(SecretFacts {
+            depends,
+            sole_determinant,
+            injective,
+        });
+    }
+    Ok(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const DOMAIN: &[u32] = &[0, 1, 2, 3];
+
+    fn facts(src: &str, n: usize) -> Vec<SecretFacts> {
+        analyze_semantics(&parse(src).unwrap(), n, DOMAIN).unwrap()
+    }
+
+    #[test]
+    fn direct_leak_is_reversible() {
+        let f = facts("h := get_secret(secret); declassify(h + 4)", 1);
+        assert!(f[0].reversible());
+    }
+
+    #[test]
+    fn masked_leak_is_not_reversible() {
+        // l := h1 + 4 + h2 — the paper's secure example: h2 masks h1.
+        let f = facts(
+            "a := get_secret(secret); b := get_secret(secret); declassify(a + 4 + b)",
+            2,
+        );
+        assert!(!f[0].reversible());
+        assert!(!f[1].reversible());
+        assert!(f[0].depends && f[1].depends);
+        assert!(!f[0].sole_determinant);
+    }
+
+    #[test]
+    fn constant_output_reveals_nothing() {
+        let f = facts("h := get_secret(secret); declassify(42)", 1);
+        assert!(!f[0].reversible());
+        assert!(!f[0].depends);
+    }
+
+    #[test]
+    fn non_injective_output_is_not_reversible() {
+        // parity: observable depends on h but cannot pin it
+        let f = facts("h := get_secret(secret); declassify(h & 1)", 1);
+        assert!(!f[0].reversible());
+        assert!(f[0].depends);
+        assert!(f[0].sole_determinant);
+        assert!(!f[0].injective);
+    }
+
+    #[test]
+    fn implicit_branch_leak_depends_but_may_not_reverse() {
+        // The Example-2 pattern over a small domain: outputs 0/1 pin only
+        // whether h == 19 — injective only if the domain makes it so.
+        let f = facts(
+            "h := 2 * get_secret(secret); if h - 5 == 14 then declassify(0) else declassify(1)",
+            1,
+        );
+        // On domain {0..3} the condition is never true: output constant.
+        assert!(!f[0].depends);
+    }
+
+    #[test]
+    fn scaled_leak_is_reversible() {
+        let f = facts("h := get_secret(secret); declassify(3 * h)", 1);
+        assert!(f[0].reversible());
+    }
+
+    #[test]
+    fn unused_secret_is_safe() {
+        let f = facts(
+            "a := get_secret(secret); b := get_secret(secret); declassify(a)",
+            2,
+        );
+        assert!(f[0].reversible());
+        assert!(!f[1].reversible());
+        assert!(!f[1].depends);
+    }
+}

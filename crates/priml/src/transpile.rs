@@ -1,0 +1,325 @@
+//! PRIML → Mini-C transpilation.
+//!
+//! PRIML is the paper's formal model; the evaluated prototype analyzes
+//! C. This module connects the two planes: a PRIML program becomes a
+//! Mini-C ECALL whose `[in]` buffer supplies the `get_secret` stream and
+//! whose `[out]` buffer receives the `declassify` outputs — so the same
+//! program can be checked by the formal semantics (`crate::analysis`) and
+//! by the full C analyzer, and the verdicts compared (see
+//! `tests/cross_plane.rs` at the workspace root).
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Exp, Program, Stmt, UnOp};
+
+/// A transpiled program: C source plus its EDL interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transpiled {
+    /// Mini-C source defining `priml_main`.
+    pub source: String,
+    /// Matching EDL (secrets `[in]`, outputs `[out]`).
+    pub edl: String,
+    /// Number of `get_secret` reads.
+    pub secrets: usize,
+    /// Number of `declassify` sites.
+    pub outputs: usize,
+}
+
+/// Why a program cannot be transpiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranspileError {
+    /// `get_secret` under a conditional: the C plane's positional secret
+    /// indexing would diverge from PRIML's stream semantics.
+    SecretUnderBranch,
+}
+
+impl std::fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranspileError::SecretUnderBranch => write!(
+                f,
+                "get_secret under a conditional has path-dependent stream position"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+/// Transpiles a PRIML program to Mini-C.
+///
+/// Value semantics differ in width (PRIML is u32-wrapping, the C plane
+/// models `int`); the transpilation is *taint-faithful*, which is what the
+/// cross-plane comparison needs, and value-faithful for computations that
+/// stay within `int` range.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::SecretUnderBranch`] when `get_secret` occurs
+/// inside a conditional.
+pub fn to_minic(program: &Program) -> Result<Transpiled, TranspileError> {
+    // reject branch-dependent secret consumption
+    for stmt in program {
+        check_no_secret_in_branches(stmt, false)?;
+    }
+
+    let mut ctx = Ctx {
+        secrets: 0,
+        outputs: 0,
+        vars: Vec::new(),
+        body: String::new(),
+    };
+    for stmt in program {
+        collect_vars(stmt, &mut ctx.vars);
+    }
+    for stmt in program {
+        ctx.stmt(stmt, 1);
+    }
+
+    let mut source = String::from("int priml_main(int *secrets, int *out) {\n");
+    if ctx.outputs > 0 {
+        // PRIML's declassify stream is positional *per execution*, not per
+        // syntactic site: a cursor mirrors that (both branches of an `if`
+        // write the same next slot).
+        source.push_str("    int cursor = 0;\n");
+    }
+    for var in &ctx.vars {
+        let _ = writeln!(source, "    int {var} = 0;");
+    }
+    source.push_str(&ctx.body);
+    source.push_str("    return 0;\n}\n");
+
+    let edl = format!(
+        "enclave {{ trusted {{ public int priml_main([in, count={}] int *secrets, [out, count={}] int *out); }}; }};\n",
+        ctx.secrets.max(1),
+        ctx.outputs.max(1),
+    );
+
+    Ok(Transpiled {
+        source,
+        edl,
+        secrets: ctx.secrets,
+        outputs: ctx.outputs,
+    })
+}
+
+fn check_no_secret_in_branches(stmt: &Stmt, in_branch: bool) -> Result<(), TranspileError> {
+    let check_exp = |exp: &Exp| -> Result<(), TranspileError> {
+        if in_branch && mentions_secret(exp) {
+            Err(TranspileError::SecretUnderBranch)
+        } else {
+            Ok(())
+        }
+    };
+    match stmt {
+        Stmt::Skip => Ok(()),
+        Stmt::Assign { exp, .. } => check_exp(exp),
+        Stmt::Expr(exp) => check_exp(exp),
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                check_no_secret_in_branches(s, in_branch)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
+            check_exp(cond)?;
+            check_no_secret_in_branches(then_s, true)?;
+            check_no_secret_in_branches(else_s, true)
+        }
+    }
+}
+
+fn mentions_secret(exp: &Exp) -> bool {
+    match exp {
+        Exp::GetSecret => true,
+        Exp::Lit(_) | Exp::Var(_) => false,
+        Exp::Bin { lhs, rhs, .. } => mentions_secret(lhs) || mentions_secret(rhs),
+        Exp::Un { arg, .. } => mentions_secret(arg),
+        Exp::Declassify(inner) => mentions_secret(inner),
+    }
+}
+
+fn collect_vars(stmt: &Stmt, vars: &mut Vec<String>) {
+    match stmt {
+        Stmt::Assign { var, .. } => {
+            if !vars.contains(var) {
+                vars.push(var.clone());
+            }
+        }
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_vars(s, vars);
+            }
+        }
+        Stmt::If { then_s, else_s, .. } => {
+            collect_vars(then_s, vars);
+            collect_vars(else_s, vars);
+        }
+        Stmt::Skip | Stmt::Expr(_) => {}
+    }
+}
+
+struct Ctx {
+    secrets: usize,
+    outputs: usize,
+    vars: Vec<String>,
+    body: String,
+}
+
+impl Ctx {
+    fn stmt(&mut self, stmt: &Stmt, indent: usize) {
+        let pad = "    ".repeat(indent);
+        match stmt {
+            Stmt::Skip => {
+                let _ = writeln!(self.body, "{pad};");
+            }
+            Stmt::Assign { var, exp } => {
+                let rendered = self.exp(exp);
+                let _ = writeln!(self.body, "{pad}{var} = {rendered};");
+            }
+            // statement-position declassify gets the clean two-statement
+            // form; nested declassify falls through to the comma form
+            Stmt::Expr(Exp::Declassify(inner)) => {
+                self.outputs += 1;
+                let rendered = self.exp(inner);
+                let _ = writeln!(self.body, "{pad}out[cursor] = {rendered};");
+                let _ = writeln!(self.body, "{pad}cursor = cursor + 1;");
+            }
+            Stmt::Expr(exp) => {
+                let rendered = self.exp(exp);
+                let _ = writeln!(self.body, "{pad}{rendered};");
+            }
+            Stmt::Block(stmts) => {
+                let _ = writeln!(self.body, "{pad}{{");
+                for s in stmts {
+                    self.stmt(s, indent + 1);
+                }
+                let _ = writeln!(self.body, "{pad}}}");
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let rendered = self.exp(cond);
+                let _ = writeln!(self.body, "{pad}if ({rendered}) {{");
+                self.stmt(then_s, indent + 1);
+                let _ = writeln!(self.body, "{pad}}} else {{");
+                self.stmt(else_s, indent + 1);
+                let _ = writeln!(self.body, "{pad}}}");
+            }
+        }
+    }
+
+    fn exp(&mut self, exp: &Exp) -> String {
+        match exp {
+            Exp::Lit(v) => v.to_string(),
+            Exp::Var(name) => name.clone(),
+            Exp::Bin { op, lhs, rhs } => {
+                let l = self.exp(lhs);
+                let r = self.exp(rhs);
+                format!("({l} {} {r})", binop(*op))
+            }
+            Exp::Un { op, arg } => {
+                let a = self.exp(arg);
+                let symbol = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                };
+                format!("({symbol}{a})")
+            }
+            Exp::GetSecret => {
+                let index = self.secrets;
+                self.secrets += 1;
+                format!("secrets[{index}]")
+            }
+            Exp::Declassify(inner) => {
+                // expression position: write the current slot, advance the
+                // cursor, and yield the written value via the comma form
+                self.outputs += 1;
+                let rendered = self.exp(inner);
+                format!("((out[cursor] = {rendered}), (cursor = cursor + 1), out[cursor - 1])")
+            }
+        }
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn example1_transpiles() {
+        let program = parse(crate::examples::EXAMPLE1).unwrap();
+        let out = to_minic(&program).expect("transpiles");
+        assert_eq!(out.secrets, 2);
+        assert_eq!(out.outputs, 2);
+        assert!(out.source.contains("h1 = (2 * secrets[0]);"));
+        assert!(out.source.contains("out[cursor] = x;"));
+        assert!(out.source.contains("out[cursor] = h1;"));
+        assert!(out.edl.contains("count=2"));
+    }
+
+    #[test]
+    fn example2_transpiles_with_branch() {
+        let program = parse(crate::examples::EXAMPLE2).unwrap();
+        let out = to_minic(&program).expect("transpiles");
+        assert_eq!(out.secrets, 1);
+        assert_eq!(out.outputs, 2);
+        assert!(out.source.contains("if (((h - 5) == 14))"));
+    }
+
+    #[test]
+    fn secret_under_branch_is_rejected() {
+        let program = parse("if 1 then x := get_secret(secret) else skip").unwrap();
+        assert_eq!(to_minic(&program), Err(TranspileError::SecretUnderBranch));
+    }
+
+    #[test]
+    fn nested_declassify_expression() {
+        let program = parse("x := declassify(get_secret(secret)) + 1").unwrap();
+        let out = to_minic(&program).expect("transpiles");
+        assert!(out.source.contains(
+            "x = (((out[cursor] = secrets[0]), (cursor = cursor + 1), out[cursor - 1]) + 1);"
+        ));
+    }
+
+    #[test]
+    fn transpiled_output_is_valid_minic() {
+        for example in [crate::examples::EXAMPLE1, crate::examples::EXAMPLE2] {
+            let program = parse(example).unwrap();
+            let out = to_minic(&program).unwrap();
+            // the suite-level cross_plane test checks the full pipeline;
+            // here just ensure the shape is plausible C
+            assert!(out.source.starts_with("int priml_main("));
+            assert!(out.source.ends_with("}\n"));
+        }
+    }
+}

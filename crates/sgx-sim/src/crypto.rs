@@ -1,0 +1,131 @@
+//! Toy cryptographic primitives standing in for the Intel IPP library.
+//!
+//! These are **simulation-grade, not security-grade**: a xorshift-based
+//! stream cipher and an FNV-based MAC. Their role in this repository is
+//! purely structural — they give the enclave runtime and the analyzer the
+//! same *interfaces* the paper's prototype saw (a decrypt call is the point
+//! where ciphertext becomes secret plaintext), and they make the
+//! end-to-end examples honest (data really is unreadable outside the
+//! enclave without the key).
+
+/// A 128-bit symmetric key.
+pub type Key = [u8; 16];
+
+/// Deterministic keystream generator (xorshift64*, seeded from the key and
+/// a nonce).
+fn keystream(key: &Key, nonce: u64) -> impl Iterator<Item = u8> {
+    let mut seed = nonce ^ 0x9E37_79B9_7F4A_7C15;
+    for chunk in key.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        seed = seed.rotate_left(17).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ u64::from_le_bytes(word);
+    }
+    let mut state = if seed == 0 { 0xDEAD_BEEF } else { seed };
+    std::iter::repeat_with(move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 32) as u8
+    })
+}
+
+/// Encrypts `plaintext` under `key`/`nonce` (XOR stream cipher).
+pub fn encrypt(key: &Key, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+    plaintext
+        .iter()
+        .zip(keystream(key, nonce))
+        .map(|(b, k)| b ^ k)
+        .collect()
+}
+
+/// Decrypts data produced by [`encrypt`] with the same key and nonce.
+pub fn decrypt(key: &Key, nonce: u64, ciphertext: &[u8]) -> Vec<u8> {
+    // XOR stream: decryption is encryption.
+    encrypt(key, nonce, ciphertext)
+}
+
+/// A 64-bit MAC (FNV-1a over key ‖ nonce ‖ data).
+pub fn mac(key: &Key, nonce: u64, data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut absorb = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for &b in key {
+        absorb(b);
+    }
+    for b in nonce.to_le_bytes() {
+        absorb(b);
+    }
+    for &b in data {
+        absorb(b);
+    }
+    hash
+}
+
+/// Constant-time-ish MAC comparison (simulation courtesy).
+pub fn mac_verify(key: &Key, nonce: u64, data: &[u8], tag: u64) -> bool {
+    mac(key, nonce, data) ^ tag == 0
+}
+
+/// Derives a subkey from a parent key and a label (for sealing).
+pub fn derive_key(parent: &Key, label: &[u8]) -> Key {
+    let mut out = [0u8; 16];
+    let tag = mac(parent, 0x6B64662D_6C616265, label); // "kdf-label"
+    let tag2 = mac(parent, tag, label);
+    out[..8].copy_from_slice(&tag.to_le_bytes());
+    out[8..].copy_from_slice(&tag2.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: Key = *b"0123456789abcdef";
+
+    #[test]
+    fn round_trip() {
+        let msg = b"training data batch #7";
+        let ct = encrypt(&KEY, 42, msg);
+        assert_ne!(&ct, msg);
+        assert_eq!(decrypt(&KEY, 42, &ct), msg);
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let msg = b"secret";
+        let ct = encrypt(&KEY, 1, msg);
+        let other: Key = *b"fedcba9876543210";
+        assert_ne!(decrypt(&other, 1, &ct), msg);
+    }
+
+    #[test]
+    fn wrong_nonce_garbles() {
+        let msg = b"secret";
+        let ct = encrypt(&KEY, 1, msg);
+        assert_ne!(decrypt(&KEY, 2, &ct), msg);
+    }
+
+    #[test]
+    fn mac_detects_tampering() {
+        let data = b"ledger";
+        let tag = mac(&KEY, 7, data);
+        assert!(mac_verify(&KEY, 7, data, tag));
+        assert!(!mac_verify(&KEY, 7, b"ledgar", tag));
+        assert!(!mac_verify(&KEY, 8, data, tag));
+    }
+
+    #[test]
+    fn derived_keys_differ_by_label() {
+        let a = derive_key(&KEY, b"seal");
+        let b = derive_key(&KEY, b"report");
+        assert_ne!(a, b);
+        assert_eq!(a, derive_key(&KEY, b"seal"));
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        assert!(encrypt(&KEY, 0, &[]).is_empty());
+    }
+}

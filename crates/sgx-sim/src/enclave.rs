@@ -1,0 +1,634 @@
+//! The enclave container: lifecycle, measurement, and ECALL dispatch with
+//! EDL-driven `[in]`/`[out]` marshalling.
+
+use std::collections::BTreeMap;
+
+use edl::{Direction, EdlFile, Prototype};
+use minic::ast::TranslationUnit;
+use minic::types::Type;
+
+use crate::attest::{self, PlatformKey, Quote};
+use crate::crypto::{self, Key};
+use crate::error::SgxError;
+use crate::interp::{Interp, Value, Word};
+use crate::seal::{self, SealedBlob};
+
+/// A host-side argument for an ECALL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcallArg {
+    /// A scalar integer (passed by value).
+    Int(i64),
+    /// A scalar double (passed by value).
+    Float(f64),
+    /// An `[in]` buffer: copied into enclave memory before the call.
+    In(Vec<Word>),
+    /// An `[out]` buffer of the given length: allocated inside, copied out
+    /// after the call.
+    Out(usize),
+    /// An `[in, out]` buffer.
+    InOut(Vec<Word>),
+}
+
+/// The host-visible result of an ECALL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcallResult {
+    /// The ECALL's return value (observable by the host).
+    pub ret: Option<Value>,
+    /// Contents of every `[out]`/`[in, out]` buffer after the call, keyed
+    /// by parameter name.
+    pub outs: BTreeMap<String, Vec<Word>>,
+    /// Anything the enclave printed (a debug channel; observable).
+    pub output: String,
+    /// OCALLs the enclave made (name, arguments) — observable by the host.
+    pub ocalls: Vec<(String, Vec<Value>)>,
+}
+
+/// A loaded enclave instance.
+#[derive(Debug)]
+pub struct Enclave {
+    unit: TranslationUnit,
+    edl: EdlFile,
+    measurement: u64,
+    sealing_key: Key,
+}
+
+impl Enclave {
+    /// Builds an enclave from Mini-C source and its EDL interface,
+    /// computing the measurement (hash over both, the moral equivalent of
+    /// MRENCLAVE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError`] if either input fails to parse, or if a
+    /// declared public ECALL has no definition in the source.
+    pub fn load(source: &str, edl_text: &str) -> Result<Enclave, SgxError> {
+        let unit = minic::parse(source)?;
+        let edl_file = edl::parse_edl(edl_text)?;
+        for proto in &edl_file.trusted {
+            let defined = unit
+                .function(&proto.name)
+                .map(|f| f.body.is_some())
+                .unwrap_or(false);
+            if !defined {
+                return Err(SgxError::MissingEcallBody(proto.name.clone()));
+            }
+        }
+        let measurement = measure(source, edl_text);
+        let sealing_key = crypto::derive_key(b"sgx-sim-sealroot", &measurement.to_le_bytes());
+        Ok(Enclave {
+            unit,
+            edl: edl_file,
+            measurement,
+            sealing_key,
+        })
+    }
+
+    /// The enclave measurement (MRENCLAVE analogue).
+    pub fn measurement(&self) -> u64 {
+        self.measurement
+    }
+
+    /// The parsed trusted interface.
+    pub fn edl(&self) -> &EdlFile {
+        &self.edl
+    }
+
+    /// The parsed enclave code (what PrivacyScope analyzes).
+    pub fn unit(&self) -> &TranslationUnit {
+        &self.unit
+    }
+
+    /// Dispatches an ECALL through the enclave boundary.
+    ///
+    /// Marshalling follows the EDL: `[in]` buffers are copied into enclave
+    /// memory (the host keeps no alias), `[out]` buffers are allocated
+    /// inside and copied back after the call, scalars pass by value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError`] for unknown ECALLs, argument mismatches, or
+    /// runtime faults inside the enclave.
+    pub fn ecall(&self, name: &str, args: &[EcallArg]) -> Result<EcallResult, SgxError> {
+        let mut interp = Interp::new(&self.unit)?;
+        self.dispatch(&mut interp, name, args)
+    }
+
+    /// Opens a stateful session: enclave globals persist across its
+    /// ECALLs, as they do in a real loaded enclave.
+    pub fn session(&self) -> Result<Session<'_>, SgxError> {
+        Ok(Session {
+            enclave: self,
+            interp: Interp::new(&self.unit)?,
+        })
+    }
+
+    fn dispatch(
+        &self,
+        interp: &mut Interp<'_>,
+        name: &str,
+        args: &[EcallArg],
+    ) -> Result<EcallResult, SgxError> {
+        let proto = self
+            .edl
+            .ecall(name)
+            .ok_or_else(|| SgxError::UnknownEcall(name.to_string()))?
+            .clone();
+        if proto.params.len() != args.len() {
+            return Err(SgxError::Marshal(format!(
+                "`{name}` declares {} parameter(s), got {}",
+                proto.params.len(),
+                args.len()
+            )));
+        }
+
+        let mut values = Vec::with_capacity(args.len());
+        let mut out_ptrs: Vec<(String, usize, usize)> = Vec::new(); // (param, addr, len)
+
+        for (param, arg) in proto.params.iter().zip(args) {
+            let elem = pointee_type(&param.c_type);
+            match (arg, param.is_pointer()) {
+                (EcallArg::Int(v), false) => values.push(Value::Int(*v)),
+                (EcallArg::Float(v), false) => values.push(Value::Float(*v)),
+                (EcallArg::In(words), true) => {
+                    if !param.attributes.is_in() {
+                        return Err(SgxError::Marshal(format!(
+                            "parameter `{}` is not [in]",
+                            param.name
+                        )));
+                    }
+                    self.check_bound(&proto, args, param, words.len())?;
+                    values.push(interp.alloc_buffer(words, elem));
+                }
+                (EcallArg::Out(len), true) => {
+                    if !param.attributes.is_out() {
+                        return Err(SgxError::Marshal(format!(
+                            "parameter `{}` is not [out]",
+                            param.name
+                        )));
+                    }
+                    self.check_bound(&proto, args, param, *len)?;
+                    let zeros = vec![Word::Int(0); *len];
+                    let ptr = interp.alloc_buffer(&zeros, elem);
+                    let Value::Ptr { addr, .. } = ptr else {
+                        unreachable!("alloc_buffer returns a pointer")
+                    };
+                    out_ptrs.push((param.name.clone(), addr, *len));
+                    values.push(Value::Ptr {
+                        addr,
+                        stride: 1,
+                        elem: pointee_type(&param.c_type),
+                    });
+                }
+                (EcallArg::InOut(words), true) => {
+                    if !(param.attributes.is_in() && param.attributes.is_out()) {
+                        return Err(SgxError::Marshal(format!(
+                            "parameter `{}` is not [in, out]",
+                            param.name
+                        )));
+                    }
+                    self.check_bound(&proto, args, param, words.len())?;
+                    let ptr = interp.alloc_buffer(words, elem);
+                    let Value::Ptr { addr, .. } = ptr.clone() else {
+                        unreachable!("alloc_buffer returns a pointer")
+                    };
+                    out_ptrs.push((param.name.clone(), addr, words.len()));
+                    values.push(ptr);
+                }
+                (arg, is_ptr) => {
+                    return Err(SgxError::Marshal(format!(
+                        "argument {arg:?} does not fit parameter `{}` (pointer: {is_ptr})",
+                        param.name
+                    )));
+                }
+            }
+        }
+
+        let ret = interp.call(name, values)?;
+        let mut outs = BTreeMap::new();
+        for (param, addr, len) in out_ptrs {
+            outs.insert(param, interp.read_buffer(addr, len)?);
+        }
+        Ok(EcallResult {
+            ret,
+            outs,
+            output: std::mem::take(&mut interp.output),
+            ocalls: std::mem::take(&mut interp.ocalls),
+        })
+    }
+
+    /// Validates a buffer length against the EDL `size=`/`count=` bound.
+    fn check_bound(
+        &self,
+        proto: &Prototype,
+        args: &[EcallArg],
+        param: &edl::ast::Param,
+        actual: usize,
+    ) -> Result<(), SgxError> {
+        // `count=` is in elements; `size=` is in bytes and must be scaled
+        // by the element width.
+        let (bound, bytes) = match (&param.attributes.count, &param.attributes.size) {
+            (Some(count), _) => (count, false),
+            (None, Some(size)) => (size, true),
+            (None, None) => return Ok(()),
+        };
+        let expected = match bound {
+            edl::ast::Bound::Const(n) => *n as usize,
+            edl::ast::Bound::Param(name) => {
+                let index = proto
+                    .params
+                    .iter()
+                    .position(|p| p.name == *name)
+                    .ok_or_else(|| {
+                        SgxError::Marshal(format!("bound parameter `{name}` not found"))
+                    })?;
+                match args.get(index) {
+                    Some(EcallArg::Int(v)) if *v >= 0 => *v as usize,
+                    other => {
+                        return Err(SgxError::Marshal(format!(
+                            "bound parameter `{name}` must be a non-negative scalar, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        };
+        let expected = if bytes {
+            let elem_bytes = pointee_type(&param.c_type).size().unwrap_or(1).max(1);
+            expected / elem_bytes
+        } else {
+            expected
+        };
+        if actual != expected {
+            return Err(SgxError::Marshal(format!(
+                "buffer `{}` has {actual} element(s), EDL bound says {expected}",
+                param.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seals data under this enclave's identity.
+    pub fn seal(&self, nonce: u64, plaintext: &[u8]) -> SealedBlob {
+        seal::seal(&self.sealing_key, nonce, plaintext)
+    }
+
+    /// Unseals data sealed by an enclave with the same measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Sealing`] for blobs sealed by other enclaves.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, SgxError> {
+        seal::unseal(&self.sealing_key, blob)
+    }
+
+    /// Produces an attestation quote bound to `report_data`.
+    pub fn quote(&self, platform: &PlatformKey, report_data: &[u8]) -> Quote {
+        attest::quote(platform, self.measurement, report_data)
+    }
+}
+
+/// A stateful enclave session: globals persist across ECALLs (like a
+/// loaded enclave between `sgx_create_enclave` and destruction), and each
+/// [`Session::ecall`] drains only the output produced since the last one.
+#[derive(Debug)]
+pub struct Session<'e> {
+    enclave: &'e Enclave,
+    interp: Interp<'e>,
+}
+
+impl<'e> Session<'e> {
+    /// Dispatches an ECALL against the session's persistent state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Enclave::ecall`]. A fault leaves the session
+    /// usable (memory is unchanged beyond the faulting call's writes).
+    pub fn ecall(&mut self, name: &str, args: &[EcallArg]) -> Result<EcallResult, SgxError> {
+        self.enclave.dispatch(&mut self.interp, name, args)
+    }
+
+    /// The owning enclave.
+    pub fn enclave(&self) -> &Enclave {
+        self.enclave
+    }
+}
+
+/// Direction of a parameter per the EDL, for callers building bindings.
+pub fn param_direction(proto: &Prototype, index: usize) -> Option<Direction> {
+    proto.params.get(index)?.attributes.direction
+}
+
+fn measure(source: &str, edl_text: &str) -> u64 {
+    // FNV-1a over both inputs — a stand-in for MRENCLAVE's SHA-256; only
+    // collision-resistance *by accident* matters less than determinism
+    // here, and the simulator is explicit about not being security-grade.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in source.bytes().chain([0u8]).chain(edl_text.bytes()) {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn pointee_type(c_type: &str) -> Type {
+    let base = c_type.trim_end_matches('*').trim();
+    match base {
+        "char" | "unsigned char" | "const char" | "const unsigned char" => Type::Char,
+        "int" | "const int" | "unsigned" | "unsigned int" => Type::Int,
+        "long" | "unsigned long" | "const long" => Type::Long,
+        "float" => Type::Float,
+        "double" | "const double" => Type::Double,
+        "void" | "const void" => Type::Char,
+        other if other.starts_with("struct ") => {
+            Type::Struct(other.trim_start_matches("struct ").to_string())
+        }
+        _ => Type::Char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = r#"
+        int enclave_process_data(char *secrets, char *output) {
+            int temporary = secrets[0] + 100;
+            output[0] = temporary + 1;
+            if (secrets[1] == 0)
+                return 0;
+            else
+                return 1;
+        }
+    "#;
+
+    const LISTING1_EDL: &str = r#"
+        enclave {
+            trusted {
+                public int enclave_process_data([in, count=2] char *secrets,
+                                                [out, count=1] char *output);
+            };
+        };
+    "#;
+
+    fn listing1() -> Enclave {
+        Enclave::load(LISTING1, LISTING1_EDL).expect("loads")
+    }
+
+    #[test]
+    fn ecall_marshals_in_and_out() {
+        let enclave = listing1();
+        let result = enclave
+            .ecall(
+                "enclave_process_data",
+                &[
+                    EcallArg::In(vec![Word::Int(7), Word::Int(0)]),
+                    EcallArg::Out(1),
+                ],
+            )
+            .expect("runs");
+        assert_eq!(result.ret, Some(Value::Int(0)));
+        assert_eq!(result.outs["output"], vec![Word::Int(108)]);
+    }
+
+    #[test]
+    fn branch_on_secret_changes_return() {
+        let enclave = listing1();
+        let run = |s1: i64| {
+            enclave
+                .ecall(
+                    "enclave_process_data",
+                    &[
+                        EcallArg::In(vec![Word::Int(0), Word::Int(s1)]),
+                        EcallArg::Out(1),
+                    ],
+                )
+                .unwrap()
+                .ret
+        };
+        assert_eq!(run(0), Some(Value::Int(0)));
+        assert_eq!(run(5), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn unknown_ecall_rejected() {
+        let enclave = listing1();
+        assert!(matches!(
+            enclave.ecall("nope", &[]),
+            Err(SgxError::UnknownEcall(_))
+        ));
+    }
+
+    #[test]
+    fn bound_mismatch_rejected() {
+        let enclave = listing1();
+        let err = enclave
+            .ecall(
+                "enclave_process_data",
+                &[EcallArg::In(vec![Word::Int(7)]), EcallArg::Out(1)],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("EDL bound"));
+    }
+
+    #[test]
+    fn missing_definition_rejected() {
+        let err = Enclave::load("int other() { return 0; }", LISTING1_EDL).unwrap_err();
+        assert!(matches!(err, SgxError::MissingEcallBody(_)));
+    }
+
+    #[test]
+    fn direction_enforced() {
+        let enclave = listing1();
+        // passing Out for the [in] parameter
+        let err = enclave
+            .ecall(
+                "enclave_process_data",
+                &[EcallArg::Out(2), EcallArg::Out(1)],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("not [out]"));
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_code_bound() {
+        let a = listing1().measurement();
+        let b = listing1().measurement();
+        assert_eq!(a, b);
+        let other = Enclave::load(LISTING1.replace("100", "101").as_str(), LISTING1_EDL).unwrap();
+        assert_ne!(a, other.measurement());
+    }
+
+    #[test]
+    fn sealing_is_enclave_bound() {
+        let enclave = listing1();
+        let blob = enclave.seal(1, b"weights");
+        assert_eq!(enclave.unseal(&blob).unwrap(), b"weights");
+        let other = Enclave::load(
+            "int f() { return 0; }",
+            "enclave { trusted { public int f(); }; };",
+        )
+        .unwrap();
+        assert!(other.unseal(&blob).is_err());
+    }
+
+    #[test]
+    fn quotes_verify() {
+        let enclave = listing1();
+        let platform = PlatformKey::from_seed(b"test-machine");
+        let quote = enclave.quote(&platform, b"session-key");
+        assert!(attest::verify(&platform, &quote, Some(enclave.measurement())).is_ok());
+    }
+
+    #[test]
+    fn scalar_params_and_param_bounds() {
+        let source = r#"
+            int sum(char *xs, int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) s += xs[i];
+                return s;
+            }
+        "#;
+        let edl_text = r#"
+            enclave { trusted {
+                public int sum([in, count=n] char *xs, int n);
+            }; };
+        "#;
+        let enclave = Enclave::load(source, edl_text).unwrap();
+        let result = enclave
+            .ecall(
+                "sum",
+                &[
+                    EcallArg::In(vec![Word::Int(1), Word::Int(2), Word::Int(3)]),
+                    EcallArg::Int(3),
+                ],
+            )
+            .unwrap();
+        assert_eq!(result.ret, Some(Value::Int(6)));
+    }
+
+    #[test]
+    fn inout_buffers_round_trip() {
+        let source =
+            "void doubler(int *xs, int n) { for (int i = 0; i < n; i++) xs[i] = xs[i] * 2; }";
+        let edl_text =
+            "enclave { trusted { public void doubler([in, out, count=n] int *xs, int n); }; };";
+        let enclave = Enclave::load(source, edl_text).unwrap();
+        let result = enclave
+            .ecall(
+                "doubler",
+                &[
+                    EcallArg::InOut(vec![Word::Int(3), Word::Int(5)]),
+                    EcallArg::Int(2),
+                ],
+            )
+            .unwrap();
+        assert_eq!(result.outs["xs"], vec![Word::Int(6), Word::Int(10)]);
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+
+    const COUNTER: &str = r#"
+        int counter = 0;
+        int bump(int by) {
+            counter = counter + by;
+            return counter;
+        }
+        int read_counter() {
+            return counter;
+        }
+    "#;
+
+    const COUNTER_EDL: &str = r#"
+        enclave { trusted {
+            public int bump(int by);
+            public int read_counter();
+        }; };
+    "#;
+
+    #[test]
+    fn sessions_keep_global_state() {
+        let enclave = Enclave::load(COUNTER, COUNTER_EDL).expect("loads");
+        let mut session = enclave.session().expect("opens");
+        assert_eq!(
+            session.ecall("bump", &[EcallArg::Int(5)]).unwrap().ret,
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            session.ecall("bump", &[EcallArg::Int(3)]).unwrap().ret,
+            Some(Value::Int(8))
+        );
+        assert_eq!(
+            session.ecall("read_counter", &[]).unwrap().ret,
+            Some(Value::Int(8))
+        );
+    }
+
+    #[test]
+    fn stateless_ecalls_reset_state() {
+        let enclave = Enclave::load(COUNTER, COUNTER_EDL).expect("loads");
+        assert_eq!(
+            enclave.ecall("bump", &[EcallArg::Int(5)]).unwrap().ret,
+            Some(Value::Int(5))
+        );
+        // a fresh stateless call starts from the initializer again
+        assert_eq!(
+            enclave.ecall("bump", &[EcallArg::Int(5)]).unwrap().ret,
+            Some(Value::Int(5))
+        );
+    }
+
+    #[test]
+    fn separate_sessions_are_isolated() {
+        let enclave = Enclave::load(COUNTER, COUNTER_EDL).expect("loads");
+        let mut a = enclave.session().expect("opens");
+        let mut b = enclave.session().expect("opens");
+        a.ecall("bump", &[EcallArg::Int(10)]).unwrap();
+        assert_eq!(
+            b.ecall("read_counter", &[]).unwrap().ret,
+            Some(Value::Int(0))
+        );
+        assert_eq!(a.enclave().measurement(), enclave.measurement());
+    }
+
+    #[test]
+    fn session_output_is_drained_per_call() {
+        let source = r#"
+            int chatty(int v) {
+                printf("v=%d\n", v);
+                return v;
+            }
+        "#;
+        let edl_text = "enclave { trusted { public int chatty(int v); }; };";
+        let enclave = Enclave::load(source, edl_text).expect("loads");
+        let mut session = enclave.session().expect("opens");
+        let first = session.ecall("chatty", &[EcallArg::Int(1)]).unwrap();
+        let second = session.ecall("chatty", &[EcallArg::Int(2)]).unwrap();
+        assert_eq!(first.output, "v=1\n");
+        assert_eq!(second.output, "v=2\n");
+    }
+
+    #[test]
+    fn session_survives_a_fault() {
+        let source = r#"
+            int counter = 0;
+            int bump(int by) { counter = counter + by; return counter; }
+            int crash(int d) { return 1 / d; }
+        "#;
+        let edl_text = r#"
+            enclave { trusted {
+                public int bump(int by);
+                public int crash(int d);
+            }; };
+        "#;
+        let enclave = Enclave::load(source, edl_text).expect("loads");
+        let mut session = enclave.session().expect("opens");
+        session.ecall("bump", &[EcallArg::Int(2)]).unwrap();
+        assert!(session.ecall("crash", &[EcallArg::Int(0)]).is_err());
+        assert_eq!(
+            session.ecall("bump", &[EcallArg::Int(1)]).unwrap().ret,
+            Some(Value::Int(3))
+        );
+    }
+}

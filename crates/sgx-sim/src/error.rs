@@ -1,0 +1,72 @@
+//! Error type of the enclave runtime.
+
+use std::fmt;
+
+/// Errors raised by the simulated SGX runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SgxError {
+    /// The enclave source failed to parse/type-check.
+    Source(minic::Error),
+    /// The EDL interface failed to parse.
+    Edl(edl::EdlError),
+    /// An ECALL name is not declared in the EDL's trusted section.
+    UnknownEcall(String),
+    /// The enclave code does not define a declared ECALL.
+    MissingEcallBody(String),
+    /// Argument marshalling failed (count/size/type mismatch).
+    Marshal(String),
+    /// The enclave code faulted at runtime.
+    Runtime(String),
+    /// Seal/unseal failed (wrong enclave or corrupted blob).
+    Sealing(String),
+    /// Attestation verification failed.
+    Attestation(String),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::Source(e) => write!(f, "enclave source: {e}"),
+            SgxError::Edl(e) => write!(f, "enclave interface: {e}"),
+            SgxError::UnknownEcall(name) => {
+                write!(f, "`{name}` is not a declared ECALL")
+            }
+            SgxError::MissingEcallBody(name) => {
+                write!(f, "ECALL `{name}` has no definition in the enclave code")
+            }
+            SgxError::Marshal(msg) => write!(f, "marshalling: {msg}"),
+            SgxError::Runtime(msg) => write!(f, "enclave fault: {msg}"),
+            SgxError::Sealing(msg) => write!(f, "sealing: {msg}"),
+            SgxError::Attestation(msg) => write!(f, "attestation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+impl From<minic::Error> for SgxError {
+    fn from(e: minic::Error) -> Self {
+        SgxError::Source(e)
+    }
+}
+
+impl From<edl::EdlError> for SgxError {
+    fn from(e: edl::EdlError) -> Self {
+        SgxError::Edl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SgxError::UnknownEcall("f".into())
+            .to_string()
+            .contains("not a declared ECALL"));
+        assert!(SgxError::Marshal("bad size".into())
+            .to_string()
+            .contains("bad size"));
+    }
+}

@@ -1,0 +1,31 @@
+//! A software SGX enclave runtime substrate.
+//!
+//! The paper evaluates PrivacyScope on ML modules ported into real SGX
+//! enclaves; this crate is the simulated equivalent (see DESIGN.md): it
+//! *executes* the same Mini-C enclave code the analyzer inspects, behind
+//! the same EDL boundary, so the repository can demonstrate end-to-end that
+//! statically-flagged code really does reveal secrets at runtime.
+//!
+//! Provided pieces:
+//!
+//! * [`enclave::Enclave`] — build an enclave from Mini-C source + EDL,
+//!   compute its measurement, and dispatch ECALLs with `[in]`/`[out]`
+//!   marshalling (boundary copies, bounds checks);
+//! * [`interp`] — a concrete Mini-C interpreter (the "CPU" the enclave runs
+//!   on), independent from the symbolic engine;
+//! * [`crypto`] — a toy stream cipher + MAC standing in for the IPP
+//!   primitives (interface-faithful: decrypt functions are the analyzer's
+//!   secret sources);
+//! * [`seal`] — sealed storage (encrypt-then-MAC under a per-enclave key
+//!   derived from the measurement);
+//! * [`attest`] — mock local/remote attestation over measurements.
+
+pub mod attest;
+pub mod crypto;
+pub mod enclave;
+pub mod error;
+pub mod interp;
+pub mod seal;
+
+pub use enclave::{EcallArg, EcallResult, Enclave};
+pub use error::SgxError;

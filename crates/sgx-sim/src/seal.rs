@@ -1,0 +1,95 @@
+//! Sealed storage: encrypt-then-MAC under a measurement-derived key.
+//!
+//! Mirrors `sgx_seal_data`/`sgx_unseal_data`: data sealed by an enclave can
+//! only be unsealed by an enclave with the same measurement (MRENCLAVE
+//! policy).
+
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::{self, Key};
+use crate::error::SgxError;
+
+/// An opaque sealed blob.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealedBlob {
+    nonce: u64,
+    ciphertext: Vec<u8>,
+    tag: u64,
+}
+
+impl SealedBlob {
+    /// Size of the blob payload in bytes.
+    pub fn len(&self) -> usize {
+        self.ciphertext.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ciphertext.is_empty()
+    }
+}
+
+/// Seals `plaintext` under the enclave sealing key.
+pub fn seal(sealing_key: &Key, nonce: u64, plaintext: &[u8]) -> SealedBlob {
+    let ciphertext = crypto::encrypt(sealing_key, nonce, plaintext);
+    let tag = crypto::mac(sealing_key, nonce, &ciphertext);
+    SealedBlob {
+        nonce,
+        ciphertext,
+        tag,
+    }
+}
+
+/// Unseals a blob, verifying integrity and key possession.
+///
+/// # Errors
+///
+/// Returns [`SgxError::Sealing`] if the MAC does not verify (wrong enclave
+/// measurement or corrupted blob).
+pub fn unseal(sealing_key: &Key, blob: &SealedBlob) -> Result<Vec<u8>, SgxError> {
+    if !crypto::mac_verify(sealing_key, blob.nonce, &blob.ciphertext, blob.tag) {
+        return Err(SgxError::Sealing(
+            "MAC verification failed (wrong enclave or corrupted blob)".into(),
+        ));
+    }
+    Ok(crypto::decrypt(sealing_key, blob.nonce, &blob.ciphertext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::derive_key;
+
+    fn key(measurement: u64) -> Key {
+        derive_key(b"platform-rootkey", &measurement.to_le_bytes())
+    }
+
+    #[test]
+    fn seal_round_trip() {
+        let k = key(0x1234);
+        let blob = seal(&k, 9, b"model weights");
+        assert_eq!(unseal(&k, &blob).unwrap(), b"model weights");
+    }
+
+    #[test]
+    fn different_measurement_cannot_unseal() {
+        let blob = seal(&key(0x1234), 9, b"model weights");
+        let err = unseal(&key(0x9999), &blob).unwrap_err();
+        assert!(matches!(err, SgxError::Sealing(_)));
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let k = key(1);
+        let mut blob = seal(&k, 0, b"hello");
+        blob.ciphertext[0] ^= 1;
+        assert!(unseal(&k, &blob).is_err());
+    }
+
+    #[test]
+    fn blob_length() {
+        let blob = seal(&key(1), 0, b"abc");
+        assert_eq!(blob.len(), 3);
+        assert!(!blob.is_empty());
+    }
+}

@@ -1,0 +1,1902 @@
+//! The symbolic exploration engine.
+//!
+//! [`Engine::run`] abstractly interprets one entry function of a Mini-C
+//! unit, forking at branches and returning every feasible completed path.
+//! Taint is introduced at secret parameters (per the entry's
+//! [`ParamBinding`]s) and at configured *source functions* (the paper's
+//! predefined decrypt list), propagated per the `taint` crate's policy, and
+//! joined into the path-condition taint at every fork (the `P_cond` rule).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minic::ast::{
+    BinOp, Expr, ExprKind, Function, Init, Stmt, StmtKind, TranslationUnit, UnOp, VarDecl,
+};
+use minic::types::Type;
+use minic::Span;
+use taint::{SourceId, TaintSet};
+
+use crate::constraints::Feasibility;
+use crate::error::EngineError;
+use crate::simplify::{fold_binary, fold_unary, simplify};
+use crate::state::{Channel, DeclassifyEvent, ExecState, Frame};
+use crate::trace::TraceStep;
+use crate::value::{Region, SVal, Symbol};
+
+/// How an entry-function parameter is bound at the start of exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamBinding {
+    /// An unconstrained, non-secret scalar (a *low* input).
+    Scalar,
+    /// A secret scalar: reads taint with a fresh source (a *high* input).
+    SecretScalar,
+    /// A pointer to an unknown, non-secret block.
+    Pointer,
+    /// A pointer to secret data (an `[in]` ECALL buffer): each element read
+    /// mints a fresh taint source, matching `get_secret` per element.
+    SecretPointer,
+    /// A pointer to an observable output buffer (an `[out]` ECALL buffer).
+    OutPointer,
+    /// Both secret input and observable output (`[in, out]`).
+    InOutPointer,
+    /// A concrete integer value.
+    Concrete(i64),
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum *symbolic* loop unrollings (iterations whose guard truly
+    /// forked) before havoc-widening forces an exit.
+    pub loop_bound: usize,
+    /// Maximum *concrete* loop iterations (guard decided without forking)
+    /// before widening — a termination backstop, not a precision knob.
+    pub concrete_loop_limit: usize,
+    /// Maximum number of completed paths to collect.
+    pub max_paths: usize,
+    /// Maximum interpreted statements per path.
+    pub max_steps_per_path: usize,
+    /// Maximum call-inlining depth; deeper calls become uninterpreted.
+    pub inline_depth: usize,
+    /// Functions whose arguments are observable sinks (e.g. OCALLs).
+    pub sink_functions: BTreeSet<String>,
+    /// Decrypt-style functions: their result (and first pointed-to buffer)
+    /// becomes fresh secret data — the paper's predefined IPP decrypt list.
+    pub source_functions: BTreeSet<String>,
+    /// Capture per-statement state snapshots (Table IV traces).
+    pub record_trace: bool,
+    /// Maximum node count of a stored symbolic value; larger values are
+    /// *summarized* into a fresh symbol that keeps the original taint.
+    /// Bounds expression growth in iterative numeric code (e.g. gradient
+    /// descent) at the cost of value precision — taint precision is
+    /// unaffected, which is what the nonreversibility policy needs.
+    pub max_value_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            loop_bound: 4,
+            concrete_loop_limit: 4096,
+            max_paths: 4096,
+            max_steps_per_path: 200_000,
+            inline_depth: 8,
+            sink_functions: BTreeSet::new(),
+            source_functions: BTreeSet::new(),
+            record_trace: false,
+            max_value_size: 64,
+        }
+    }
+}
+
+/// One completed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathOutcome {
+    /// The final state (store, π, taints, events, trace).
+    pub state: ExecState,
+    /// The entry function's return value on this path, with its taint.
+    pub return_value: Option<(SVal, TaintSet)>,
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// State forks performed.
+    pub forks: usize,
+    /// Branches pruned as infeasible.
+    pub infeasible: usize,
+    /// Completed paths collected.
+    pub completed: usize,
+    /// Loop widenings applied.
+    pub widenings: usize,
+    /// Paths dropped for exceeding the per-path step budget.
+    pub dropped_steps: usize,
+    /// Paths dropped for exceeding the path budget.
+    pub dropped_paths: usize,
+    /// Total statements interpreted.
+    pub steps: usize,
+}
+
+/// The result of exploring one entry function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// Entry function name.
+    pub entry: String,
+    /// Every feasible completed path.
+    pub paths: Vec<PathOutcome>,
+    /// Whether any budget was exhausted (results are then a subset).
+    pub exhausted: bool,
+    /// Counters.
+    pub stats: Stats,
+    /// `[out]`-marked base regions, with the parameter name each came from.
+    pub out_bases: Vec<(String, Region)>,
+    /// Every sink-call declassification event observed during exploration,
+    /// including ones on paths later dropped by budgets (Alg. 1 checks at
+    /// declassify time).
+    pub events: Vec<DeclassifyEvent>,
+    /// Human-readable description of every secret source minted.
+    pub secret_sources: BTreeMap<SourceId, String>,
+    /// The symbolic-variable id backing each secret source (for recovery-
+    /// formula synthesis).
+    pub source_symbols: BTreeMap<SourceId, u32>,
+}
+
+impl Exploration {
+    /// Per-path traces (empty unless tracing was enabled).
+    pub fn traces(&self) -> Vec<Vec<TraceStep>> {
+        self.paths.iter().map(|p| p.state.trace.clone()).collect()
+    }
+}
+
+/// A symbolic execution engine over one translation unit.
+#[derive(Debug)]
+pub struct Engine<'u> {
+    unit: &'u TranslationUnit,
+    config: EngineConfig,
+    source: Option<String>,
+}
+
+impl<'u> Engine<'u> {
+    /// Creates an engine for `unit` with the given configuration.
+    pub fn new(unit: &'u TranslationUnit, config: EngineConfig) -> Self {
+        Engine {
+            unit,
+            config,
+            source: None,
+        }
+    }
+
+    /// Attaches the original source text, enabling readable statement text
+    /// in recorded traces.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Explores `entry`, binding its parameters as described.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the entry function is missing, the
+    /// binding list does not match the signature, or a binding is
+    /// incompatible with the parameter type.
+    pub fn run(&self, entry: &str, bindings: &[ParamBinding]) -> Result<Exploration, EngineError> {
+        let func = self
+            .unit
+            .function(entry)
+            .filter(|f| f.body.is_some())
+            .ok_or_else(|| EngineError::UnknownFunction(entry.to_string()))?;
+        if func.params.len() != bindings.len() {
+            return Err(EngineError::BindingArity {
+                function: entry.to_string(),
+                expected: func.params.len(),
+                got: bindings.len(),
+            });
+        }
+
+        let mut explorer = Explorer {
+            unit: self.unit,
+            config: &self.config,
+            source: self.source.as_deref(),
+            next_symbol: 0,
+            next_source: 1,
+            next_frame: 1,
+            next_shadow: 0,
+            secret_bases: BTreeSet::new(),
+            source_names: BTreeMap::new(),
+            source_symbols: BTreeMap::new(),
+            stats: Stats::default(),
+            exhausted: false,
+            event_log: Vec::new(),
+        };
+
+        let mut state = ExecState::new();
+        state.frames.push(Frame::new(0, entry));
+        explorer.init_globals(&mut state);
+        let mut out_bases = Vec::new();
+        explorer.bind_params(&mut state, func, bindings, &mut out_bases)?;
+
+        let body = func.body.as_ref().expect("checked above");
+        let finished = explorer.exec_block(state, body);
+
+        let mut paths = Vec::new();
+        for (mut st, flow) in finished {
+            let return_value = match flow {
+                Flow::Return(v) => v,
+                _ => None,
+            };
+            let return_event = return_value.as_ref().map(|(value, taint)| DeclassifyEvent {
+                channel: Channel::Return,
+                value: value.clone(),
+                taint: taint.clone(),
+                pi_taint: st.pi_taint.clone(),
+                pi: st.path.to_string(),
+                span: func.span,
+            });
+            if paths.len() >= self.config.max_paths {
+                explorer.exhausted = true;
+                explorer.stats.dropped_paths += 1;
+                // the path is dropped but its return observation still
+                // counts for Algorithm 1's declassify-time comparison
+                if let Some(event) = return_event {
+                    explorer.event_log.push(event);
+                }
+                continue;
+            }
+            if let Some(event) = return_event {
+                st.events.push(event);
+            }
+            explorer.stats.completed += 1;
+            paths.push(PathOutcome {
+                state: st,
+                return_value,
+            });
+        }
+
+        Ok(Exploration {
+            entry: entry.to_string(),
+            paths,
+            exhausted: explorer.exhausted,
+            stats: explorer.stats,
+            out_bases,
+            events: explorer.event_log,
+            secret_sources: explorer
+                .source_names
+                .iter()
+                .map(|(id, name)| (SourceId::new(*id), name.clone()))
+                .collect(),
+            source_symbols: explorer
+                .source_symbols
+                .iter()
+                .map(|(id, sym)| (SourceId::new(*id), *sym))
+                .collect(),
+        })
+    }
+}
+
+/// Control flow out of a statement.
+#[derive(Debug, Clone, PartialEq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<(SVal, TaintSet)>),
+}
+
+type StateFlows = Vec<(ExecState, Flow)>;
+type EvalResults = Vec<(ExecState, SVal, TaintSet)>;
+type LvalResults = Vec<(ExecState, Option<Region>)>;
+
+struct Explorer<'u, 'c> {
+    unit: &'u TranslationUnit,
+    config: &'c EngineConfig,
+    source: Option<&'c str>,
+    next_symbol: u32,
+    next_source: u32,
+    next_frame: u32,
+    next_shadow: u32,
+    secret_bases: BTreeSet<Region>,
+    source_names: BTreeMap<u32, String>,
+    source_symbols: BTreeMap<u32, u32>,
+    stats: Stats,
+    exhausted: bool,
+    event_log: Vec<DeclassifyEvent>,
+}
+
+impl<'u, 'c> Explorer<'u, 'c> {
+    fn fresh_symbol(&mut self, hint: impl Into<String>) -> Symbol {
+        let sym = Symbol::new(self.next_symbol, hint);
+        self.next_symbol += 1;
+        sym
+    }
+
+    fn fresh_source(&mut self, name: impl Into<String>) -> SourceId {
+        let id = self.next_source;
+        self.next_source += 1;
+        self.source_names.insert(id, name.into());
+        SourceId::new(id)
+    }
+
+    /// Replaces an oversized value with a fresh summary symbol; the taint
+    /// (tracked separately) is preserved by the caller.
+    fn summarize(&mut self, value: SVal, hint: &str) -> SVal {
+        if value.size_within(self.config.max_value_size).is_some() {
+            value
+        } else {
+            SVal::Sym(self.fresh_symbol(format!("summary({hint})")))
+        }
+    }
+
+    // ---- entry setup ------------------------------------------------------
+
+    fn init_globals(&mut self, state: &mut ExecState) {
+        let globals: Vec<VarDecl> = self.unit.globals().cloned().collect();
+        for decl in globals {
+            let region = Region::Global {
+                name: decl.name.clone(),
+            };
+            if let Some(init) = decl.init.clone() {
+                self.bind_init(state, &region, &init, &decl.ty);
+            }
+        }
+    }
+
+    fn bind_init(&mut self, state: &mut ExecState, region: &Region, init: &Init, ty: &Type) {
+        match init {
+            Init::Expr(expr) => {
+                // Global/local initializer expressions do not fork: the
+                // evaluation is forced down the first (and in practice only)
+                // result; corpus initializers are side-effect-free.
+                let results = self.eval(state.clone(), expr);
+                if let Some((st, value, taint)) = results.into_iter().next() {
+                    *state = st;
+                    state.write(region.clone(), value, taint);
+                }
+            }
+            Init::List(items) => match ty {
+                Type::Array(elem, _) => {
+                    for (i, item) in items.iter().enumerate() {
+                        let sub = Region::Element {
+                            base: Box::new(region.clone()),
+                            index: Box::new(SVal::Int(i as i64)),
+                        };
+                        self.bind_init(state, &sub, item, elem);
+                    }
+                }
+                Type::Struct(name) => {
+                    if let Some(def) = self.unit.struct_def(name) {
+                        let fields: Vec<_> = def
+                            .fields
+                            .iter()
+                            .map(|f| (f.name.clone(), f.ty.clone()))
+                            .collect();
+                        for (item, (fname, fty)) in items.iter().zip(fields) {
+                            let sub = Region::Field {
+                                base: Box::new(region.clone()),
+                                field: fname,
+                            };
+                            self.bind_init(state, &sub, item, &fty);
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn bind_params(
+        &mut self,
+        state: &mut ExecState,
+        func: &Function,
+        bindings: &[ParamBinding],
+        out_bases: &mut Vec<(String, Region)>,
+    ) -> Result<(), EngineError> {
+        for (index, (param, binding)) in func.params.iter().zip(bindings).enumerate() {
+            let region = Region::Var {
+                frame: 0,
+                name: param.name.clone(),
+            };
+            state
+                .frame_mut()
+                .scopes
+                .last_mut()
+                .expect("frame has a scope")
+                .insert(param.name.clone(), region.clone());
+
+            let scalar_ok = param.ty.is_arithmetic();
+            let pointer_ok = param.ty.is_pointer();
+            match binding {
+                ParamBinding::Scalar | ParamBinding::SecretScalar | ParamBinding::Concrete(_)
+                    if !scalar_ok =>
+                {
+                    return Err(EngineError::BindingType {
+                        function: func.name.clone(),
+                        index,
+                        reason: format!("scalar binding for `{}` parameter", param.ty),
+                    });
+                }
+                ParamBinding::Pointer
+                | ParamBinding::SecretPointer
+                | ParamBinding::OutPointer
+                | ParamBinding::InOutPointer
+                    if !pointer_ok =>
+                {
+                    return Err(EngineError::BindingType {
+                        function: func.name.clone(),
+                        index,
+                        reason: format!("pointer binding for `{}` parameter", param.ty),
+                    });
+                }
+                _ => {}
+            }
+
+            match binding {
+                ParamBinding::Concrete(v) => {
+                    state.write(region, SVal::Int(*v), TaintSet::bottom());
+                }
+                ParamBinding::Scalar => {
+                    let sym = self.fresh_symbol(&param.name);
+                    state.write(region, SVal::Sym(sym), TaintSet::bottom());
+                }
+                ParamBinding::SecretScalar => {
+                    let sym = self.fresh_symbol(&param.name);
+                    let source = self.fresh_source(&param.name);
+                    self.source_symbols.insert(source.index(), sym.id);
+                    state.write(region, SVal::Sym(sym), TaintSet::source(source));
+                }
+                ParamBinding::Pointer
+                | ParamBinding::SecretPointer
+                | ParamBinding::OutPointer
+                | ParamBinding::InOutPointer => {
+                    let sym = self.fresh_symbol(&param.name);
+                    let base = Region::Sym { symbol: sym };
+                    if matches!(
+                        binding,
+                        ParamBinding::SecretPointer | ParamBinding::InOutPointer
+                    ) {
+                        self.secret_bases.insert(base.clone());
+                    }
+                    if matches!(
+                        binding,
+                        ParamBinding::OutPointer | ParamBinding::InOutPointer
+                    ) {
+                        out_bases.push((param.name.clone(), base.clone()));
+                    }
+                    state.write(region, SVal::Loc(base), TaintSet::bottom());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// Reads a region, lazily materializing a fresh symbol for
+    /// never-written memory. Reads under a secret base mint a fresh taint
+    /// source per distinct region — the `get_secret` rule, per element.
+    fn read(&mut self, state: &mut ExecState, region: &Region) -> (SVal, TaintSet) {
+        if let Some(value) = state.store.lookup(region) {
+            return (value.clone(), state.taint_of(region));
+        }
+        let hint = region_hint(region);
+        let sym = self.fresh_symbol(hint.clone());
+        let taint = if self.is_secret_region(region) {
+            let source = self.fresh_source(hint);
+            self.source_symbols.insert(source.index(), sym.id);
+            TaintSet::source(source)
+        } else {
+            TaintSet::bottom()
+        };
+        let value = SVal::Sym(sym);
+        state.store.bind(region.clone(), value.clone());
+        state.taints.set(region.clone(), taint.clone());
+        (value, taint)
+    }
+
+    fn is_secret_region(&self, region: &Region) -> bool {
+        self.secret_bases.iter().any(|base| region.is_within(base))
+    }
+
+    /// Resolves an identifier to its region (locals, then globals).
+    fn resolve_name(&mut self, state: &ExecState, name: &str) -> Region {
+        if let Some(region) = state.frame().lookup(name) {
+            return region.clone();
+        }
+        Region::Global {
+            name: name.to_string(),
+        }
+    }
+
+    /// Declares a fresh local in the innermost scope, uniquifying shadowed
+    /// names so store bindings never collide.
+    fn declare_local(&mut self, state: &mut ExecState, name: &str) -> Region {
+        let frame = state.frame();
+        let shadowed = frame.lookup(name).is_some();
+        let frame_id = frame.id;
+        let unique = if shadowed {
+            self.next_shadow += 1;
+            format!("{name}~{}", self.next_shadow)
+        } else {
+            name.to_string()
+        };
+        let region = Region::Var {
+            frame: frame_id,
+            name: unique,
+        };
+        state
+            .frame_mut()
+            .scopes
+            .last_mut()
+            .expect("frame has a scope")
+            .insert(name.to_string(), region.clone());
+        region
+    }
+
+    /// Turns a pointer value into the region it points at.
+    fn pointee_region(&mut self, ptr: &SVal) -> Option<Region> {
+        match ptr {
+            SVal::Loc(region) => Some(region.clone()),
+            SVal::Sym(sym) => Some(Region::Sym {
+                symbol: sym.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Pointer arithmetic: `ptr ± offset` in element units.
+    fn ptr_offset(&mut self, ptr: &SVal, offset: SVal, negate: bool) -> SVal {
+        let offset = if negate {
+            fold_unary(UnOp::Neg, offset)
+        } else {
+            offset
+        };
+        let Some(region) = self.pointee_region(ptr) else {
+            return SVal::Unknown;
+        };
+        let adjusted = match region {
+            Region::Element { base, index } => Region::Element {
+                base,
+                index: Box::new(simplify(&SVal::binary(BinOp::Add, *index, offset))),
+            },
+            other => Region::Element {
+                base: Box::new(other),
+                index: Box::new(simplify(&offset)),
+            },
+        };
+        SVal::Loc(adjusted)
+    }
+
+    // ---- expression evaluation -------------------------------------------
+
+    fn eval(&mut self, state: ExecState, expr: &Expr) -> EvalResults {
+        match &expr.kind {
+            ExprKind::IntLit(v) => vec![(state, SVal::Int(*v), TaintSet::bottom())],
+            ExprKind::CharLit(v) => vec![(state, SVal::Int(*v), TaintSet::bottom())],
+            ExprKind::FloatLit(v) => vec![(state, SVal::float(*v), TaintSet::bottom())],
+            ExprKind::StrLit(text) => vec![(
+                state,
+                SVal::Loc(Region::Str { text: text.clone() }),
+                TaintSet::bottom(),
+            )],
+            ExprKind::SizeofType(ty) => {
+                let size = self.size_of(ty);
+                vec![(state, size, TaintSet::bottom())]
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let size = inner
+                    .ty
+                    .as_ref()
+                    .map(|ty| self.size_of(ty))
+                    .unwrap_or(SVal::Unknown);
+                vec![(state, size, TaintSet::bottom())]
+            }
+            ExprKind::Ident(name) => {
+                let mut state = state;
+                let region = self.resolve_name(&state, name);
+                state.env.bind(expr.id, region.clone());
+                if matches!(expr.ty, Some(Type::Array(..))) {
+                    vec![(state, SVal::Loc(region), TaintSet::bottom())]
+                } else {
+                    let (value, taint) = self.read(&mut state, &region);
+                    vec![(state, value, taint)]
+                }
+            }
+            ExprKind::Unary { op, expr: inner } => self
+                .eval(state, inner)
+                .into_iter()
+                .map(|(st, v, t)| (st, fold_unary(*op, v), taint::unop(&t)))
+                .collect(),
+            ExprKind::Deref(_) | ExprKind::Index { .. } | ExprKind::Member { .. } => {
+                let array_result = matches!(expr.ty, Some(Type::Array(..)));
+                self.lvalue(state, expr)
+                    .into_iter()
+                    .map(|(mut st, region)| match region {
+                        Some(region) if array_result => (st, SVal::Loc(region), TaintSet::bottom()),
+                        Some(region) => {
+                            let (v, t) = self.read(&mut st, &region);
+                            (st, v, t)
+                        }
+                        None => (st, SVal::Unknown, TaintSet::bottom()),
+                    })
+                    .collect()
+            }
+            ExprKind::AddrOf(inner) => self
+                .lvalue(state, inner)
+                .into_iter()
+                .map(|(st, region)| match region {
+                    Some(region) => (st, SVal::Loc(region), TaintSet::bottom()),
+                    None => (st, SVal::Unknown, TaintSet::bottom()),
+                })
+                .collect(),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let mut out = Vec::new();
+                for (st, lv, lt) in self.eval(state, lhs) {
+                    for (st2, rv, rt) in self.eval(st, rhs) {
+                        let value = self.combine_binary(*op, &lv, rv, lhs, rhs);
+                        out.push((st2, value, taint::binop(&lt, &rt)));
+                    }
+                }
+                out
+            }
+            ExprKind::Assign { op, lhs, rhs } => self.eval_assign(state, *op, lhs, rhs),
+            ExprKind::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let mut out = Vec::new();
+                for (st, cv, ct) in self.eval(state, cond) {
+                    let cv = simplify(&cv);
+                    if let Some(c) = cv.as_int() {
+                        let chosen = if c != 0 { then_e } else { else_e };
+                        for (st2, v, t) in self.eval(st, chosen) {
+                            out.push((st2, v, taint::binop(&ct, &t)));
+                        }
+                    } else {
+                        // Evaluate both arms without forking; the result is
+                        // an uninterpreted selection tainted by everything.
+                        for (st2, tv, tt) in self.eval(st, then_e) {
+                            for (st3, ev, et) in self.eval(st2, else_e) {
+                                let value = SVal::Call {
+                                    func: "ite".into(),
+                                    args: vec![cv.clone(), tv.clone(), ev],
+                                };
+                                let taint = taint::binop(&ct, &taint::binop(&tt, &et));
+                                out.push((st3, value, taint));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            ExprKind::Call { callee, args } => self.eval_call(state, expr, callee, args),
+            ExprKind::Cast { expr: inner, ty } => self
+                .eval(state, inner)
+                .into_iter()
+                .map(|(st, v, t)| (st, cast_value(v, ty), t))
+                .collect(),
+            ExprKind::IncDec { op, expr: inner } => {
+                let delta = op.delta();
+                let is_post = op.is_post();
+                self.lvalue(state, inner)
+                    .into_iter()
+                    .map(|(mut st, region)| match region {
+                        Some(region) => {
+                            let (old, taint) = self.read(&mut st, &region);
+                            let new = if matches!(old, SVal::Loc(_)) {
+                                self.ptr_offset(&old, SVal::Int(delta.abs()), delta < 0)
+                            } else {
+                                simplify(&SVal::binary(BinOp::Add, old.clone(), SVal::Int(delta)))
+                            };
+                            st.write(region, new.clone(), taint.clone());
+                            let value = if is_post { old } else { new };
+                            (st, value, taint)
+                        }
+                        None => (st, SVal::Unknown, TaintSet::bottom()),
+                    })
+                    .collect()
+            }
+            ExprKind::Comma(lhs, rhs) => {
+                let mut out = Vec::new();
+                for (st, _, _) in self.eval(state, lhs) {
+                    out.extend(self.eval(st, rhs));
+                }
+                out
+            }
+        }
+    }
+
+    fn combine_binary(&mut self, op: BinOp, lv: &SVal, rv: SVal, lhs: &Expr, rhs: &Expr) -> SVal {
+        let lhs_ptr = lhs
+            .ty
+            .as_ref()
+            .map(|t| t.decay().is_pointer())
+            .unwrap_or(false);
+        let rhs_ptr = rhs
+            .ty
+            .as_ref()
+            .map(|t| t.decay().is_pointer())
+            .unwrap_or(false);
+        match (op, lhs_ptr, rhs_ptr) {
+            (BinOp::Add, true, false) => self.ptr_offset(lv, rv, false),
+            (BinOp::Add, false, true) => self.ptr_offset(&rv, lv.clone(), false),
+            (BinOp::Sub, true, false) => self.ptr_offset(lv, rv, true),
+            (BinOp::Sub, true, true) => {
+                // pointer difference: precise only for same-base elements
+                match (self.pointee_region(lv), self.pointee_region(&rv)) {
+                    (
+                        Some(Region::Element {
+                            base: b1,
+                            index: i1,
+                        }),
+                        Some(Region::Element {
+                            base: b2,
+                            index: i2,
+                        }),
+                    ) if b1 == b2 => simplify(&SVal::binary(BinOp::Sub, *i1, *i2)),
+                    (Some(r1), Some(r2)) if r1 == r2 => SVal::Int(0),
+                    _ => SVal::Unknown,
+                }
+            }
+            _ => simplify(&fold_binary(op, lv.clone(), rv)),
+        }
+    }
+
+    fn eval_assign(
+        &mut self,
+        state: ExecState,
+        op: Option<BinOp>,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> EvalResults {
+        let mut out = Vec::new();
+        for (st, region) in self.lvalue(state, lhs) {
+            for (mut st2, rv, rt) in self.eval(st, rhs) {
+                let Some(region) = region.clone() else {
+                    out.push((st2, rv, rt));
+                    continue;
+                };
+                let (value, taint) = match op {
+                    None => (rv, taint::assign(&rt)),
+                    Some(binop) => {
+                        let (old, ot) = self.read(&mut st2, &region);
+                        let value = if matches!(old, SVal::Loc(_)) {
+                            match binop {
+                                BinOp::Add => self.ptr_offset(&old, rv, false),
+                                BinOp::Sub => self.ptr_offset(&old, rv, true),
+                                _ => SVal::Unknown,
+                            }
+                        } else {
+                            simplify(&fold_binary(binop, old, rv))
+                        };
+                        (value, taint::binop(&ot, &rt))
+                    }
+                };
+                let value = self.summarize(value, &region_hint(&region));
+                st2.write(region, value.clone(), taint.clone());
+                out.push((st2, value, taint));
+            }
+        }
+        out
+    }
+
+    fn lvalue(&mut self, state: ExecState, expr: &Expr) -> LvalResults {
+        match &expr.kind {
+            ExprKind::Ident(name) => {
+                let mut state = state;
+                let region = self.resolve_name(&state, name);
+                state.env.bind(expr.id, region.clone());
+                vec![(state, Some(region))]
+            }
+            ExprKind::Deref(inner) => self
+                .eval(state, inner)
+                .into_iter()
+                .map(|(mut st, v, _)| {
+                    let region = self.pointee_region(&v);
+                    if let Some(region) = &region {
+                        st.env.bind(expr.id, region.clone());
+                    }
+                    (st, region)
+                })
+                .collect(),
+            ExprKind::Index { base, index } => {
+                let mut out = Vec::new();
+                for (st, bv, _) in self.eval(state, base) {
+                    for (mut st2, iv, _) in self.eval(st, index) {
+                        let ptr = self.ptr_offset(&bv, iv, false);
+                        let region = self.pointee_region(&ptr);
+                        if let Some(region) = &region {
+                            st2.env.bind(expr.id, region.clone());
+                        }
+                        out.push((st2, region));
+                    }
+                }
+                out
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let results: LvalResults = if *arrow {
+                    self.eval(state, base)
+                        .into_iter()
+                        .map(|(st, v, _)| {
+                            let region = self.pointee_region(&v);
+                            (st, region)
+                        })
+                        .collect()
+                } else {
+                    self.lvalue(state, base)
+                };
+                results
+                    .into_iter()
+                    .map(|(mut st, region)| {
+                        let region = region.map(|base| Region::Field {
+                            base: Box::new(base),
+                            field: field.clone(),
+                        });
+                        if let Some(region) = &region {
+                            st.env.bind(expr.id, region.clone());
+                        }
+                        (st, region)
+                    })
+                    .collect()
+            }
+            // Casts of lvalues, e.g. `*(int*)buf = …`, pass through.
+            ExprKind::Cast { expr: inner, .. } => self.lvalue(state, inner),
+            _ => vec![(state, None)],
+        }
+    }
+
+    fn size_of(&self, ty: &Type) -> SVal {
+        match ty {
+            Type::Struct(name) => minic::sema::struct_size(self.unit, name)
+                .map(|s| SVal::Int(s as i64))
+                .unwrap_or(SVal::Unknown),
+            Type::Array(inner, n) => match self.size_of(inner) {
+                SVal::Int(s) => SVal::Int(s * *n as i64),
+                _ => SVal::Unknown,
+            },
+            other => other
+                .size()
+                .map(|s| SVal::Int(s as i64))
+                .unwrap_or(SVal::Unknown),
+        }
+    }
+
+    // ---- calls -------------------------------------------------------------
+
+    fn eval_call(
+        &mut self,
+        state: ExecState,
+        expr: &Expr,
+        callee: &str,
+        args: &[Expr],
+    ) -> EvalResults {
+        // Evaluate arguments left to right, threading forks.
+        let mut evaluated: Vec<(ExecState, Vec<(SVal, TaintSet)>)> = vec![(state, Vec::new())];
+        for arg in args {
+            let mut next = Vec::new();
+            for (st, mut values) in evaluated {
+                let mut results = self.eval(st, arg).into_iter().peekable();
+                while let Some((st2, v, t)) = results.next() {
+                    let mut values = if results.peek().is_some() {
+                        values.clone()
+                    } else {
+                        std::mem::take(&mut values)
+                    };
+                    values.push((v, t));
+                    next.push((st2, values));
+                }
+            }
+            evaluated = next;
+        }
+
+        let mut out = Vec::new();
+        for (mut st, values) in evaluated {
+            // Sinks: every argument value escapes.
+            if self.config.sink_functions.contains(callee) {
+                for (i, (v, t)) in values.iter().enumerate() {
+                    let event = DeclassifyEvent {
+                        channel: Channel::SinkCall {
+                            func: callee.to_string(),
+                            arg: i,
+                        },
+                        value: v.clone(),
+                        taint: t.clone(),
+                        pi_taint: st.pi_taint.clone(),
+                        pi: st.path.to_string(),
+                        span: expr.span,
+                    };
+                    // Algorithm 1 checks at declassification time: keep a
+                    // global log so observations survive even when the
+                    // path itself is later dropped by a budget.
+                    self.event_log.push(event.clone());
+                    st.events.push(event);
+                }
+            }
+            // Sources: decrypt-like. The result is fresh secret data; the
+            // first pointer argument receives fresh secret plaintext (one
+            // source per element, like `get_secret`), and its whole block
+            // is marked secret so out-of-bound-of-the-model reads stay
+            // tainted.
+            if self.config.source_functions.contains(callee) {
+                if let Some(region) = values.first().and_then(|(v, _)| self.pointee_region(v)) {
+                    let len = values
+                        .get(2)
+                        .and_then(|(v, _)| v.as_int())
+                        .unwrap_or(8)
+                        .clamp(0, 64);
+                    for i in 0..len {
+                        let elem = element(&region, i);
+                        let hint = region_hint(&elem);
+                        let source = self.fresh_source(hint.clone());
+                        let sym = self.fresh_symbol(hint);
+                        self.source_symbols.insert(source.index(), sym.id);
+                        st.write(elem, SVal::Sym(sym), TaintSet::source(source));
+                    }
+                    self.secret_bases.insert(region);
+                }
+                let hint = format!("{callee}#out");
+                let source = self.fresh_source(hint.clone());
+                let sym = self.fresh_symbol(hint);
+                self.source_symbols.insert(source.index(), sym.id);
+                out.push((st, SVal::Sym(sym), TaintSet::source(source)));
+                continue;
+            }
+
+            out.extend(self.call_body_or_model(st, expr, callee, &values));
+        }
+        out
+    }
+
+    fn call_body_or_model(
+        &mut self,
+        state: ExecState,
+        expr: &Expr,
+        callee: &str,
+        values: &[(SVal, TaintSet)],
+    ) -> EvalResults {
+        let defined = self
+            .unit
+            .function(callee)
+            .filter(|f| f.body.is_some())
+            .cloned();
+        if let Some(func) = defined {
+            if state.frames.len() <= self.config.inline_depth {
+                return self.inline_call(state, &func, values);
+            }
+        }
+        vec![self.model_builtin(state, expr, callee, values)]
+    }
+
+    fn inline_call(
+        &mut self,
+        mut state: ExecState,
+        func: &Function,
+        values: &[(SVal, TaintSet)],
+    ) -> EvalResults {
+        let frame_id = self.next_frame;
+        self.next_frame += 1;
+        state.frames.push(Frame::new(frame_id, &func.name));
+        for (param, (value, taint)) in func.params.iter().zip(values) {
+            let region = Region::Var {
+                frame: frame_id,
+                name: param.name.clone(),
+            };
+            state
+                .frame_mut()
+                .scopes
+                .last_mut()
+                .expect("frame has a scope")
+                .insert(param.name.clone(), region.clone());
+            let value = self.summarize(value.clone(), &param.name);
+            state.write(region, value, taint.clone());
+        }
+        let body = func.body.as_ref().expect("definition");
+        self.exec_block(state, body)
+            .into_iter()
+            .map(|(mut st, flow)| {
+                st.frames.pop();
+                match flow {
+                    Flow::Return(Some((v, t))) => (st, v, t),
+                    _ => (st, SVal::Int(0), TaintSet::bottom()),
+                }
+            })
+            .collect()
+    }
+
+    fn model_builtin(
+        &mut self,
+        mut state: ExecState,
+        expr: &Expr,
+        callee: &str,
+        values: &[(SVal, TaintSet)],
+    ) -> (ExecState, SVal, TaintSet) {
+        match callee {
+            "memcpy" => {
+                let n = values.get(2).and_then(|(v, _)| v.as_int());
+                if let (Some((dst, _)), Some((src, _)), Some(n)) =
+                    (values.first(), values.get(1), n)
+                {
+                    let dst_r = self.pointee_region(dst);
+                    let src_r = self.pointee_region(src);
+                    if let (Some(dst_r), Some(src_r)) = (dst_r, src_r) {
+                        for i in 0..n.clamp(0, 64) {
+                            let from = element(&src_r, i);
+                            let to = element(&dst_r, i);
+                            let (v, t) = self.read(&mut state, &from);
+                            state.write(to, v, t);
+                        }
+                        let first = values[0].clone();
+                        return (state, first.0, TaintSet::bottom());
+                    }
+                }
+                (state, SVal::Unknown, join_all(values))
+            }
+            "memset" => {
+                let n = values.get(2).and_then(|(v, _)| v.as_int());
+                if let (Some((dst, _)), Some((byte, bt)), Some(n)) =
+                    (values.first(), values.get(1), n)
+                {
+                    if let Some(dst_r) = self.pointee_region(dst) {
+                        for i in 0..n.clamp(0, 64) {
+                            state.write(element(&dst_r, i), byte.clone(), bt.clone());
+                        }
+                        let first = values[0].clone();
+                        return (state, first.0, TaintSet::bottom());
+                    }
+                }
+                (state, SVal::Unknown, join_all(values))
+            }
+            "sgx_read_rand" => {
+                // Fills the buffer with fresh, non-secret symbols.
+                let n = values.get(1).and_then(|(v, _)| v.as_int()).unwrap_or(8);
+                if let Some(region) = values.first().and_then(|(v, _)| self.pointee_region(v)) {
+                    for i in 0..n.clamp(0, 64) {
+                        let sym = self.fresh_symbol(format!("rand[{i}]"));
+                        state.write(element(&region, i), SVal::Sym(sym), TaintSet::bottom());
+                    }
+                }
+                (state, SVal::Int(0), TaintSet::bottom())
+            }
+            "rand" => {
+                let sym = self.fresh_symbol("rand()");
+                (state, SVal::Sym(sym), TaintSet::bottom())
+            }
+            _ => {
+                // Uninterpreted pure call: sqrt(x), unknown prototypes, or
+                // too-deep recursion. Taint flows from every argument.
+                let _ = expr;
+                (
+                    state,
+                    SVal::Call {
+                        func: callee.to_string(),
+                        args: values.iter().map(|(v, _)| v.clone()).collect(),
+                    },
+                    join_all(values),
+                )
+            }
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn exec_block(&mut self, state: ExecState, stmts: &[Stmt]) -> StateFlows {
+        let mut flows: StateFlows = vec![(state, Flow::Normal)];
+        for stmt in stmts {
+            let mut next = Vec::new();
+            for (st, flow) in flows {
+                if flow == Flow::Normal {
+                    next.extend(self.exec(st, stmt));
+                } else {
+                    next.push((st, flow));
+                }
+            }
+            flows = next;
+        }
+        flows
+    }
+
+    fn exec(&mut self, mut state: ExecState, stmt: &Stmt) -> StateFlows {
+        state.steps += 1;
+        self.stats.steps += 1;
+        if state.steps > self.config.max_steps_per_path {
+            self.stats.dropped_steps += 1;
+            self.exhausted = true;
+            return Vec::new();
+        }
+        match &stmt.kind {
+            StmtKind::Decl(decl) => {
+                let region = self.declare_local(&mut state, &decl.name);
+                let mut states = vec![state];
+                if let Some(init) = &decl.init {
+                    states = states
+                        .into_iter()
+                        .flat_map(|st| self.exec_decl_init(st, &region, init, &decl.ty))
+                        .collect();
+                }
+                states
+                    .into_iter()
+                    .map(|st| {
+                        let st = self.snapshot(st, stmt.span);
+                        (st, Flow::Normal)
+                    })
+                    .collect()
+            }
+            StmtKind::Expr(None) => vec![(state, Flow::Normal)],
+            StmtKind::Expr(Some(expr)) => self
+                .eval(state, expr)
+                .into_iter()
+                .map(|(st, _, _)| {
+                    let st = self.snapshot(st, stmt.span);
+                    (st, Flow::Normal)
+                })
+                .collect(),
+            StmtKind::Block(stmts) => {
+                state.frame_mut().scopes.push(BTreeMap::new());
+                self.exec_block(state, stmts)
+                    .into_iter()
+                    .map(|(mut st, flow)| {
+                        st.frame_mut().scopes.pop();
+                        (st, flow)
+                    })
+                    .collect()
+            }
+            StmtKind::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let mut out = Vec::new();
+                for (st, cv, ct) in self.eval(state, cond) {
+                    let cv = simplify(&cv);
+                    for (branch, taken) in self.fork(st, &cv, &ct, cond.span) {
+                        if taken {
+                            out.extend(self.exec(branch, then_s));
+                        } else if let Some(else_s) = else_s {
+                            out.extend(self.exec(branch, else_s));
+                        } else {
+                            out.push((branch, Flow::Normal));
+                        }
+                    }
+                }
+                out
+            }
+            StmtKind::While { cond, body } => self.exec_loop(state, Some(cond), body, None, false),
+            StmtKind::DoWhile { body, cond } => self.exec_loop(state, Some(cond), body, None, true),
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                state.frame_mut().scopes.push(BTreeMap::new());
+                let initialized: StateFlows = match init {
+                    Some(init) => self.exec(state, init),
+                    None => vec![(state, Flow::Normal)],
+                };
+                let mut out = Vec::new();
+                for (st, flow) in initialized {
+                    if flow != Flow::Normal {
+                        out.push((st, flow));
+                        continue;
+                    }
+                    out.extend(self.exec_loop(st, cond.as_ref(), body, step.as_ref(), false));
+                }
+                out.into_iter()
+                    .map(|(mut st, flow)| {
+                        st.frame_mut().scopes.pop();
+                        (st, flow)
+                    })
+                    .collect()
+            }
+            StmtKind::Return(value) => match value {
+                None => vec![(state, Flow::Return(None))],
+                Some(expr) => self
+                    .eval(state, expr)
+                    .into_iter()
+                    .map(|(st, v, t)| {
+                        let st = self.snapshot(st, stmt.span);
+                        let v = self.summarize(simplify(&v), "return");
+                        (st, Flow::Return(Some((v, t))))
+                    })
+                    .collect(),
+            },
+            StmtKind::Break => vec![(state, Flow::Break)],
+            StmtKind::Continue => vec![(state, Flow::Continue)],
+        }
+    }
+
+    fn exec_decl_init(
+        &mut self,
+        state: ExecState,
+        region: &Region,
+        init: &Init,
+        ty: &Type,
+    ) -> Vec<ExecState> {
+        match init {
+            Init::Expr(expr) => self
+                .eval(state, expr)
+                .into_iter()
+                .map(|(mut st, v, t)| {
+                    let v = self.summarize(v, &region_hint(region));
+                    st.write(region.clone(), v, t);
+                    st
+                })
+                .collect(),
+            Init::List(items) => {
+                let mut states = vec![state];
+                match ty {
+                    Type::Array(elem, _) => {
+                        for (i, item) in items.iter().enumerate() {
+                            let sub = element(region, i as i64);
+                            states = states
+                                .into_iter()
+                                .flat_map(|st| self.exec_decl_init(st, &sub, item, elem))
+                                .collect();
+                        }
+                    }
+                    Type::Struct(name) => {
+                        let fields: Vec<_> = self
+                            .unit
+                            .struct_def(name)
+                            .map(|d| {
+                                d.fields
+                                    .iter()
+                                    .map(|f| (f.name.clone(), f.ty.clone()))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        for (item, (fname, fty)) in items.iter().zip(fields) {
+                            let sub = Region::Field {
+                                base: Box::new(region.clone()),
+                                field: fname,
+                            };
+                            states = states
+                                .into_iter()
+                                .flat_map(|st| self.exec_decl_init(st, &sub, item, &fty))
+                                .collect();
+                        }
+                    }
+                    _ => {}
+                }
+                states
+            }
+        }
+    }
+
+    fn fork(
+        &mut self,
+        state: ExecState,
+        cond: &SVal,
+        cond_taint: &TaintSet,
+        span: Span,
+    ) -> Vec<(ExecState, bool)> {
+        // Decide feasibility on cheap constraint clones first, then clone
+        // the (heavy) state only when both directions survive.
+        let feasible: Vec<bool> = [true, false]
+            .into_iter()
+            .map(|taken| state.constraints.clone().assume(cond, taken) == Feasibility::Feasible)
+            .collect();
+        self.stats.infeasible += feasible.iter().filter(|f| !**f).count();
+        let mut pending = Vec::new();
+        match (feasible[0], feasible[1]) {
+            (true, true) => {
+                pending.push((state.clone(), true));
+                pending.push((state, false));
+            }
+            (true, false) => pending.push((state, true)),
+            (false, true) => pending.push((state, false)),
+            (false, false) => {}
+        }
+        let mut out = Vec::new();
+        for (mut st, taken) in pending {
+            let feasibility = st.constraints.assume(cond, taken);
+            debug_assert_eq!(feasibility, Feasibility::Feasible);
+            if !cond.is_const() {
+                st.path.push(cond.clone(), taken);
+            }
+            st.pi_taint = taint::cond(cond_taint, &st.pi_taint);
+            let st = self.snapshot(st, span);
+            out.push((st, taken));
+        }
+        if out.len() == 2 {
+            // Bound the work, not just the harvest: once the fork count
+            // could already produce `max_paths` leaves, stop splitting.
+            if self.stats.forks >= self.config.max_paths.saturating_mul(4) {
+                self.exhausted = true;
+                out.truncate(1);
+            } else {
+                self.stats.forks += 1;
+            }
+        }
+        out
+    }
+
+    fn exec_loop(
+        &mut self,
+        state: ExecState,
+        cond: Option<&Expr>,
+        body: &Stmt,
+        step: Option<&Expr>,
+        body_first: bool,
+    ) -> StateFlows {
+        let write_mark = state.write_log.len();
+        let mut out: StateFlows = Vec::new();
+        // queue of (state, symbolic iterations, concrete iterations,
+        // condition already satisfied?)
+        let mut queue: Vec<(ExecState, usize, usize, bool)> = vec![(state, 0, 0, body_first)];
+
+        while let Some((st, sym_iter, conc_iter, skip_cond)) = queue.pop() {
+            // 1. Evaluate the continuation condition (unless do-while's
+            //    first body execution is pending). Track whether the guard
+            //    decided concretely (no real fork) — concrete iterations do
+            //    not cost path explosion and get a far larger budget.
+            let continuing: Vec<(ExecState, bool)> = if skip_cond {
+                vec![(st, true)]
+            } else {
+                match cond {
+                    None => vec![(st, true)], // for(;;)
+                    Some(cond_expr) => {
+                        let mut conts = Vec::new();
+                        for (cst, cv, ct) in self.eval(st, cond_expr) {
+                            let cv = simplify(&cv);
+                            let concrete = cv.is_const()
+                                || cst.constraints.clone().assume(&cv, true)
+                                    == Feasibility::Infeasible
+                                || cst.constraints.clone().assume(&cv, false)
+                                    == Feasibility::Infeasible;
+                            for (branch, taken) in self.fork(cst, &cv, &ct, cond_expr.span) {
+                                if taken {
+                                    conts.push((branch, concrete));
+                                } else {
+                                    out.push((branch, Flow::Normal));
+                                }
+                            }
+                        }
+                        conts
+                    }
+                }
+            };
+
+            // 2. Execute the body in each continuing state.
+            for (body_state, concrete) in continuing {
+                let over_budget = if concrete {
+                    conc_iter >= self.config.concrete_loop_limit
+                } else {
+                    sym_iter >= self.config.loop_bound
+                };
+                if over_budget {
+                    // Widen: havoc everything the loop wrote, then exit.
+                    let mut widened = body_state;
+                    self.widen(&mut widened, write_mark);
+                    self.stats.widenings += 1;
+                    out.push((widened, Flow::Normal));
+                    continue;
+                }
+                let (next_sym, next_conc) = if concrete {
+                    (sym_iter, conc_iter + 1)
+                } else {
+                    (sym_iter + 1, conc_iter)
+                };
+                for (after_body, flow) in self.exec(body_state, body) {
+                    match flow {
+                        Flow::Normal | Flow::Continue => {
+                            let stepped: Vec<ExecState> = match step {
+                                None => vec![after_body],
+                                Some(step_expr) => self
+                                    .eval(after_body, step_expr)
+                                    .into_iter()
+                                    .map(|(s, _, _)| s)
+                                    .collect(),
+                            };
+                            for s in stepped {
+                                queue.push((s, next_sym, next_conc, false));
+                            }
+                        }
+                        Flow::Break => out.push((after_body, Flow::Normal)),
+                        Flow::Return(v) => out.push((after_body, Flow::Return(v))),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Havoc-widening: every region written since `mark` is rebound to a
+    /// fresh symbol that keeps the region's (joined) taint, so bounded
+    /// unrolling stays sound for taint while guaranteeing termination.
+    fn widen(&mut self, state: &mut ExecState, mark: usize) {
+        let written: BTreeSet<Region> = state.write_log[mark.min(state.write_log.len())..]
+            .iter()
+            .cloned()
+            .collect();
+        for region in written {
+            let hint = format!("widened({})", region_hint(&region));
+            let sym = self.fresh_symbol(hint);
+            let taint = state.taint_of(&region);
+            state.store.bind(region.clone(), SVal::Sym(sym));
+            state.taints.set(region, taint);
+        }
+    }
+
+    fn snapshot(&mut self, mut state: ExecState, span: Span) -> ExecState {
+        if self.config.record_trace && state.frames.len() == 1 {
+            let text = self
+                .source
+                .map(|src| span.slice(src).to_string())
+                .unwrap_or_else(|| format!("<bytes {span}>"));
+            let step = TraceStep::capture(&text, &state, self.source.unwrap_or(""));
+            state.trace.push(step);
+        }
+        state
+    }
+}
+
+fn element(base: &Region, index: i64) -> Region {
+    Region::Element {
+        base: Box::new(base.clone()),
+        index: Box::new(SVal::Int(index)),
+    }
+}
+
+fn join_all(values: &[(SVal, TaintSet)]) -> TaintSet {
+    let mut out = TaintSet::bottom();
+    for (_, t) in values {
+        out.join_assign(t);
+    }
+    out
+}
+
+fn cast_value(value: SVal, ty: &Type) -> SVal {
+    match (&value, ty) {
+        (SVal::Float(f), t) if t.is_integer() => SVal::Int(f.0 as i64),
+        (SVal::Int(v), t) if t.is_float() => SVal::float(*v as f64),
+        (SVal::Int(v), Type::Char) => SVal::Int(*v as i8 as i64),
+        (SVal::Int(v), Type::Int) => SVal::Int(*v as i32 as i64),
+        // Symbolic values pass through casts unchanged (documented
+        // imprecision, identical to the paper's prototype).
+        _ => value,
+    }
+}
+
+/// Renders a region as a human-readable hint (`secrets[0]`, `p.x`).
+pub fn region_hint(region: &Region) -> String {
+    match region {
+        Region::Var { name, .. } => name.clone(),
+        Region::Global { name } => name.clone(),
+        Region::Sym { symbol } => symbol.hint.clone(),
+        Region::Element { base, index } => format!("{}[{index}]", region_hint(base)),
+        Region::Field { base, field } => format!("{}.{field}", region_hint(base)),
+        Region::Str { .. } => "str".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explore(src: &str, entry: &str, bindings: &[ParamBinding]) -> Exploration {
+        let unit = minic::parse(src).expect("parses");
+        Engine::new(&unit, EngineConfig::default())
+            .run(entry, bindings)
+            .expect("runs")
+    }
+
+    #[test]
+    fn straight_line_single_path() {
+        let ex = explore(
+            "int f(int a) { int b = a + 1; return b * 2; }",
+            "f",
+            &[ParamBinding::Scalar],
+        );
+        assert_eq!(ex.paths.len(), 1);
+        let (value, _) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(value.to_string(), "(($a + 1) * 2)");
+    }
+
+    #[test]
+    fn branch_forks_two_paths() {
+        let ex = explore(
+            "int f(int a) { if (a > 0) return 1; return 0; }",
+            "f",
+            &[ParamBinding::Scalar],
+        );
+        assert_eq!(ex.paths.len(), 2);
+        let returns: BTreeSet<String> = ex
+            .paths
+            .iter()
+            .map(|p| p.return_value.as_ref().unwrap().0.to_string())
+            .collect();
+        assert_eq!(returns, ["0", "1"].iter().map(|s| s.to_string()).collect());
+    }
+
+    #[test]
+    fn infeasible_branch_is_pruned() {
+        let ex = explore(
+            "int f(int a) { if (a > 10) { if (a < 5) return 99; return 1; } return 0; }",
+            "f",
+            &[ParamBinding::Scalar],
+        );
+        let returns: Vec<String> = ex
+            .paths
+            .iter()
+            .map(|p| p.return_value.as_ref().unwrap().0.to_string())
+            .collect();
+        assert!(!returns.contains(&"99".to_string()));
+        assert_eq!(ex.paths.len(), 2);
+        assert!(ex.stats.infeasible >= 1);
+    }
+
+    #[test]
+    fn concrete_condition_does_not_fork() {
+        let ex = explore(
+            "int f() { int a = 3; if (a > 1) return 1; return 0; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ex.paths.len(), 1);
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(1));
+    }
+
+    #[test]
+    fn secret_scalar_taints_return() {
+        let ex = explore(
+            "int f(int h) { return h + 4; }",
+            "f",
+            &[ParamBinding::SecretScalar],
+        );
+        let (value, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(value.to_string(), "($h + 4)");
+        assert!(taint.is_reversible());
+    }
+
+    #[test]
+    fn two_secrets_mix_to_top() {
+        let ex = explore(
+            "int f(int h1, int h2) { return h1 + 4 + h2; }",
+            "f",
+            &[ParamBinding::SecretScalar, ParamBinding::SecretScalar],
+        );
+        let (_, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(taint.label(), taint::Label::Top);
+    }
+
+    #[test]
+    fn secret_pointer_elements_mint_distinct_sources() {
+        let ex = explore(
+            "int f(char *s) { return s[0] + s[1]; }",
+            "f",
+            &[ParamBinding::SecretPointer],
+        );
+        let (_, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(taint.len(), 2);
+        assert_eq!(ex.secret_sources.len(), 2);
+        let names: Vec<&str> = ex.secret_sources.values().map(|s| s.as_str()).collect();
+        assert!(names.contains(&"s[0]") && names.contains(&"s[1]"));
+    }
+
+    #[test]
+    fn same_element_read_twice_is_same_source() {
+        let ex = explore(
+            "int f(char *s) { return s[0] + s[0]; }",
+            "f",
+            &[ParamBinding::SecretPointer],
+        );
+        let (_, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(taint.len(), 1);
+    }
+
+    #[test]
+    fn out_pointer_writes_are_visible_in_store() {
+        let ex = explore(
+            "void f(char *s, char *out) { out[0] = s[0] + 100; }",
+            "f",
+            &[ParamBinding::SecretPointer, ParamBinding::OutPointer],
+        );
+        assert_eq!(ex.out_bases.len(), 1);
+        let (_, base) = &ex.out_bases[0];
+        let st = &ex.paths[0].state;
+        let writes: Vec<_> = st.store.regions_within(base).collect();
+        assert_eq!(writes.len(), 1);
+        let (region, value) = writes[0];
+        assert!(st.taints.get(region).is_reversible());
+        assert!(value.to_string().contains("s[0]"));
+    }
+
+    #[test]
+    fn branch_on_secret_taints_pi() {
+        let ex = explore(
+            "int f(int h) { if (h == 19) return 0; return 1; }",
+            "f",
+            &[ParamBinding::SecretScalar],
+        );
+        assert_eq!(ex.paths.len(), 2);
+        for path in &ex.paths {
+            assert!(path.state.pi_taint.is_reversible());
+        }
+    }
+
+    #[test]
+    fn loops_are_bounded_and_widen() {
+        let ex = explore(
+            "int f(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+            "f",
+            &[ParamBinding::Scalar],
+        );
+        assert!(!ex.paths.is_empty());
+        assert!(ex.stats.widenings >= 1);
+        // the widened return is a fresh symbol, not a concrete sum
+        let widened = ex.paths.iter().any(|p| {
+            p.return_value
+                .as_ref()
+                .unwrap()
+                .0
+                .to_string()
+                .contains("widened")
+        });
+        assert!(widened);
+    }
+
+    #[test]
+    fn concrete_loop_unrolls_exactly() {
+        let ex = explore(
+            "int f() { int s = 0; for (int i = 0; i < 3; i++) s += 2; return s; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ex.paths.len(), 1);
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(6));
+    }
+
+    #[test]
+    fn taint_survives_widening() {
+        let ex = explore(
+            "int f(char *s, int n) { int acc = 0; int i = 0; while (i < n) { acc = acc + s[0]; i++; } return acc; }",
+            "f",
+            &[ParamBinding::SecretPointer, ParamBinding::Scalar],
+        );
+        // at least one path returns a secret-tainted accumulator
+        assert!(ex
+            .paths
+            .iter()
+            .any(|p| p.return_value.as_ref().unwrap().1.is_tainted()));
+    }
+
+    #[test]
+    fn calls_are_inlined() {
+        let ex = explore(
+            "int dbl(int x) { return 2 * x; }\nint f(int h) { return dbl(h); }",
+            "f",
+            &[ParamBinding::SecretScalar],
+        );
+        let (value, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(value.to_string(), "(2 * $h)");
+        assert!(taint.is_reversible());
+    }
+
+    #[test]
+    fn callee_branches_fork_caller_paths() {
+        let ex = explore(
+            "int sgn(int x) { if (x < 0) return -1; return 1; }\nint f(int a) { return sgn(a); }",
+            "f",
+            &[ParamBinding::Scalar],
+        );
+        assert_eq!(ex.paths.len(), 2);
+    }
+
+    #[test]
+    fn recursion_beyond_depth_is_uninterpreted() {
+        let src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }\nint f(int n) { return fact(n); }";
+        let unit = minic::parse(src).unwrap();
+        let config = EngineConfig {
+            inline_depth: 3,
+            ..EngineConfig::default()
+        };
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+        assert!(!ex.paths.is_empty());
+        assert!(ex.paths.iter().any(|p| p
+            .return_value
+            .as_ref()
+            .unwrap()
+            .0
+            .to_string()
+            .contains("fact")));
+    }
+
+    #[test]
+    fn uninterpreted_builtins_carry_taint() {
+        let ex = explore(
+            "double f(double h) { return sqrt(h); }",
+            "f",
+            &[ParamBinding::SecretScalar],
+        );
+        let (value, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert_eq!(value.to_string(), "sqrt($h)");
+        assert!(taint.is_reversible());
+    }
+
+    #[test]
+    fn sink_function_records_events() {
+        let src = "void send(int v);\nvoid f(int h) { send(h * 2); }";
+        let unit = minic::parse(src).unwrap();
+        let mut config = EngineConfig::default();
+        config.sink_functions.insert("send".into());
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::SecretScalar])
+            .unwrap();
+        let events = &ex.paths[0].state.events;
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].channel, Channel::SinkCall { .. }));
+        assert!(events[0].taint.is_reversible());
+    }
+
+    #[test]
+    fn source_function_mints_secret() {
+        let src = "int ipp_aes_decrypt(char *dst, char *src, int n);\nint f(char *buf) { int k = ipp_aes_decrypt(buf, buf, 4); return k; }";
+        let unit = minic::parse(src).unwrap();
+        let mut config = EngineConfig::default();
+        config.source_functions.insert("ipp_aes_decrypt".into());
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Pointer])
+            .unwrap();
+        let (_, taint) = ex.paths[0].return_value.as_ref().unwrap();
+        assert!(taint.is_reversible());
+    }
+
+    #[test]
+    fn struct_fields_are_separate_regions() {
+        let ex = explore(
+            "struct p { int x; int y; };\nint f(struct p *q) { q->x = 1; q->y = 2; return q->x + q->y; }",
+            "f",
+            &[ParamBinding::Pointer],
+        );
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(3));
+    }
+
+    #[test]
+    fn arrays_and_pointer_arithmetic_agree() {
+        let ex = explore(
+            "int f() { int xs[3]; xs[0] = 7; *(xs + 1) = 8; return xs[0] + xs[1]; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(15));
+    }
+
+    #[test]
+    fn binding_errors() {
+        let unit = minic::parse("int f(int a) { return a; }").unwrap();
+        let engine = Engine::new(&unit, EngineConfig::default());
+        assert!(matches!(
+            engine.run("g", &[]),
+            Err(EngineError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            engine.run("f", &[]),
+            Err(EngineError::BindingArity { .. })
+        ));
+        assert!(matches!(
+            engine.run("f", &[ParamBinding::Pointer]),
+            Err(EngineError::BindingType { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_records_listing1_shape() {
+        let src = "int enclave_process_data(char *secrets, char *output) {\n    int temporary = secrets[0] + 100;\n    output[0] = temporary + 1;\n    if (secrets[1] == 0)\n        return 0;\n    else\n        return 1;\n}";
+        let unit = minic::parse(src).unwrap();
+        let config = EngineConfig {
+            record_trace: true,
+            ..EngineConfig::default()
+        };
+        let ex = Engine::new(&unit, config)
+            .with_source(src)
+            .run(
+                "enclave_process_data",
+                &[ParamBinding::SecretPointer, ParamBinding::OutPointer],
+            )
+            .unwrap();
+        assert_eq!(ex.paths.len(), 2);
+        let traces = ex.traces();
+        assert!(traces.iter().all(|t| !t.is_empty()));
+        let rendered = crate::trace::render_table(&traces);
+        assert!(rendered.contains("secrets[0]"));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let ex = explore(
+            "int f() { int s = 0; for (int i = 0; i < 10; i++) { if (i == 2) continue; if (i == 4) break; s += i; } return s; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ex.paths.len(), 1);
+        // 0 + 1 + 3 = 4
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(4));
+    }
+
+    #[test]
+    fn do_while_executes_body_first() {
+        let ex = explore(
+            "int f() { int i = 10; int c = 0; do { c++; i++; } while (i < 5); return c; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(1));
+    }
+
+    #[test]
+    fn memcpy_copies_values_and_taint() {
+        let ex = explore(
+            "void f(char *s, char *out) { char tmp[4]; memcpy(tmp, s, 2); out[0] = tmp[0]; }",
+            "f",
+            &[ParamBinding::SecretPointer, ParamBinding::OutPointer],
+        );
+        let (_, base) = &ex.out_bases[0];
+        let st = &ex.paths[0].state;
+        let (region, _) = st.store.regions_within(base).next().expect("a write");
+        assert!(st.taints.get(region).is_reversible());
+    }
+
+    #[test]
+    fn ternary_on_secret_taints_result() {
+        let ex = explore(
+            "int f(int h) { int r = h > 0 ? 1 : 0; return r; }",
+            "f",
+            &[ParamBinding::SecretScalar],
+        );
+        assert!(ex.paths[0].return_value.as_ref().unwrap().1.is_tainted());
+    }
+
+    #[test]
+    fn global_initializers_are_applied() {
+        let ex = explore("int limit = 41;\nint f() { return limit + 1; }", "f", &[]);
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(42));
+    }
+
+    #[test]
+    fn shadowed_locals_do_not_collide() {
+        let ex = explore(
+            "int f() { int x = 1; { int x = 2; x = x + 1; } return x; }",
+            "f",
+            &[],
+        );
+        assert_eq!(ex.paths[0].return_value.as_ref().unwrap().0, SVal::Int(1));
+    }
+
+    #[test]
+    fn incdec_forms() {
+        let ex = explore(
+            "int f() { int i = 5; int a = i++; int b = ++i; int c = i--; int d = --i; return a * 1000 + b * 100 + c * 10 + d; }",
+            "f",
+            &[],
+        );
+        // a=5, b=7, c=7, d=5
+        assert_eq!(
+            ex.paths[0].return_value.as_ref().unwrap().0,
+            SVal::Int(5 * 1000 + 7 * 100 + 7 * 10 + 5)
+        );
+    }
+
+    #[test]
+    fn path_budget_truncates() {
+        // 2^12 paths from 12 independent bit tests (the range-based
+        // constraint manager cannot correlate them); budget of 16.
+        let mut body = String::from("int f(int a) { int s = 0;\n");
+        for i in 0..12 {
+            body.push_str(&format!("if ((a >> {i}) & 1) s += 1;\n"));
+        }
+        body.push_str("return s; }");
+        let unit = minic::parse(&body).unwrap();
+        let config = EngineConfig {
+            max_paths: 16,
+            ..EngineConfig::default()
+        };
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+        assert!(ex.exhausted);
+        assert_eq!(ex.paths.len(), 16);
+    }
+}

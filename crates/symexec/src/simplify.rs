@@ -1,0 +1,300 @@
+//! Symbolic expression simplification: constant folding and algebraic
+//! identities.
+//!
+//! The simplifier is *sound* with respect to the concrete semantics in
+//! [`crate::concrete`]: for every full assignment of the symbols,
+//! `eval(simplify(e)) == eval(e)` — a property the test suite checks with
+//! random expressions.
+
+use minic::ast::{BinOp, UnOp};
+
+use crate::value::{OrderedF64, SVal};
+
+/// Simplifies an expression tree bottom-up.
+pub fn simplify(sval: &SVal) -> SVal {
+    match sval {
+        SVal::Binary { op, lhs, rhs } => {
+            let lhs = simplify(lhs);
+            let rhs = simplify(rhs);
+            fold_binary(*op, lhs, rhs)
+        }
+        SVal::Unary { op, arg } => {
+            let arg = simplify(arg);
+            fold_unary(*op, arg)
+        }
+        SVal::Call { func, args } => SVal::Call {
+            func: func.clone(),
+            args: args.iter().map(simplify).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Folds a binary node whose children are already simplified.
+pub fn fold_binary(op: BinOp, lhs: SVal, rhs: SVal) -> SVal {
+    // Constant folding.
+    if let (Some(result), true) = (
+        fold_const_binary(op, &lhs, &rhs),
+        lhs.is_const() && rhs.is_const(),
+    ) {
+        return result;
+    }
+
+    // Algebraic identities (integer-safe ones only).
+    match (op, &lhs, &rhs) {
+        // x + 0, 0 + x, x - 0
+        (BinOp::Add, x, SVal::Int(0)) | (BinOp::Add, SVal::Int(0), x) => return x.clone(),
+        (BinOp::Sub, x, SVal::Int(0)) => return x.clone(),
+        // x * 1, 1 * x
+        (BinOp::Mul, x, SVal::Int(1)) | (BinOp::Mul, SVal::Int(1), x) => return x.clone(),
+        // x * 0, 0 * x — only when x is pure (no Unknown; division by zero
+        // inside x would already have collapsed to Unknown).
+        (BinOp::Mul, x, SVal::Int(0)) | (BinOp::Mul, SVal::Int(0), x) if !x.has_unknown() => {
+            return SVal::Int(0);
+        }
+        // x / 1
+        (BinOp::Div, x, SVal::Int(1)) => return x.clone(),
+        // x - x, x ^ x (pure x)
+        (BinOp::Sub, x, y) | (BinOp::BitXor, x, y) if x == y && !x.has_unknown() => {
+            return SVal::Int(0)
+        }
+        // x == x, x <= x, x >= x (pure x)
+        (BinOp::Eq, x, y) | (BinOp::Le, x, y) | (BinOp::Ge, x, y) if x == y && !x.has_unknown() => {
+            return SVal::Int(1)
+        }
+        // x != x, x < x, x > x (pure x)
+        (BinOp::Ne, x, y) | (BinOp::Lt, x, y) | (BinOp::Gt, x, y) if x == y && !x.has_unknown() => {
+            return SVal::Int(0)
+        }
+        // logical identities
+        (BinOp::LogAnd, SVal::Int(0), _) | (BinOp::LogAnd, _, SVal::Int(0)) => return SVal::Int(0),
+        (BinOp::LogOr, x, _) | (BinOp::LogOr, _, x) if matches!(x, SVal::Int(v) if *v != 0) => {
+            return SVal::Int(1)
+        }
+        _ => {}
+    }
+
+    // Re-associate constants: (x + a) + b → x + (a+b); (x - a) + b, etc.
+    if let (
+        BinOp::Add | BinOp::Sub,
+        SVal::Binary {
+            op: inner_op,
+            lhs: il,
+            rhs: ir,
+        },
+        SVal::Int(b),
+    ) = (op, &lhs, &rhs)
+    {
+        if let (BinOp::Add | BinOp::Sub, SVal::Int(a)) = (*inner_op, ir.as_ref()) {
+            if *a == i64::MIN || *b == i64::MIN {
+                return SVal::binary(op, lhs.clone(), rhs.clone());
+            }
+            let a = if *inner_op == BinOp::Sub { -a } else { *a };
+            let b = if op == BinOp::Sub { -b } else { *b };
+            if let Some(sum) = a.checked_add(b).filter(|s| *s != i64::MIN) {
+                return match sum.cmp(&0) {
+                    std::cmp::Ordering::Equal => il.as_ref().clone(),
+                    std::cmp::Ordering::Greater => {
+                        SVal::binary(BinOp::Add, il.as_ref().clone(), SVal::Int(sum))
+                    }
+                    std::cmp::Ordering::Less => {
+                        SVal::binary(BinOp::Sub, il.as_ref().clone(), SVal::Int(-sum))
+                    }
+                };
+            }
+        }
+    }
+
+    SVal::binary(op, lhs, rhs)
+}
+
+/// Folds a unary node whose child is already simplified.
+pub fn fold_unary(op: UnOp, arg: SVal) -> SVal {
+    match (&op, &arg) {
+        (UnOp::Plus, x) => return x.clone(),
+        (UnOp::Neg, SVal::Int(v)) => return SVal::Int(v.wrapping_neg()),
+        (UnOp::Neg, SVal::Float(v)) => return SVal::Float(OrderedF64(-v.0)),
+        (UnOp::Not, SVal::Int(v)) => return SVal::Int(i64::from(*v == 0)),
+        (UnOp::Not, SVal::Float(v)) => return SVal::Int(i64::from(v.0 == 0.0)),
+        (UnOp::BitNot, SVal::Int(v)) => return SVal::Int(!v),
+        // --x → x ; !!x is NOT x in C (it is normalization to 0/1), skip.
+        (UnOp::Neg, SVal::Unary { op: UnOp::Neg, arg }) => return arg.as_ref().clone(),
+        _ => {}
+    }
+    SVal::unary(op, arg)
+}
+
+fn fold_const_binary(op: BinOp, lhs: &SVal, rhs: &SVal) -> Option<SVal> {
+    match (lhs, rhs) {
+        (SVal::Int(a), SVal::Int(b)) => fold_ints(op, *a, *b),
+        (SVal::Float(a), SVal::Float(b)) => Some(fold_floats(op, a.0, b.0)),
+        (SVal::Int(a), SVal::Float(b)) => Some(fold_floats(op, *a as f64, b.0)),
+        (SVal::Float(a), SVal::Int(b)) => Some(fold_floats(op, a.0, *b as f64)),
+        _ => None,
+    }
+}
+
+/// Integer semantics: wrapping two's-complement arithmetic; division by
+/// zero yields [`SVal::Unknown`] (the engine treats it as an unconstrained
+/// result rather than a crash, like Clang SA's undefined-value).
+pub fn fold_ints(op: BinOp, a: i64, b: i64) -> Option<SVal> {
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Some(SVal::Unknown);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Some(SVal::Unknown);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::BitAnd => a & b,
+        BinOp::BitXor => a ^ b,
+        BinOp::BitOr => a | b,
+        BinOp::LogAnd => i64::from(a != 0 && b != 0),
+        BinOp::LogOr => i64::from(a != 0 || b != 0),
+    };
+    Some(SVal::Int(v))
+}
+
+fn fold_floats(op: BinOp, a: f64, b: f64) -> SVal {
+    match op {
+        BinOp::Add => SVal::float(a + b),
+        BinOp::Sub => SVal::float(a - b),
+        BinOp::Mul => SVal::float(a * b),
+        BinOp::Div => SVal::float(a / b),
+        BinOp::Rem => SVal::float(a % b),
+        BinOp::Lt => SVal::Int(i64::from(a < b)),
+        BinOp::Le => SVal::Int(i64::from(a <= b)),
+        BinOp::Gt => SVal::Int(i64::from(a > b)),
+        BinOp::Ge => SVal::Int(i64::from(a >= b)),
+        BinOp::Eq => SVal::Int(i64::from(a == b)),
+        BinOp::Ne => SVal::Int(i64::from(a != b)),
+        BinOp::LogAnd => SVal::Int(i64::from(a != 0.0 && b != 0.0)),
+        BinOp::LogOr => SVal::Int(i64::from(a != 0.0 || b != 0.0)),
+        // Bit operations on floats do not occur (sema rejects them); be
+        // conservative if they somehow do.
+        BinOp::Shl | BinOp::Shr | BinOp::BitAnd | BinOp::BitXor | BinOp::BitOr => SVal::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Symbol;
+
+    fn x() -> SVal {
+        SVal::Sym(Symbol::new(1, "x"))
+    }
+
+    #[test]
+    fn folds_constants() {
+        let e = SVal::binary(BinOp::Add, SVal::Int(2), SVal::Int(3));
+        assert_eq!(simplify(&e), SVal::Int(5));
+        let e = SVal::binary(BinOp::Lt, SVal::Int(2), SVal::Int(3));
+        assert_eq!(simplify(&e), SVal::Int(1));
+    }
+
+    #[test]
+    fn folds_mixed_int_float() {
+        let e = SVal::binary(BinOp::Mul, SVal::Int(2), SVal::float(1.5));
+        assert_eq!(simplify(&e), SVal::float(3.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_unknown() {
+        let e = SVal::binary(BinOp::Div, SVal::Int(2), SVal::Int(0));
+        assert_eq!(simplify(&e), SVal::Unknown);
+        let e = SVal::binary(BinOp::Rem, SVal::Int(2), SVal::Int(0));
+        assert_eq!(simplify(&e), SVal::Unknown);
+    }
+
+    #[test]
+    fn identity_elimination() {
+        assert_eq!(simplify(&SVal::binary(BinOp::Add, x(), SVal::Int(0))), x());
+        assert_eq!(simplify(&SVal::binary(BinOp::Mul, SVal::Int(1), x())), x());
+        assert_eq!(
+            simplify(&SVal::binary(BinOp::Mul, x(), SVal::Int(0))),
+            SVal::Int(0)
+        );
+        assert_eq!(simplify(&SVal::binary(BinOp::Sub, x(), x())), SVal::Int(0));
+        assert_eq!(simplify(&SVal::binary(BinOp::Eq, x(), x())), SVal::Int(1));
+        assert_eq!(simplify(&SVal::binary(BinOp::Ne, x(), x())), SVal::Int(0));
+    }
+
+    #[test]
+    fn short_circuit_identities() {
+        let e = SVal::binary(BinOp::LogAnd, SVal::Int(0), x());
+        assert_eq!(simplify(&e), SVal::Int(0));
+        let e = SVal::binary(BinOp::LogOr, SVal::Int(7), x());
+        assert_eq!(simplify(&e), SVal::Int(1));
+    }
+
+    #[test]
+    fn reassociates_added_constants() {
+        // (x + 3) + 4 → x + 7
+        let e = SVal::binary(
+            BinOp::Add,
+            SVal::binary(BinOp::Add, x(), SVal::Int(3)),
+            SVal::Int(4),
+        );
+        assert_eq!(simplify(&e), SVal::binary(BinOp::Add, x(), SVal::Int(7)));
+        // (x - 5) + 5 → x
+        let e = SVal::binary(
+            BinOp::Add,
+            SVal::binary(BinOp::Sub, x(), SVal::Int(5)),
+            SVal::Int(5),
+        );
+        assert_eq!(simplify(&e), x());
+        // (x + 2) - 5 → x - 3
+        let e = SVal::binary(
+            BinOp::Sub,
+            SVal::binary(BinOp::Add, x(), SVal::Int(2)),
+            SVal::Int(5),
+        );
+        assert_eq!(simplify(&e), SVal::binary(BinOp::Sub, x(), SVal::Int(3)));
+    }
+
+    #[test]
+    fn unary_folding() {
+        assert_eq!(
+            simplify(&SVal::unary(UnOp::Neg, SVal::Int(4))),
+            SVal::Int(-4)
+        );
+        assert_eq!(
+            simplify(&SVal::unary(UnOp::Not, SVal::Int(0))),
+            SVal::Int(1)
+        );
+        assert_eq!(
+            simplify(&SVal::unary(UnOp::Neg, SVal::unary(UnOp::Neg, x()))),
+            x()
+        );
+        assert_eq!(simplify(&SVal::unary(UnOp::Plus, x())), x());
+    }
+
+    #[test]
+    fn zero_times_unknown_is_not_folded() {
+        let e = SVal::binary(BinOp::Mul, SVal::Unknown, SVal::Int(0));
+        assert!(simplify(&e).has_unknown());
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let e = SVal::binary(BinOp::Add, SVal::Int(i64::MAX), SVal::Int(1));
+        assert_eq!(simplify(&e), SVal::Int(i64::MIN));
+    }
+}

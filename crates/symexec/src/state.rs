@@ -1,0 +1,322 @@
+//! The per-path execution state: environment, store, path condition, taint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use minic::ast::ExprId;
+use serde::{Deserialize, Serialize};
+use taint::{TaintMap, TaintSet};
+
+use crate::constraints::ConstraintManager;
+use crate::path::PathCondition;
+use crate::value::{Region, SVal};
+
+/// The environment: maps lvalue expressions (by [`ExprId`]) to the memory
+/// region they currently denote (§VI-B).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    bindings: BTreeMap<ExprId, Region>,
+}
+
+impl Environment {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// Records that expression `id` denotes `region`.
+    pub fn bind(&mut self, id: ExprId, region: Region) {
+        self.bindings.insert(id, region);
+    }
+
+    /// The region an expression denotes, if recorded.
+    pub fn region_of(&self, id: ExprId) -> Option<&Region> {
+        self.bindings.get(&id)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates bindings in expression-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ExprId, &Region)> {
+        self.bindings.iter()
+    }
+}
+
+/// The store σ: maps regions to symbolic values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Store {
+    bindings: BTreeMap<Region, SVal>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Binds `region` to `value`, returning the previous binding.
+    pub fn bind(&mut self, region: Region, value: SVal) -> Option<SVal> {
+        self.bindings.insert(region, value)
+    }
+
+    /// The value bound to `region`.
+    pub fn lookup(&self, region: &Region) -> Option<&SVal> {
+        self.bindings.get(region)
+    }
+
+    /// Removes a binding.
+    pub fn unbind(&mut self, region: &Region) -> Option<SVal> {
+        self.bindings.remove(region)
+    }
+
+    /// Iterates bindings in region order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Region, &SVal)> {
+        self.bindings.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// All regions lying within `base` (itself included) that have bindings.
+    pub fn regions_within<'a>(
+        &'a self,
+        base: &'a Region,
+    ) -> impl Iterator<Item = (&'a Region, &'a SVal)> {
+        self.bindings.iter().filter(|(r, _)| r.is_within(base))
+    }
+}
+
+impl fmt::Display for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (region, value)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{region} ↦ {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Where a declassified value escaped the enclave.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Channel {
+    /// The entry function's return value (observable by the host).
+    Return,
+    /// A write into an `[out]`-marked buffer (read back by the host).
+    OutParam {
+        /// The region written.
+        region: Region,
+    },
+    /// An argument passed to a configured sink function (e.g. an OCALL).
+    SinkCall {
+        /// Sink function name.
+        func: String,
+        /// Zero-based argument index.
+        arg: usize,
+    },
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Channel::Return => write!(f, "return value"),
+            Channel::OutParam { region } => write!(f, "[out] write to {region}"),
+            Channel::SinkCall { func, arg } => write!(f, "argument {arg} of `{func}`"),
+        }
+    }
+}
+
+/// A declassification event: a value crossed the enclave boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeclassifyEvent {
+    /// Through which channel.
+    pub channel: Channel,
+    /// The value that escaped.
+    pub value: SVal,
+    /// The value's taint at that moment.
+    pub taint: TaintSet,
+    /// The taint of the path condition π at that moment (implicit flows).
+    pub pi_taint: TaintSet,
+    /// The rendered path condition π at that moment.
+    pub pi: String,
+    /// Source span of the statement responsible.
+    pub span: minic::Span,
+}
+
+/// One call frame of the interpreted program (the entry function is frame
+/// 0; inlined callees push further frames).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Unique frame id within the exploration (keys [`Region::Var`]).
+    pub id: u32,
+    /// The function this frame executes.
+    pub func: String,
+    /// Lexical scopes, innermost last; each maps a source name to the
+    /// region chosen for it at declaration (shadowing-safe).
+    pub scopes: Vec<BTreeMap<String, Region>>,
+}
+
+impl Frame {
+    /// Creates a frame with one empty scope.
+    pub fn new(id: u32, func: impl Into<String>) -> Self {
+        Frame {
+            id,
+            func: func.into(),
+            scopes: vec![BTreeMap::new()],
+        }
+    }
+
+    /// Resolves a name through the scope chain.
+    pub fn lookup(&self, name: &str) -> Option<&Region> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+/// One complete symbolic execution state (a path being explored).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecState {
+    /// The environment (lvalue expression → region).
+    pub env: Environment,
+    /// The store σ (region → symbolic value).
+    pub store: Store,
+    /// The path condition π.
+    pub path: PathCondition,
+    /// Range constraints backing feasibility checks for π.
+    pub constraints: ConstraintManager,
+    /// Taint of each region (τΔ restricted to memory).
+    pub taints: TaintMap<Region>,
+    /// Taint of the path condition (τΔ\[π\] in the paper's semantics).
+    pub pi_taint: TaintSet,
+    /// Declassification events recorded on this path so far.
+    pub events: Vec<DeclassifyEvent>,
+    /// Every region written on this path, in order (drives loop widening).
+    pub write_log: Vec<Region>,
+    /// Statements interpreted so far (budget accounting).
+    pub steps: usize,
+    /// The call stack (frame 0 = entry function).
+    pub frames: Vec<Frame>,
+    /// Recorded state snapshots (when tracing is enabled).
+    pub trace: Vec<crate::trace::TraceStep>,
+}
+
+impl ExecState {
+    /// Creates a pristine state.
+    pub fn new() -> Self {
+        ExecState::default()
+    }
+
+    /// The innermost call frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame has been pushed (engine misuse).
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("at least one frame")
+    }
+
+    /// The innermost call frame, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame has been pushed (engine misuse).
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("at least one frame")
+    }
+
+    /// Binds a region to a value with taint, recording the write.
+    pub fn write(&mut self, region: Region, value: SVal, taint: TaintSet) {
+        self.write_log.push(region.clone());
+        self.taints.set(region.clone(), taint);
+        self.store.bind(region, value);
+    }
+
+    /// The taint of a region (⊥ if never set).
+    pub fn taint_of(&self, region: &Region) -> TaintSet {
+        self.taints.get(region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Symbol;
+    use taint::SourceId;
+
+    fn var(name: &str) -> Region {
+        Region::Var {
+            frame: 0,
+            name: name.into(),
+        }
+    }
+
+    #[test]
+    fn environment_bindings() {
+        let mut env = Environment::new();
+        env.bind(ExprId(3), var("x"));
+        assert_eq!(env.region_of(ExprId(3)), Some(&var("x")));
+        assert_eq!(env.region_of(ExprId(4)), None);
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn store_bind_and_lookup() {
+        let mut store = Store::new();
+        assert!(store.bind(var("x"), SVal::Int(3)).is_none());
+        assert_eq!(store.lookup(&var("x")), Some(&SVal::Int(3)));
+        assert_eq!(store.bind(var("x"), SVal::Int(4)), Some(SVal::Int(3)));
+        assert_eq!(store.unbind(&var("x")), Some(SVal::Int(4)));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn regions_within_filters_subregions() {
+        let base = Region::Sym {
+            symbol: Symbol::new(0, "buf"),
+        };
+        let elem0 = Region::Element {
+            base: Box::new(base.clone()),
+            index: Box::new(SVal::Int(0)),
+        };
+        let mut store = Store::new();
+        store.bind(elem0.clone(), SVal::Int(9));
+        store.bind(var("x"), SVal::Int(1));
+        let within: Vec<_> = store.regions_within(&base).collect();
+        assert_eq!(within.len(), 1);
+        assert_eq!(within[0].0, &elem0);
+    }
+
+    #[test]
+    fn state_write_records_log_and_taint() {
+        let mut state = ExecState::new();
+        let ts = TaintSet::source(SourceId::new(1));
+        state.write(var("h"), SVal::Int(5), ts.clone());
+        assert_eq!(state.write_log, vec![var("h")]);
+        assert_eq!(state.taint_of(&var("h")), ts);
+        assert_eq!(state.store.lookup(&var("h")), Some(&SVal::Int(5)));
+    }
+
+    #[test]
+    fn store_display_is_deterministic() {
+        let mut store = Store::new();
+        store.bind(var("b"), SVal::Int(2));
+        store.bind(var("a"), SVal::Int(1));
+        assert_eq!(store.to_string(), "{a ↦ 1, b ↦ 2}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Exploration traces: the per-statement state snapshots that regenerate
+//! Table IV of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::ExecState;
+
+/// One row of an exploration trace: the rendered *(stmt, env, σ, π)* tuple
+/// after interpreting a statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Source text of the statement just interpreted.
+    pub stmt: String,
+    /// Rendered environment (lvalue → region) additions so far.
+    pub env: String,
+    /// Rendered store σ.
+    pub store: String,
+    /// Rendered path condition π.
+    pub pi: String,
+}
+
+impl TraceStep {
+    /// Captures a snapshot of `state` after interpreting `stmt_text`.
+    pub fn capture(stmt_text: &str, state: &ExecState, source: &str) -> TraceStep {
+        let _ = source;
+        let mut env = String::new();
+        for (i, (id, region)) in state.env.iter().enumerate() {
+            if i > 0 {
+                env.push_str(", ");
+            }
+            env.push_str(&format!("{id} → {region}"));
+        }
+        TraceStep {
+            stmt: stmt_text.trim().to_string(),
+            env,
+            store: state.store.to_string(),
+            pi: state.path.to_string(),
+        }
+    }
+}
+
+/// Renders a set of per-path traces as a forking table in the style of the
+/// paper's Table IV: shared prefixes are printed once with a state label
+/// (`A`, `B`, …), forks appear as separate labelled rows.
+pub fn render_table(traces: &[Vec<TraceStep>]) -> String {
+    let mut rows: Vec<(String, &TraceStep)> = Vec::new();
+    let mut seen: Vec<&TraceStep> = Vec::new();
+    let mut label = 0usize;
+    for trace in traces {
+        for step in trace {
+            if !seen.contains(&step) {
+                seen.push(step);
+                rows.push((state_label(label), step));
+                label += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("state | stmt | σ/env | π\n");
+    out.push_str("------+------+-------+---\n");
+    for (label, step) in rows {
+        out.push_str(&format!(
+            "{label:5} | {} | env: {} ; σ: {} | {}\n",
+            step.stmt, step.env, step.store, step.pi
+        ));
+    }
+    out
+}
+
+fn state_label(i: usize) -> String {
+    // A, B, …, Z, AA, AB, …
+    let mut n = i;
+    let mut s = String::new();
+    loop {
+        s.insert(0, (b'A' + (n % 26) as u8) as char);
+        if n < 26 {
+            break;
+        }
+        n = n / 26 - 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(stmt: &str) -> TraceStep {
+        TraceStep {
+            stmt: stmt.into(),
+            env: String::new(),
+            store: String::new(),
+            pi: "True".into(),
+        }
+    }
+
+    #[test]
+    fn labels_progress_alphabetically() {
+        assert_eq!(state_label(0), "A");
+        assert_eq!(state_label(25), "Z");
+        assert_eq!(state_label(26), "AA");
+        assert_eq!(state_label(27), "AB");
+    }
+
+    #[test]
+    fn shared_prefixes_are_deduplicated() {
+        let a = step("int t = s[0] + 100;");
+        let b1 = step("return 0;");
+        let b2 = step("return 1;");
+        let table = render_table(&[vec![a.clone(), b1], vec![a, b2]]);
+        assert_eq!(table.matches("int t = s[0] + 100;").count(), 1);
+        assert!(table.contains("return 0;"));
+        assert!(table.contains("return 1;"));
+    }
+
+    #[test]
+    fn capture_renders_state() {
+        let state = ExecState::new();
+        let step = TraceStep::capture("  x = 1; ", &state, "");
+        assert_eq!(step.stmt, "x = 1;");
+        assert_eq!(step.pi, "True");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the simplifier is sound w.r.t. concrete evaluation, and
+//! the constraint manager never refutes a satisfiable path (checked against
+//! brute-force assignments on a small domain).
+
+use proptest::prelude::*;
+use symexec::concrete::{assignment, eval, eval_bool};
+use symexec::constraints::{ConstraintManager, Feasibility};
+use symexec::simplify::simplify;
+use symexec::value::{SVal, Symbol};
+
+use minic::ast::{BinOp, UnOp};
+
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::BitAnd,
+    BinOp::BitXor,
+    BinOp::BitOr,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::LogAnd,
+    BinOp::LogOr,
+];
+
+const UNOPS: &[UnOp] = &[UnOp::Neg, UnOp::Plus, UnOp::Not, UnOp::BitNot];
+
+fn arb_sval() -> impl Strategy<Value = SVal> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(SVal::Int),
+        (0u32..3).prop_map(|id| SVal::Sym(Symbol::new(id, format!("s{id}")))),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (
+                (0..BINOPS.len()).prop_map(|i| BINOPS[i]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| SVal::binary(op, a, b)),
+            ((0..UNOPS.len()).prop_map(|i| UNOPS[i]), inner).prop_map(|(op, a)| SVal::unary(op, a)),
+        ]
+    })
+}
+
+proptest! {
+    /// `eval(simplify(e)) == eval(e)` wherever both are defined.
+    #[test]
+    fn simplifier_is_sound(e in arb_sval(), v0 in -20i64..20, v1 in -20i64..20, v2 in -20i64..20) {
+        let env = assignment([(0, v0), (1, v1), (2, v2)]);
+        let before = eval(&e, &env);
+        let after = eval(&simplify(&e), &env);
+        match (before, after) {
+            (Some(a), Some(b)) => prop_assert_eq!(a, b, "simplify changed value of {}", e),
+            // Division by zero inside the tree may collapse to Unknown on
+            // one side only — both None or one None is acceptable only when
+            // the original was undefined.
+            (None, _) => {}
+            (Some(a), None) => prop_assert!(false, "simplify lost definedness of {} (= {})", e, a),
+        }
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplifier_is_idempotent(e in arb_sval()) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// If an assignment satisfies a set of branch assumptions, the
+    /// constraint manager must keep the path feasible (no false pruning).
+    #[test]
+    fn constraints_never_refute_satisfiable_paths(
+        conds in proptest::collection::vec(arb_sval(), 1..5),
+        v0 in -20i64..20, v1 in -20i64..20, v2 in -20i64..20,
+    ) {
+        let env = assignment([(0, v0), (1, v1), (2, v2)]);
+        let mut cm = ConstraintManager::new();
+        for cond in &conds {
+            let cond = simplify(cond);
+            let Some(truth) = eval_bool(&cond, &env) else {
+                // undefined condition (e.g. division by zero) — skip
+                continue;
+            };
+            // The assignment satisfies (cond == truth); the manager must
+            // not call the accumulated set infeasible.
+            prop_assert_eq!(
+                cm.assume(&cond, truth),
+                Feasibility::Feasible,
+                "refuted satisfiable path at {} = {}",
+                cond,
+                truth
+            );
+        }
+    }
+}

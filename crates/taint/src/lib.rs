@@ -1,0 +1,42 @@
+//! Taint lattice and propagation rules for PrivacyScope.
+//!
+//! This crate implements the security semi-lattice of Fig. 1 of the paper
+//! (*PrivacyScope*, ICDCS 2020) and the propagation policy of Fig. 2 /
+//! Table I:
+//!
+//! * [`Label`] — the three-level semi-lattice `{⊥, tᵢ, ⊤}`: not sensitive,
+//!   tainted by exactly one secret source, or tainted by two or more distinct
+//!   sources (at which point revealing the value no longer violates
+//!   *nonreversibility*, because no single secret can be deterministically
+//!   recovered).
+//! * [`TaintSet`] — a provenance-precise refinement that remembers *which*
+//!   sources flowed into a value. Its [`TaintSet::label`] projection recovers
+//!   the paper's lattice; analyzers use the set for reporting ("`output[0]`
+//!   reveals `secrets[0]`") and the projection for the policy decision.
+//! * [`policy`] — the propagation functions `P_getsecret`, `P_const`,
+//!   `P_unop`, `P_assign`, `P_binop`, `P_cond` from Table I / Fig. 2.
+//! * [`TaintMap`] — the `τΔ` mapping from program entities to taint.
+//!
+//! # Examples
+//!
+//! ```
+//! use taint::{Label, SourceId, TaintSet};
+//!
+//! let s1 = SourceId::new(1);
+//! let s2 = SourceId::new(2);
+//! let a = TaintSet::source(s1);
+//! let b = TaintSet::source(s2);
+//!
+//! // h1 + 4 is still recoverable: a single source.
+//! assert_eq!(a.join(&TaintSet::bottom()).label(), Label::Src(s1));
+//! // h1 + 4 + h2 mixes two sources: ⊤, revealing it is nonreversible-safe.
+//! assert_eq!(a.join(&b).label(), Label::Top);
+//! ```
+
+pub mod lattice;
+pub mod map;
+pub mod policy;
+
+pub use lattice::{Label, SourceId, TaintSet};
+pub use map::TaintMap;
+pub use policy::{assign, binop, cond, constant, get_secret, unop};

@@ -1,0 +1,96 @@
+//! Property-based tests: the taint semi-lattice of Fig. 1 obeys the
+//! semilattice laws, and the `TaintSet → Label` projection is a lattice
+//! homomorphism.
+
+use proptest::prelude::*;
+use taint::{Label, SourceId, TaintSet};
+
+/// Arbitrary labels over a small source universe (collisions are the
+/// interesting cases).
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        Just(Label::Bot),
+        (0u32..6).prop_map(|i| Label::Src(SourceId::new(i))),
+        Just(Label::Top),
+    ]
+}
+
+fn arb_taintset() -> impl Strategy<Value = TaintSet> {
+    proptest::collection::btree_set(0u32..6, 0..5)
+        .prop_map(|s| TaintSet::from_sources(s.into_iter().map(SourceId::new)))
+}
+
+proptest! {
+    #[test]
+    fn label_join_commutative(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+
+    #[test]
+    fn label_join_associative(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    #[test]
+    fn label_join_idempotent(a in arb_label()) {
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn label_bot_identity_top_absorbing(a in arb_label()) {
+        prop_assert_eq!(a.join(Label::Bot), a);
+        prop_assert_eq!(a.join(Label::Top), Label::Top);
+    }
+
+    #[test]
+    fn label_le_is_partial_order(a in arb_label(), b in arb_label(), c in arb_label()) {
+        // reflexive
+        prop_assert!(a.le(a));
+        // antisymmetric
+        if a.le(b) && b.le(a) {
+            prop_assert_eq!(a, b);
+        }
+        // transitive
+        if a.le(b) && b.le(c) {
+            prop_assert!(a.le(c));
+        }
+    }
+
+    #[test]
+    fn label_join_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let j = a.join(b);
+        prop_assert!(a.le(j));
+        prop_assert!(b.le(j));
+        if a.le(c) && b.le(c) {
+            prop_assert!(j.le(c));
+        }
+    }
+
+    #[test]
+    fn taintset_join_laws(a in arb_taintset(), b in arb_taintset(), c in arb_taintset()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.join(&TaintSet::bottom()), a);
+    }
+
+    #[test]
+    fn projection_is_homomorphism(a in arb_taintset(), b in arb_taintset()) {
+        prop_assert_eq!(a.join(&b).label(), a.label().join(b.label()));
+    }
+
+    #[test]
+    fn reversible_iff_single_source(a in arb_taintset()) {
+        prop_assert_eq!(a.is_reversible(), a.len() == 1);
+        prop_assert_eq!(a.label().is_reversible(), a.is_reversible());
+        prop_assert_eq!(a.label().is_tainted(), a.is_tainted());
+    }
+
+    #[test]
+    fn policy_binop_matches_label_join(a in arb_taintset(), b in arb_taintset()) {
+        let joined = taint::binop(&a, &b);
+        prop_assert_eq!(joined.label(), a.label().join(b.label()));
+        // P_cond is the same join applied to (condition, π).
+        prop_assert_eq!(taint::cond(&a, &b), joined);
+    }
+}

@@ -1,0 +1,46 @@
+//! Case study 2: play the malicious enclave writer — inject explicit and
+//! implicit leakage logic into Kmeans, then catch it with PrivacyScope.
+//!
+//! ```sh
+//! cargo run --release --example inject_and_detect
+//! ```
+
+use privacyscope::{Analyzer, AnalyzerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = AnalyzerOptions {
+        max_paths: 16,
+        ..AnalyzerOptions::default()
+    };
+
+    // Baseline: the clean module passes.
+    let clean = mlcorpus::kmeans::module();
+    let analyzer = Analyzer::from_sources(clean.source, clean.edl, options.clone())?;
+    let report = analyzer.analyze(clean.entry)?;
+    println!(
+        "clean Kmeans: {} finding(s) — {}",
+        report.findings.len(),
+        if report.is_secure() {
+            "nonreversibility holds"
+        } else {
+            "unexpected!"
+        }
+    );
+    println!();
+
+    for injection in mlcorpus::inject::kmeans_injections() {
+        println!("── payload `{}` ──", injection.name);
+        println!("    {}", injection.payload);
+        let module = injection.module;
+        let analyzer = Analyzer::from_sources(module.source, module.edl, options.clone())?;
+        let report = analyzer.analyze(module.entry)?;
+        println!("{report}");
+
+        // The attested measurement also changes — the *host* can notice a
+        // tampered build even before analysis.
+        let clean_measure = sgx_sim::Enclave::load(clean.source, clean.edl)?.measurement();
+        let evil_measure = sgx_sim::Enclave::load(module.source, module.edl)?.measurement();
+        println!("measurement: clean {clean_measure:#018x} vs injected {evil_measure:#018x}\n");
+    }
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the workspace-level examples and integration tests.

@@ -1,0 +1,142 @@
+//! The paper's §VI-D case studies, end to end.
+//!
+//! Case study 1: the as-ported Recommender contains exactly six
+//! nonreversibility violations. Case study 2: explicit and implicit
+//! malicious logic injected into Kmeans is detected, while the clean
+//! variants raise no alarms.
+
+use privacyscope::{Analyzer, AnalyzerOptions, FindingKind, Report};
+
+fn fast_options() -> AnalyzerOptions {
+    AnalyzerOptions {
+        max_paths: 16,
+        ..AnalyzerOptions::default()
+    }
+}
+
+fn analyze(module: &mlcorpus::Module, options: AnalyzerOptions) -> Report {
+    Analyzer::from_sources(module.source, module.edl, options)
+        .expect("module builds")
+        .analyze(module.entry)
+        .expect("module analyzes")
+}
+
+#[test]
+fn case_study_1_recommender_has_exactly_six_violations() {
+    let module = mlcorpus::recommender_vulnerable();
+    let report = analyze(&module, AnalyzerOptions::default());
+    assert_eq!(
+        report.findings.len(),
+        6,
+        "expected the paper's 6 violations, got:\n{report}"
+    );
+    assert_eq!(report.explicit_findings().count(), 4, "{report}");
+    assert_eq!(report.implicit_findings().count(), 2, "{report}");
+}
+
+#[test]
+fn case_study_1_violations_name_the_right_secrets() {
+    let module = mlcorpus::recommender_vulnerable();
+    let report = analyze(&module, AnalyzerOptions::default());
+
+    let explicit_secrets: Vec<&str> = report
+        .explicit_findings()
+        .map(|f| f.secret.as_str())
+        .collect();
+    // the four explicit leaks hit ratings[1..4] (one each)
+    for secret in ["ratings[1]", "ratings[2]", "ratings[3]", "ratings[4]"] {
+        assert!(
+            explicit_secrets.contains(&secret),
+            "missing explicit leak of {secret}:\n{report}"
+        );
+    }
+    // both implicit leaks pin ratings[0]
+    for finding in report.implicit_findings() {
+        assert_eq!(finding.secret, "ratings[0]", "{report}");
+    }
+    // the OCALL leak goes through the logging sink
+    assert!(
+        report
+            .explicit_findings()
+            .any(|f| f.channel.contains("ocall_log_rating")),
+        "{report}"
+    );
+}
+
+#[test]
+fn case_study_1_fixed_recommender_is_secure() {
+    let module = mlcorpus::recommender::fixed();
+    let report = analyze(&module, AnalyzerOptions::default());
+    assert!(report.is_secure(), "false positives on the fix:\n{report}");
+}
+
+#[test]
+fn clean_linear_regression_is_secure() {
+    let module = mlcorpus::linear_regression::module();
+    let report = analyze(&module, AnalyzerOptions::default());
+    assert!(report.is_secure(), "{report}");
+    assert_eq!(report.stats.paths, 1, "LR is branch-free");
+}
+
+#[test]
+fn clean_kmeans_is_secure() {
+    let module = mlcorpus::kmeans::module();
+    let report = analyze(&module, fast_options());
+    assert!(report.is_secure(), "{report}");
+    assert!(report.stats.forks > 0, "kmeans must branch on data");
+}
+
+#[test]
+fn case_study_2_injected_kmeans_leaks_are_detected() {
+    for injection in mlcorpus::inject::kmeans_injections() {
+        let report = analyze(&injection.module, fast_options());
+        assert!(
+            !report.is_secure(),
+            "payload `{}` went undetected",
+            injection.name
+        );
+        let kinds: Vec<FindingKind> = report.findings.iter().map(|f| f.kind).collect();
+        if injection.explicit {
+            assert!(
+                kinds.contains(&FindingKind::Explicit),
+                "payload `{}` should raise an explicit finding:\n{report}",
+                injection.name
+            );
+        } else {
+            assert!(
+                kinds.contains(&FindingKind::Implicit),
+                "payload `{}` should raise an implicit finding:\n{report}",
+                injection.name
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_finds_explicit_but_not_implicit_on_recommender() {
+    let module = mlcorpus::recommender_vulnerable();
+    let report = privacyscope::baseline::analyze(module.source, module.edl, module.entry)
+        .expect("baseline runs");
+    // The DFA baseline sees the explicit copies (coarsely: one `ratings`
+    // source), but is blind to both implicit leaks.
+    assert!(report.explicit_findings().count() >= 1, "{report}");
+    assert_eq!(report.implicit_findings().count(), 0, "{report}");
+}
+
+#[test]
+fn baseline_misses_injected_implicit_leak() {
+    let injection = mlcorpus::inject::kmeans_injections()
+        .into_iter()
+        .find(|i| !i.explicit)
+        .expect("an implicit payload exists");
+    let module = injection.module;
+    let report = privacyscope::baseline::analyze(module.source, module.edl, module.entry)
+        .expect("baseline runs");
+    assert_eq!(
+        report.implicit_findings().count(),
+        0,
+        "a path-insensitive pass cannot see implicit flows"
+    );
+    let symbolic = analyze(&module, fast_options());
+    assert!(symbolic.implicit_findings().count() >= 1);
+}

@@ -1,0 +1,120 @@
+//! Cross-plane agreement: a PRIML program analyzed by the formal semantics
+//! (`priml::analysis`) and its Mini-C transpilation analyzed by the full C
+//! analyzer (`privacyscope::Analyzer`) must agree on the verdict — and the
+//! transpiled code must *run* equivalently in the enclave simulator.
+
+use privacyscope::{Analyzer, AnalyzerOptions};
+use proptest::prelude::*;
+use sgx_sim::enclave::{EcallArg, Enclave};
+use sgx_sim::interp::Word;
+
+fn c_plane_report(program: &priml::Program) -> privacyscope::Report {
+    let transpiled = priml::transpile::to_minic(program).expect("transpiles");
+    Analyzer::from_sources(
+        &transpiled.source,
+        &transpiled.edl,
+        AnalyzerOptions::default(),
+    )
+    .expect("builds")
+    .analyze("priml_main")
+    .expect("analyzes")
+}
+
+#[test]
+fn example1_verdicts_agree() {
+    let program = priml::parse(priml::examples::EXAMPLE1).unwrap();
+    let formal = priml::analysis::analyze(&program);
+    let c_plane = c_plane_report(&program);
+    assert_eq!(formal.explicit().count(), 1);
+    assert_eq!(c_plane.explicit_findings().count(), 1);
+    let finding = c_plane.explicit_findings().next().unwrap();
+    assert_eq!(finding.channel, "out[1]");
+    assert_eq!(finding.secret, "secrets[0]");
+    // and the C plane synthesizes the recovery formula for 2·s
+    assert_eq!(finding.recovery.as_deref(), Some("(observed / 2)"));
+}
+
+#[test]
+fn example2_verdicts_agree() {
+    let program = priml::parse(priml::examples::EXAMPLE2).unwrap();
+    let formal = priml::analysis::analyze(&program);
+    let c_plane = c_plane_report(&program);
+    assert_eq!(formal.implicit().count(), 1);
+    assert_eq!(c_plane.implicit_findings().count(), 1, "{c_plane}");
+    let finding = c_plane.implicit_findings().next().unwrap();
+    assert_eq!(finding.secret, "secrets[0]");
+}
+
+#[test]
+fn secure_example_agrees() {
+    let program = priml::parse(priml::examples::EXAMPLE2_SECURE).unwrap();
+    let formal = priml::analysis::analyze(&program);
+    let c_plane = c_plane_report(&program);
+    assert!(formal.is_secure());
+    assert!(c_plane.is_secure(), "{c_plane}");
+}
+
+#[test]
+fn transpiled_code_runs_equivalently() {
+    // the PRIML concrete interpreter and the enclave runtime produce the
+    // same declassified outputs for the same secret stream
+    let program = priml::parse(priml::examples::EXAMPLE1).unwrap();
+    let transpiled = priml::transpile::to_minic(&program).unwrap();
+    let enclave = Enclave::load(&transpiled.source, &transpiled.edl).expect("loads");
+    for secrets in [[3u32, 4u32], [10, 20], [7, 0]] {
+        let formal = priml::concrete::run(&program, &secrets).expect("runs");
+        let result = enclave
+            .ecall(
+                "priml_main",
+                &[
+                    EcallArg::In(secrets.iter().map(|s| Word::Int(i64::from(*s))).collect()),
+                    EcallArg::Out(transpiled.outputs),
+                ],
+            )
+            .expect("runs in enclave");
+        let outs: Vec<u32> = result.outs["out"]
+            .iter()
+            .map(|w| match w {
+                Word::Int(v) => *v as u32,
+                other => panic!("unexpected cell {other:?}"),
+            })
+            .collect();
+        assert_eq!(outs, formal.declassified, "secrets {secrets:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random straight-line programs: explicit-leak verdicts agree between
+    /// the formal plane and the C plane.
+    #[test]
+    fn straightline_explicit_verdicts_agree(
+        scale1 in 1u32..5,
+        scale2 in 1u32..5,
+        offset in 0u32..50,
+        leak_first in any::<bool>(),
+        mix in any::<bool>(),
+    ) {
+        let last = if mix {
+            "declassify(a + b)".to_string()
+        } else if leak_first {
+            format!("declassify(a + {offset})")
+        } else {
+            format!("declassify(b + {offset})")
+        };
+        let source = format!(
+            "a := {scale1} * get_secret(secret)\nb := {scale2} * get_secret(secret)\n{last}"
+        );
+        let program = priml::parse(&source).expect("parses");
+        let formal = priml::analysis::analyze(&program);
+        let c_plane = c_plane_report(&program);
+        prop_assert_eq!(
+            formal.explicit().count(),
+            c_plane.explicit_findings().count(),
+            "disagreement on {}",
+            source
+        );
+        prop_assert_eq!(formal.is_secure(), c_plane.is_secure());
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end enclave runs: the corpus modules actually execute inside the
+//! simulated enclave on synthetic data, and the TEE substrate (sealing,
+//! attestation, marshalling, crypto sources) behaves per the threat model.
+
+use mlcorpus::datasets;
+use sgx_sim::attest::{self, PlatformKey};
+use sgx_sim::enclave::{EcallArg, Enclave};
+use sgx_sim::interp::{Value, Word};
+
+fn float_buffer(values: &[f64]) -> Vec<Word> {
+    values.iter().map(|v| Word::Float(*v)).collect()
+}
+
+fn floats(words: &[Word]) -> Vec<f64> {
+    words
+        .iter()
+        .map(|w| match w {
+            Word::Float(v) => *v,
+            Word::Int(v) => *v as f64,
+            Word::Uninit => f64::NAN,
+        })
+        .collect()
+}
+
+#[test]
+fn linear_regression_recovers_the_generating_model() {
+    let module = mlcorpus::linear_regression::module();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let data = datasets::regression(42);
+    let result = enclave
+        .ecall(
+            module.entry,
+            &[
+                EcallArg::In(float_buffer(&data.xs)),
+                EcallArg::In(float_buffer(&data.ys)),
+                EcallArg::Out(7),
+            ],
+        )
+        .expect("trains");
+    assert_eq!(result.ret, Some(Value::Int(0)));
+    let model = floats(&result.outs["model"]);
+    // 60 epochs of GD on near-noiseless data: weights approach the truth
+    for (got, want) in model[..3].iter().zip(data.true_weights) {
+        assert!(
+            (got - want).abs() < 0.35,
+            "weight {got} too far from {want}; model = {model:?}"
+        );
+    }
+    assert!(
+        (model[3] - data.true_bias).abs() < 0.5,
+        "bias {:?}",
+        model[3]
+    );
+    // loss is small and R² is high
+    assert!(model[4] < 1.0, "mse = {}", model[4]);
+    assert!(model[5] > 0.9, "r² = {}", model[5]);
+}
+
+#[test]
+fn kmeans_separates_the_two_blobs() {
+    let module = mlcorpus::kmeans::module();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let points = datasets::kmeans_points(7);
+    let result = enclave
+        .ecall(
+            module.entry,
+            &[EcallArg::In(float_buffer(&points)), EcallArg::Out(7)],
+        )
+        .expect("clusters");
+    let out = floats(&result.outs["result"]);
+    // centroids are reported sorted and land near the blob centers
+    assert!(out[0] < out[1]);
+    assert!((out[0] - 10.0).abs() < 8.0, "low centroid {}", out[0]);
+    assert!((out[1] - 90.0).abs() < 8.0, "high centroid {}", out[1]);
+    // inertia is finite and positive
+    assert!(out[2] > 0.0 && out[2] < 10_000.0);
+}
+
+#[test]
+fn recommender_predictions_are_plausible_and_leaks_are_real() {
+    let module = mlcorpus::recommender_vulnerable();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let ratings = datasets::ratings(3);
+    let result = enclave
+        .ecall(
+            module.entry,
+            &[EcallArg::In(float_buffer(&ratings)), EcallArg::Out(9)],
+        )
+        .expect("recommends");
+    let out = floats(&result.outs["out"]);
+    // predictions stay within the rating scale (loosely)
+    for (item, prediction) in out.iter().take(5).enumerate() {
+        assert!(
+            (-1.0..=7.0).contains(prediction),
+            "out[{item}] = {prediction}"
+        );
+    }
+    // violation 1 really is invertible: out[5] = ratings[1]·2 + 7
+    assert!((out[5] - (ratings[1] * 2.0 + 7.0)).abs() < 1e-9);
+    assert!(((out[5] - 7.0) / 2.0 - ratings[1]).abs() < 1e-9);
+    // violation 4: out[7] = ratings[4]·3
+    assert!((out[7] / 3.0 - ratings[4]).abs() < 1e-9);
+    // violation 3: the logging OCALL hands the host a raw rating
+    assert_eq!(result.ocalls.len(), 1);
+    let (ocall_name, ocall_args) = &result.ocalls[0];
+    assert_eq!(ocall_name, "ocall_log_rating");
+    match &ocall_args[0] {
+        Value::Float(v) => assert!((v - (ratings[3] + 1.0)).abs() < 1e-9),
+        other => panic!("expected float OCALL argument, got {other:?}"),
+    }
+    // violation 5: the return code pins `ratings[0] > 3`
+    let expected_rc = i64::from(ratings[0] > 3.0);
+    assert_eq!(result.ret, Some(Value::Int(expected_rc)));
+}
+
+#[test]
+fn fixed_recommender_breaks_the_inversion() {
+    let module = mlcorpus::recommender::fixed();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    // two rating matrices differing ONLY in ratings[1]
+    let mut a = datasets::ratings(3);
+    let mut b = a.clone();
+    a[1] = 1.0;
+    b[1] = 4.0;
+    let run = |m: &[f64]| {
+        floats(
+            &enclave
+                .ecall(
+                    module.entry,
+                    &[EcallArg::In(float_buffer(m)), EcallArg::Out(9)],
+                )
+                .expect("runs")
+                .outs["out"],
+        )
+    };
+    let out_a = run(&a);
+    let out_b = run(&b);
+    // outputs still differ (the model uses the data!) …
+    assert_ne!(out_a, out_b);
+    // … but no output slot is an affine copy of ratings[1] any more:
+    // inverting the old leak formula no longer recovers the rating.
+    assert!(((out_a[5] - 7.0) / 2.0 - a[1]).abs() > 0.01);
+    assert!(((out_b[5] - 7.0) / 2.0 - b[1]).abs() > 0.01);
+}
+
+#[test]
+fn sealing_round_trips_only_for_the_same_enclave() {
+    let module = mlcorpus::linear_regression::module();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let blob = enclave.seal(1, b"model-weights-v1");
+    assert_eq!(enclave.unseal(&blob).expect("unseals"), b"model-weights-v1");
+
+    let other = Enclave::load(
+        mlcorpus::kmeans::module().source,
+        mlcorpus::kmeans::module().edl,
+    )
+    .expect("loads");
+    assert!(
+        other.unseal(&blob).is_err(),
+        "cross-enclave unseal must fail"
+    );
+}
+
+#[test]
+fn attestation_binds_the_measurement() {
+    let module = mlcorpus::kmeans::module();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let platform = PlatformKey::from_seed(b"test-rig");
+    let quote = enclave.quote(&platform, b"session-nonce");
+    attest::verify(&platform, &quote, Some(enclave.measurement())).expect("verifies");
+
+    // a tampered (injected) enclave has a different measurement, so the
+    // host notices before provisioning any secrets
+    let injected = &mlcorpus::inject::kmeans_injections()[0].module;
+    let evil = Enclave::load(injected.source, injected.edl).expect("loads");
+    assert_ne!(evil.measurement(), enclave.measurement());
+    assert!(attest::verify(
+        &platform,
+        &evil.quote(&platform, b"x"),
+        Some(enclave.measurement())
+    )
+    .is_err());
+}
+
+#[test]
+fn marshalling_rejects_wrong_buffer_sizes() {
+    let module = mlcorpus::kmeans::module();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let err = enclave
+        .ecall(
+            module.entry,
+            &[
+                EcallArg::In(float_buffer(&[1.0, 2.0])), // EDL says 10
+                EcallArg::Out(7),
+            ],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("EDL bound"), "{err}");
+}
+
+#[test]
+fn enclave_runs_are_deterministic() {
+    let module = mlcorpus::kmeans::module();
+    let enclave = Enclave::load(module.source, module.edl).expect("loads");
+    let points = datasets::kmeans_points(11);
+    let run = || {
+        enclave
+            .ecall(
+                module.entry,
+                &[EcallArg::In(float_buffer(&points)), EcallArg::Out(7)],
+            )
+            .expect("runs")
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,114 @@
+//! Golden reproductions of the paper's Tables II and III: the PRIML
+//! simulation traces of Examples 1 and 2.
+
+use priml::analysis::{analyze, render_table2, render_table3, Violation};
+use priml::examples::{EXAMPLE1, EXAMPLE2, EXAMPLE2_SECURE};
+use taint::SourceId;
+
+#[test]
+fn table2_golden() {
+    let program = priml::parse(EXAMPLE1).expect("example 1 parses");
+    let outcome = analyze(&program);
+    let table = render_table2(&outcome);
+
+    // Row 1: h1 ↦ 2·s1, taint t1, no abort.
+    assert!(
+        table.contains("h1 := (2 * get_secret(secret)) | {h1 → 2 * s1} | {h1 → t1} | false"),
+        "{table}"
+    );
+    // Row 2: h2 ↦ 3·s2 joins the store.
+    assert!(table.contains("{h1 → 2 * s1, h2 → 3 * s2}"), "{table}");
+    // Row 3: x ↦ 2·s1 + 3·s2 with taint ⊤.
+    assert!(table.contains("x → 2 * s1 + 3 * s2"), "{table}");
+    assert!(table.contains("x → ⊤"), "{table}");
+    // Row 4: declassify(x) does NOT abort (⊤ is safe).
+    assert!(table.contains("declassify(x)"), "{table}");
+    // Row 5: declassify(h1) aborts (t1 is reversible).
+    assert!(table.contains("declassify(h1)"), "{table}");
+    let abort_rows: Vec<&str> = table.lines().filter(|l| l.ends_with("| true")).collect();
+    assert_eq!(abort_rows.len(), 1, "{table}");
+    assert!(abort_rows[0].starts_with("declassify(h1)"), "{table}");
+}
+
+#[test]
+fn table2_violation_is_the_paper_one() {
+    let program = priml::parse(EXAMPLE1).unwrap();
+    let outcome = analyze(&program);
+    assert_eq!(outcome.violations.len(), 1);
+    let Violation::Explicit { value, source, .. } = &outcome.violations[0] else {
+        panic!("expected explicit violation");
+    };
+    assert_eq!(value, "2 * s1");
+    assert_eq!(*source, SourceId::new(1));
+}
+
+#[test]
+fn table3_golden() {
+    let program = priml::parse(EXAMPLE2).expect("example 2 parses");
+    let outcome = analyze(&program);
+    let table = render_table3(&outcome);
+
+    // Row 1: h ↦ 2·s with π = True, τΔ = {h → t1}.
+    assert!(
+        table.contains(
+            "h := (2 * get_secret(secret)) | {h → 2 * s1} | True | {h → t1} | {} | false"
+        ),
+        "{table}"
+    );
+    // Row 2: one branch of the conditional — π records the condition, τΔ
+    // gains π → t1, hm records the first declassified value, no abort.
+    assert!(table.contains("π → t1"), "{table}");
+    assert!(table.contains("2 * s1 - 5 == 14"), "{table}");
+    // Row 3: the opposite branch aborts — hm holds the other value.
+    let abort_rows: Vec<&str> = table.lines().filter(|l| l.ends_with("| true")).collect();
+    assert_eq!(abort_rows.len(), 1, "{table}");
+    // both hashmap states appear: empty first, then populated
+    assert!(table.contains("| {} |"), "{table}");
+    assert!(
+        table.contains("t1 → 0") || table.contains("t1 → 1"),
+        "{table}"
+    );
+}
+
+#[test]
+fn table3_violation_is_the_paper_one() {
+    let program = priml::parse(EXAMPLE2).unwrap();
+    let outcome = analyze(&program);
+    assert_eq!(outcome.violations.len(), 1);
+    let Violation::Implicit { source, values } = &outcome.violations[0] else {
+        panic!("expected implicit violation");
+    };
+    assert_eq!(*source, SourceId::new(1));
+    let mut values = values.clone();
+    values.sort();
+    assert_eq!(values, ["0", "1"]);
+}
+
+#[test]
+fn secure_variant_of_example2_has_clean_table() {
+    let program = priml::parse(EXAMPLE2_SECURE).unwrap();
+    let outcome = analyze(&program);
+    assert!(outcome.is_secure());
+    let table = render_table3(&outcome);
+    assert!(!table.contains("| true"), "{table}");
+}
+
+#[test]
+fn concrete_and_symbolic_semantics_agree_on_example1() {
+    let program = priml::parse(EXAMPLE1).unwrap();
+    let outcome = analyze(&program);
+    // The analysis records Δ symbolically; evaluating the rendered store
+    // under concrete secrets must match the concrete interpreter.
+    for secrets in [[3u32, 4u32], [10, 20], [0, 0], [1000, 1]] {
+        let concrete = priml::concrete::run(&program, &secrets).expect("runs");
+        assert_eq!(
+            concrete.declassified,
+            vec![
+                2u32.wrapping_mul(secrets[0])
+                    .wrapping_add(3u32.wrapping_mul(secrets[1])),
+                2u32.wrapping_mul(secrets[0]),
+            ]
+        );
+    }
+    assert_eq!(outcome.secrets, 2);
+}

@@ -1,0 +1,79 @@
+//! The paper's §IV motivation, executable: ML programs *always* violate
+//! classical noninterference (the trained model legitimately depends on
+//! the private data), but the well-behaved ones satisfy nonreversibility.
+
+use privacyscope::{Analyzer, AnalyzerOptions, Property};
+
+fn analyze(module: &mlcorpus::Module, property: Property) -> privacyscope::Report {
+    let options = AnalyzerOptions {
+        property,
+        max_paths: 16,
+        ..AnalyzerOptions::default()
+    };
+    Analyzer::from_sources(module.source, module.edl, options)
+        .expect("builds")
+        .analyze(module.entry)
+        .expect("analyzes")
+}
+
+#[test]
+fn linear_regression_fails_noninterference_but_passes_nonreversibility() {
+    let module = mlcorpus::linear_regression::module();
+    let nonrev = analyze(&module, Property::Nonreversibility);
+    assert!(nonrev.is_secure(), "{nonrev}");
+
+    let nonint = analyze(&module, Property::Noninterference);
+    assert!(
+        !nonint.is_secure(),
+        "a trainer whose model ignores the data would be useless"
+    );
+    // every model output depends on (many) training rows
+    assert!(nonint.findings.len() >= 5, "{nonint}");
+}
+
+#[test]
+fn kmeans_fails_noninterference_but_passes_nonreversibility() {
+    let module = mlcorpus::kmeans::module();
+    let nonrev = analyze(&module, Property::Nonreversibility);
+    assert!(nonrev.is_secure(), "{nonrev}");
+
+    let nonint = analyze(&module, Property::Noninterference);
+    assert!(!nonint.is_secure());
+}
+
+#[test]
+fn nonreversibility_findings_are_a_subset_of_noninterference_findings() {
+    // Everything nonreversibility flags, noninterference also flags
+    // (same channels; noninterference adds the ⊤-tainted ones).
+    let module = mlcorpus::recommender_vulnerable();
+    let nonrev = analyze(&module, Property::Nonreversibility);
+    let nonint = analyze(&module, Property::Noninterference);
+    assert!(nonint.findings.len() >= nonrev.findings.len());
+    for finding in nonrev.explicit_findings() {
+        assert!(
+            nonint
+                .explicit_findings()
+                .any(|f| f.channel == finding.channel && f.secret == finding.secret),
+            "noninterference lost {} / {}",
+            finding.channel,
+            finding.secret
+        );
+    }
+}
+
+#[test]
+fn untainted_program_passes_both() {
+    let source = "int f(char *secrets) { return 7; }";
+    let edl_text = "enclave { trusted { public int f([in] char *secrets); }; };";
+    for property in [Property::Nonreversibility, Property::Noninterference] {
+        let options = AnalyzerOptions {
+            property,
+            ..AnalyzerOptions::default()
+        };
+        let report = Analyzer::from_sources(source, edl_text, options)
+            .expect("builds")
+            .analyze("f")
+            .expect("analyzes");
+        assert!(report.is_secure(), "{property}: {report}");
+    }
+}
