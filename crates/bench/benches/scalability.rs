@@ -5,8 +5,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privacyscope::{Analyzer, AnalyzerOptions};
 
 fn run(workload: &bench::workloads::Workload, max_paths: usize) -> privacyscope::Report {
+    run_with_workers(workload, max_paths, 0)
+}
+
+fn run_with_workers(
+    workload: &bench::workloads::Workload,
+    max_paths: usize,
+    workers: usize,
+) -> privacyscope::Report {
     let options = AnalyzerOptions {
         max_paths,
+        workers,
         ..AnalyzerOptions::default()
     };
     Analyzer::from_sources(&workload.source, &workload.edl, options)
@@ -49,5 +58,34 @@ fn bench_loops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_straightline, bench_branches, bench_loops);
+fn bench_workers(c: &mut Criterion) {
+    // Sequential legacy mode (workers = 1) against the parallel worklist on
+    // the most fork-heavy workload: 2^10 paths through independent
+    // branches. 1/2/4 are always measured (the comparison stays meaningful
+    // across hosts); the machine's full core count is added when larger.
+    let mut group = c.benchmark_group("worklist_workers");
+    group.sample_size(10);
+    let workload = bench::synthetic_branches(10);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        counts.push(cores);
+    }
+    for workers in counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workload,
+            |b, workload| b.iter(|| run_with_workers(workload, 1024, workers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_straightline,
+    bench_branches,
+    bench_loops,
+    bench_workers
+);
 criterion_main!(benches);

@@ -53,6 +53,10 @@ pub struct AnalyzerOptions {
     /// paper's nonreversibility; classical noninterference is available to
     /// make the paper's §IV contrast executable (ML code always fails it).
     pub property: Property,
+    /// Worker threads for path exploration (see [`EngineConfig::workers`]):
+    /// `0` = available parallelism, `1` = sequential. Results are
+    /// byte-identical at every setting.
+    pub workers: usize,
 }
 
 impl Default for AnalyzerOptions {
@@ -68,6 +72,7 @@ impl Default for AnalyzerOptions {
             decrypt_functions: Vec::new(),
             check_timing: false,
             property: Property::default(),
+            workers: 0,
         }
     }
 }
@@ -175,6 +180,7 @@ impl Analyzer {
             max_paths: self.options.max_paths,
             inline_depth: self.options.inline_depth,
             record_trace: self.options.record_trace,
+            workers: self.options.workers,
             ..EngineConfig::default()
         };
         for sink in self
@@ -212,11 +218,12 @@ impl Analyzer {
         let mut implicit_obs: BTreeMap<(SourceId, String), BTreeMap<String, String>> =
             BTreeMap::new();
 
-        // Sink-call events from the global log: Algorithm 1 runs at
-        // declassification time, so observations from paths later dropped
-        // by a budget still count.
-        let path_events = exploration.paths.iter().flat_map(|p| p.state.events.iter());
-        for event in exploration.events.iter().chain(path_events) {
+        // Algorithm 1 runs at declassification time: the engine's global
+        // event log now carries every sink *and* return observation —
+        // including ones from paths later dropped by a budget — so it is
+        // the single source of truth here (per-path copies would only
+        // duplicate it).
+        for event in exploration.events.iter() {
             let channel = match &event.channel {
                 Channel::Return => "return value".to_string(),
                 Channel::SinkCall { func, arg } => {
@@ -358,6 +365,7 @@ impl Analyzer {
             max_paths: self.options.max_paths,
             inline_depth: self.options.inline_depth,
             record_trace: true,
+            workers: self.options.workers,
             ..EngineConfig::default()
         };
         let engine = Engine::new(&self.unit, engine_config).with_source(self.source.clone());

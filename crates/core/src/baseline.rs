@@ -10,7 +10,11 @@
 //!
 //! It finds the explicit leaks orders of magnitude faster than symbolic
 //! execution and misses every implicit one — exactly the trade-off the
-//! paper describes; the `ablation` bench quantifies it.
+//! paper describes; the `ablation` bench quantifies it. Unlike the
+//! symbolic engine, which fans live path states across worker threads
+//! (see [`AnalyzerOptions::workers`](crate::AnalyzerOptions)), this
+//! baseline stays a single-pass sequential fixpoint: it tracks one merged
+//! abstract state, so there is nothing to parallelize over.
 
 use std::collections::{BTreeMap, BTreeSet};
 

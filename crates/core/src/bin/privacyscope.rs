@@ -9,6 +9,7 @@
 //!     --baseline            run the path-insensitive DFA baseline instead
 //!     --max-paths <n>       path budget (default 4096)
 //!     --loop-bound <n>      symbolic loop bound (default 4)
+//!     --workers <n>         exploration threads (0 = all cores, 1 = sequential)
 //!
 //! privacyscope priml <program.priml>
 //!     analyze a PRIML program with the formal semantics and print the
@@ -55,6 +56,7 @@ const USAGE: &str = "\
 usage:
   privacyscope analyze <enclave.c> <enclave.edl> [--config <xml>] [--function <name>]
                        [--json] [--trace] [--baseline] [--max-paths <n>] [--loop-bound <n>]
+                       [--workers <n>]
   privacyscope priml <program.priml>
 ";
 
@@ -115,7 +117,7 @@ fn read(path: &str) -> Result<String, String> {
 fn analyze(args: &[String]) -> Result<bool, String> {
     let cli = parse_cli(
         args,
-        &["config", "function", "max-paths", "loop-bound"],
+        &["config", "function", "max-paths", "loop-bound", "workers"],
         &["json", "trace", "baseline"],
     )?;
     let [source_path, edl_path] = cli.positional.as_slice() else {
@@ -129,6 +131,7 @@ fn analyze(args: &[String]) -> Result<bool, String> {
     let options = AnalyzerOptions {
         max_paths: cli.usize_value("max-paths", 4096)?,
         loop_bound: cli.usize_value("loop-bound", 4)?,
+        workers: cli.usize_value("workers", 0)?,
         ..AnalyzerOptions::default()
     };
 

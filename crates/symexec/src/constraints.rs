@@ -8,7 +8,8 @@
 //! recorded — the fork stays feasible, which is sound for a *detector*
 //! (never prunes a real path) at the cost of possible extra paths.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::RwLock;
 
 use minic::ast::{BinOp, UnOp};
 use serde::{Deserialize, Serialize};
@@ -26,7 +27,7 @@ pub enum Feasibility {
     Infeasible,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 struct Range {
     lo: i128,
     hi: i128,
@@ -46,7 +47,7 @@ impl Range {
 }
 
 /// Tracks per-symbol ranges and disequalities; cloned on every fork.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConstraintManager {
     ranges: BTreeMap<u32, Range>,
     diseqs: BTreeMap<u32, BTreeSet<i64>>,
@@ -206,6 +207,22 @@ impl ConstraintManager {
         }
     }
 
+    /// Rewrites every constrained symbol id through `f`.
+    ///
+    /// Used by the worklist engine's deterministic merge to translate
+    /// task-local symbol ids into the global numbering. `f` must be
+    /// injective over the recorded ids or constraints would collide.
+    pub(crate) fn remap_symbols<F: Fn(u32) -> u32>(&mut self, f: &F) {
+        self.ranges = std::mem::take(&mut self.ranges)
+            .into_iter()
+            .map(|(sym, range)| (f(sym), range))
+            .collect();
+        self.diseqs = std::mem::take(&mut self.diseqs)
+            .into_iter()
+            .map(|(sym, set)| (f(sym), set))
+            .collect();
+    }
+
     /// Produces a concrete assignment satisfying the recorded constraints
     /// for the given symbols (best effort; constraints the manager did not
     /// record are not reflected).
@@ -231,6 +248,65 @@ impl ConstraintManager {
             out.insert(sym, i64::try_from(pick).unwrap_or(0));
         }
         out
+    }
+}
+
+/// Memoizes pure feasibility probes across path states and worker threads.
+///
+/// Keyed on the full `(constraints, condition, truth)` triple — not a hash
+/// digest — so a hit can never alias two different probes. The engine only
+/// consults the cache for *speculative* checks (fork pre-probes, loop
+/// concreteness probes) whose constraint sets are discarded afterwards;
+/// committed `assume` calls still execute directly so their narrowing is
+/// recorded in the path state. Because `ConstraintManager::assume` is a pure
+/// function of the key, caching never changes results — only wall-clock.
+#[derive(Debug)]
+pub struct FeasibilityCache {
+    entries: RwLock<HashMap<(ConstraintManager, SVal, bool), Feasibility>>,
+    capacity: usize,
+}
+
+impl FeasibilityCache {
+    /// Creates a cache holding at most `capacity` memoized probes.
+    /// A capacity of 0 disables memoization entirely.
+    pub fn new(capacity: usize) -> FeasibilityCache {
+        FeasibilityCache {
+            entries: RwLock::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// Returns the feasibility of assuming `cond == truth` under `cm`,
+    /// memoizing the (pure) computation.
+    pub fn check(&self, cm: &ConstraintManager, cond: &SVal, truth: bool) -> Feasibility {
+        if self.capacity == 0 {
+            return cm.clone().assume(cond, truth);
+        }
+        // Std HashMap cannot probe a composite key by borrowed parts, so
+        // the (cheap, structural) key is built once up front.
+        let key = (cm.clone(), cond.clone(), truth);
+        if let Ok(entries) = self.entries.read() {
+            if let Some(hit) = entries.get(&key) {
+                return *hit;
+            }
+        }
+        let result = key.0.clone().assume(cond, truth);
+        if let Ok(mut entries) = self.entries.write() {
+            if entries.len() < self.capacity {
+                entries.insert(key, result);
+            }
+        }
+        result
+    }
+
+    /// Number of memoized probes currently held.
+    pub fn len(&self) -> usize {
+        self.entries.read().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether the cache holds no memoized probes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -454,6 +530,51 @@ mod tests {
         let model = cm.model(&syms);
         let v = model[&1];
         assert!(v > 10, "bad witness {v}");
+    }
+
+    #[test]
+    fn remap_symbols_translates_constraint_keys() {
+        let mut cm = ConstraintManager::new();
+        cm.assume(&cmp(BinOp::Ge, s(7), SVal::Int(3)), true);
+        cm.assume(&cmp(BinOp::Ne, s(8), SVal::Int(0)), true);
+        cm.remap_symbols(&|id| id + 100);
+        assert_eq!(cm.known_value(7), None);
+        assert_eq!(
+            cm.assume(&cmp(BinOp::Lt, s(107), SVal::Int(3)), true),
+            Feasibility::Infeasible
+        );
+        assert_eq!(
+            cm.assume(&cmp(BinOp::Eq, s(108), SVal::Int(0)), true),
+            Feasibility::Infeasible
+        );
+    }
+
+    #[test]
+    fn feasibility_cache_agrees_with_direct_assume() {
+        let cache = FeasibilityCache::new(64);
+        let mut cm = ConstraintManager::new();
+        cm.assume(&cmp(BinOp::Gt, s(1), SVal::Int(10)), true);
+        let cond = cmp(BinOp::Lt, s(1), SVal::Int(5));
+        // Miss, then hit — both must match the uncached answer.
+        for _ in 0..2 {
+            assert_eq!(cache.check(&cm, &cond, true), Feasibility::Infeasible);
+            assert_eq!(cache.check(&cm, &cond, false), Feasibility::Feasible);
+        }
+        assert_eq!(cache.len(), 2);
+        // The probe must not have mutated the manager.
+        assert_eq!(cm.clone().assume(&cond, true), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn feasibility_cache_capacity_caps_inserts() {
+        let cache = FeasibilityCache::new(1);
+        let cm = ConstraintManager::new();
+        cache.check(&cm, &cmp(BinOp::Gt, s(1), SVal::Int(0)), true);
+        cache.check(&cm, &cmp(BinOp::Gt, s(2), SVal::Int(0)), true);
+        assert_eq!(cache.len(), 1);
+        let disabled = FeasibilityCache::new(0);
+        disabled.check(&cm, &cmp(BinOp::Gt, s(1), SVal::Int(0)), true);
+        assert!(disabled.is_empty());
     }
 
     #[test]

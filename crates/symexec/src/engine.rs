@@ -6,6 +6,13 @@
 //! [`ParamBinding`]s) and at configured *source functions* (the paper's
 //! predefined decrypt list), propagated per the `taint` crate's policy, and
 //! joined into the path-condition taint at every fork (the `P_cond` rule).
+//!
+//! Exploration is organized as a deterministic *worklist*: the entry body
+//! is executed one top-level statement per wave, with every live path state
+//! handed to an independent task that may run on a worker thread
+//! ([`EngineConfig::workers`]). Tasks mint ids from a private namespace and
+//! are merged back in canonical order, so the resulting [`Exploration`] is
+//! byte-identical to a sequential run — see the `worklist` module.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -16,12 +23,13 @@ use minic::types::Type;
 use minic::Span;
 use taint::{SourceId, TaintSet};
 
-use crate::constraints::Feasibility;
+use crate::constraints::{Feasibility, FeasibilityCache};
 use crate::error::EngineError;
 use crate::simplify::{fold_binary, fold_unary, simplify};
 use crate::state::{Channel, DeclassifyEvent, ExecState, Frame};
 use crate::trace::TraceStep;
 use crate::value::{Region, SVal, Symbol};
+use crate::worklist::{run_tasks, IdRemap, LOCAL_ID_BASE};
 
 /// How an entry-function parameter is bound at the start of exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +79,16 @@ pub struct EngineConfig {
     /// descent) at the cost of value precision — taint precision is
     /// unaffected, which is what the nonreversibility policy needs.
     pub max_value_size: usize,
+    /// Worker threads for the worklist exploration: `0` selects the
+    /// machine's available parallelism, `1` forces a fully sequential run
+    /// (the legacy behaviour). The exploration result is byte-identical at
+    /// every setting — parallelism only changes wall-clock time.
+    pub workers: usize,
+    /// Capacity (in memoized probes) of the feasibility cache shared across
+    /// workers; `0` disables memoization. Caching never changes results:
+    /// only *speculative* probes go through it, and feasibility is a pure
+    /// function of the probed constraints.
+    pub feasibility_cache: usize,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +103,22 @@ impl Default for EngineConfig {
             source_functions: BTreeSet::new(),
             record_trace: false,
             max_value_size: 64,
+            workers: 0,
+            feasibility_cache: 1 << 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The worker-thread count a run will actually use (`workers`, with `0`
+    /// resolved to the machine's available parallelism).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
         }
     }
 }
@@ -115,6 +149,19 @@ pub struct Stats {
     pub dropped_paths: usize,
     /// Total statements interpreted.
     pub steps: usize,
+}
+
+impl Stats {
+    /// Adds another counter set into this one (worklist merge).
+    pub fn absorb(&mut self, other: &Stats) {
+        self.forks += other.forks;
+        self.infeasible += other.infeasible;
+        self.completed += other.completed;
+        self.widenings += other.widenings;
+        self.dropped_steps += other.dropped_steps;
+        self.dropped_paths += other.dropped_paths;
+        self.steps += other.steps;
+    }
 }
 
 /// The result of exploring one entry function.
@@ -194,15 +241,15 @@ impl<'u> Engine<'u> {
             });
         }
 
+        let cache = FeasibilityCache::new(self.config.feasibility_cache);
         let mut explorer = Explorer {
             unit: self.unit,
             config: &self.config,
             source: self.source.as_deref(),
+            cache: &cache,
             next_symbol: 0,
             next_source: 1,
-            next_frame: 1,
-            next_shadow: 0,
-            secret_bases: BTreeSet::new(),
+            base_forks: 0,
             source_names: BTreeMap::new(),
             source_symbols: BTreeMap::new(),
             stats: Stats::default(),
@@ -217,7 +264,7 @@ impl<'u> Engine<'u> {
         explorer.bind_params(&mut state, func, bindings, &mut out_bases)?;
 
         let body = func.body.as_ref().expect("checked above");
-        let finished = explorer.exec_block(state, body);
+        let finished = self.drive_worklist(&mut explorer, &cache, state, body);
 
         let mut paths = Vec::new();
         for (mut st, flow) in finished {
@@ -233,14 +280,16 @@ impl<'u> Engine<'u> {
                 pi: st.path.to_string(),
                 span: func.span,
             });
+            // Algorithm 1 checks at declassification time: every return
+            // observation lands in the global event log, whether the path
+            // is kept or dropped by the budget below — mirroring how sink
+            // events are recorded when they happen.
+            if let Some(event) = &return_event {
+                explorer.event_log.push(event.clone());
+            }
             if paths.len() >= self.config.max_paths {
                 explorer.exhausted = true;
                 explorer.stats.dropped_paths += 1;
-                // the path is dropped but its return observation still
-                // counts for Algorithm 1's declassify-time comparison
-                if let Some(event) = return_event {
-                    explorer.event_log.push(event);
-                }
                 continue;
             }
             if let Some(event) = return_event {
@@ -272,6 +321,148 @@ impl<'u> Engine<'u> {
                 .collect(),
         })
     }
+
+    /// Explores the entry body as a sequence of *waves*: one wave per
+    /// top-level statement, in which every live path state becomes an
+    /// independent task fanned out over the worker pool. Results are merged
+    /// back in task order with their fresh ids renumbered onto the global
+    /// counters, so the outcome is byte-identical to a sequential run (see
+    /// the `worklist` module docs for the argument).
+    fn drive_worklist(
+        &self,
+        explorer: &mut Explorer<'u, '_>,
+        cache: &FeasibilityCache,
+        state: ExecState,
+        body: &[Stmt],
+    ) -> StateFlows {
+        let workers = self.config.effective_workers();
+        let mut entries: StateFlows = vec![(state, Flow::Normal)];
+        for stmt in body {
+            if !entries.iter().any(|(_, flow)| *flow == Flow::Normal) {
+                break;
+            }
+            // Non-Normal entries (already returned / broken) pass through
+            // positionally; Normal entries become tasks.
+            let mut tasks = Vec::new();
+            let mut layout = Vec::new();
+            for (st, flow) in std::mem::take(&mut entries) {
+                if flow == Flow::Normal {
+                    layout.push(None);
+                    tasks.push(st);
+                } else {
+                    layout.push(Some((st, flow)));
+                }
+            }
+            // All tasks of a wave share the wave-start fork count for the
+            // fork backstop, keeping the check worker-count-invariant.
+            let base_forks = explorer.stats.forks;
+            let results = run_tasks(workers, tasks, |_, task_state| {
+                self.run_stmt_task(cache, base_forks, task_state, stmt)
+            });
+            let mut results = results.into_iter();
+            for slot in layout {
+                match slot {
+                    Some(entry) => entries.push(entry),
+                    None => {
+                        let task = results.next().expect("one result per task");
+                        entries.extend(merge_task(explorer, task));
+                    }
+                }
+            }
+        }
+        entries
+    }
+
+    /// Executes one statement in one path state with task-local id
+    /// allocation (symbols and sources minted from [`LOCAL_ID_BASE`]).
+    fn run_stmt_task(
+        &self,
+        cache: &FeasibilityCache,
+        base_forks: usize,
+        state: ExecState,
+        stmt: &Stmt,
+    ) -> TaskResult {
+        let mut task = Explorer {
+            unit: self.unit,
+            config: &self.config,
+            source: self.source.as_deref(),
+            cache,
+            next_symbol: LOCAL_ID_BASE,
+            next_source: LOCAL_ID_BASE,
+            base_forks,
+            source_names: BTreeMap::new(),
+            source_symbols: BTreeMap::new(),
+            stats: Stats::default(),
+            exhausted: false,
+            event_log: Vec::new(),
+        };
+        let flows = task.exec(state, stmt);
+        TaskResult {
+            flows,
+            fresh_symbols: task.next_symbol - LOCAL_ID_BASE,
+            fresh_sources: task.next_source - LOCAL_ID_BASE,
+            source_names: task.source_names,
+            source_symbols: task.source_symbols,
+            stats: task.stats,
+            exhausted: task.exhausted,
+            events: task.event_log,
+        }
+    }
+}
+
+/// Everything one statement-task produced, with ids still task-local.
+struct TaskResult {
+    flows: StateFlows,
+    fresh_symbols: u32,
+    fresh_sources: u32,
+    source_names: BTreeMap<u32, String>,
+    source_symbols: BTreeMap<u32, u32>,
+    stats: Stats,
+    exhausted: bool,
+    events: Vec<DeclassifyEvent>,
+}
+
+/// Folds a task's results into the global explorer, translating task-local
+/// symbol/source ids onto the global counters. Called in canonical task
+/// order, this reproduces the exact numbering of a sequential exploration.
+fn merge_task(explorer: &mut Explorer<'_, '_>, task: TaskResult) -> StateFlows {
+    debug_assert!(
+        explorer.next_symbol < LOCAL_ID_BASE && explorer.next_source < LOCAL_ID_BASE,
+        "global id counters must stay below the task-local namespace"
+    );
+    let remap = IdRemap {
+        symbol_base: explorer.next_symbol,
+        source_base: explorer.next_source,
+    };
+    explorer.next_symbol += task.fresh_symbols;
+    explorer.next_source += task.fresh_sources;
+    for (id, name) in task.source_names {
+        explorer
+            .source_names
+            .insert(remap.source(SourceId::new(id)).index(), name);
+    }
+    for (id, sym) in task.source_symbols {
+        explorer
+            .source_symbols
+            .insert(remap.source(SourceId::new(id)).index(), remap.symbol(sym));
+    }
+    explorer.stats.absorb(&task.stats);
+    explorer.exhausted |= task.exhausted;
+    for mut event in task.events {
+        remap.remap_event(&mut event);
+        explorer.event_log.push(event);
+    }
+    task.flows
+        .into_iter()
+        .map(|(mut st, mut flow)| {
+            remap.remap_state(&mut st);
+            if let Flow::Return(Some((value, taint))) = &mut flow {
+                value.remap_symbols(&|id| remap.symbol(id));
+                *taint = remap.taint(taint);
+            }
+            (st, flow)
+        })
+        .collect()
 }
 
 /// Control flow out of a statement.
@@ -291,11 +482,13 @@ struct Explorer<'u, 'c> {
     unit: &'u TranslationUnit,
     config: &'c EngineConfig,
     source: Option<&'c str>,
+    cache: &'c FeasibilityCache,
     next_symbol: u32,
     next_source: u32,
-    next_frame: u32,
-    next_shadow: u32,
-    secret_bases: BTreeSet<Region>,
+    /// Fork count accumulated before this task's wave started; the fork
+    /// backstop compares `base_forks + stats.forks` so every task of a wave
+    /// sees the same, scheduling-invariant number.
+    base_forks: usize,
     source_names: BTreeMap<u32, String>,
     source_symbols: BTreeMap<u32, u32>,
     stats: Stats,
@@ -454,7 +647,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                         binding,
                         ParamBinding::SecretPointer | ParamBinding::InOutPointer
                     ) {
-                        self.secret_bases.insert(base.clone());
+                        state.secret_bases.insert(base.clone());
                     }
                     if matches!(
                         binding,
@@ -480,7 +673,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
         }
         let hint = region_hint(region);
         let sym = self.fresh_symbol(hint.clone());
-        let taint = if self.is_secret_region(region) {
+        let taint = if state.is_secret_region(region) {
             let source = self.fresh_source(hint);
             self.source_symbols.insert(source.index(), sym.id);
             TaintSet::source(source)
@@ -491,10 +684,6 @@ impl<'u, 'c> Explorer<'u, 'c> {
         state.store.bind(region.clone(), value.clone());
         state.taints.set(region.clone(), taint.clone());
         (value, taint)
-    }
-
-    fn is_secret_region(&self, region: &Region) -> bool {
-        self.secret_bases.iter().any(|base| region.is_within(base))
     }
 
     /// Resolves an identifier to its region (locals, then globals).
@@ -508,14 +697,15 @@ impl<'u, 'c> Explorer<'u, 'c> {
     }
 
     /// Declares a fresh local in the innermost scope, uniquifying shadowed
-    /// names so store bindings never collide.
+    /// names so store bindings never collide. The rename counter lives in
+    /// the state so the numbering depends only on the path's own history.
     fn declare_local(&mut self, state: &mut ExecState, name: &str) -> Region {
         let frame = state.frame();
         let shadowed = frame.lookup(name).is_some();
         let frame_id = frame.id;
         let unique = if shadowed {
-            self.next_shadow += 1;
-            format!("{name}~{}", self.next_shadow)
+            state.next_shadow += 1;
+            format!("{name}~{}", state.next_shadow)
         } else {
             name.to_string()
         };
@@ -932,7 +1122,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                         self.source_symbols.insert(source.index(), sym.id);
                         st.write(elem, SVal::Sym(sym), TaintSet::source(source));
                     }
-                    self.secret_bases.insert(region);
+                    st.secret_bases.insert(region);
                 }
                 let hint = format!("{callee}#out");
                 let source = self.fresh_source(hint.clone());
@@ -973,8 +1163,8 @@ impl<'u, 'c> Explorer<'u, 'c> {
         func: &Function,
         values: &[(SVal, TaintSet)],
     ) -> EvalResults {
-        let frame_id = self.next_frame;
-        self.next_frame += 1;
+        let frame_id = state.next_frame;
+        state.next_frame += 1;
         state.frames.push(Frame::new(frame_id, &func.name));
         for (param, (value, taint)) in func.params.iter().zip(values) {
             let region = Region::Var {
@@ -1270,11 +1460,13 @@ impl<'u, 'c> Explorer<'u, 'c> {
         cond_taint: &TaintSet,
         span: Span,
     ) -> Vec<(ExecState, bool)> {
-        // Decide feasibility on cheap constraint clones first, then clone
-        // the (heavy) state only when both directions survive.
+        // Decide feasibility with cheap, memoized probes first, then clone
+        // the (heavy) state only when both directions survive. The cache is
+        // safe here because these probes are speculative: the committed
+        // `assume` below still runs directly on the path's constraints.
         let feasible: Vec<bool> = [true, false]
             .into_iter()
-            .map(|taken| state.constraints.clone().assume(cond, taken) == Feasibility::Feasible)
+            .map(|taken| self.cache.check(&state.constraints, cond, taken) == Feasibility::Feasible)
             .collect();
         self.stats.infeasible += feasible.iter().filter(|f| !**f).count();
         let mut pending = Vec::new();
@@ -1301,7 +1493,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
         if out.len() == 2 {
             // Bound the work, not just the harvest: once the fork count
             // could already produce `max_paths` leaves, stop splitting.
-            if self.stats.forks >= self.config.max_paths.saturating_mul(4) {
+            // `base_forks` carries the count from before this wave, so the
+            // decision is identical for every worker layout.
+            if self.base_forks + self.stats.forks >= self.config.max_paths.saturating_mul(4) {
                 self.exhausted = true;
                 out.truncate(1);
             } else {
@@ -1340,9 +1534,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
                         for (cst, cv, ct) in self.eval(st, cond_expr) {
                             let cv = simplify(&cv);
                             let concrete = cv.is_const()
-                                || cst.constraints.clone().assume(&cv, true)
+                                || self.cache.check(&cst.constraints, &cv, true)
                                     == Feasibility::Infeasible
-                                || cst.constraints.clone().assume(&cv, false)
+                                || self.cache.check(&cst.constraints, &cv, false)
                                     == Feasibility::Infeasible;
                             for (branch, taken) in self.fork(cst, &cv, &ct, cond_expr.span) {
                                 if taken {
@@ -1877,6 +2071,93 @@ mod tests {
             ex.paths[0].return_value.as_ref().unwrap().0,
             SVal::Int(5 * 1000 + 7 * 100 + 7 * 10 + 5)
         );
+    }
+
+    #[test]
+    fn return_events_cover_dropped_paths() {
+        // 2^4 = 16 paths from 4 independent bit tests, budget 4: every
+        // return observation must reach the global event log, kept or
+        // dropped alike (Algorithm 1 checks at declassify time).
+        let mut body = String::from("int f(int a) { int s = 0;\n");
+        for i in 0..4 {
+            body.push_str(&format!("if ((a >> {i}) & 1) s += 1;\n"));
+        }
+        body.push_str("return s; }");
+        let unit = minic::parse(&body).unwrap();
+        let config = EngineConfig {
+            max_paths: 4,
+            ..EngineConfig::default()
+        };
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+        assert!(ex.exhausted);
+        assert_eq!(ex.stats.completed, 4);
+        assert_eq!(ex.stats.dropped_paths, 12);
+        let global_returns = ex
+            .events
+            .iter()
+            .filter(|e| matches!(e.channel, Channel::Return))
+            .count();
+        assert_eq!(global_returns, ex.stats.completed + ex.stats.dropped_paths);
+        // Kept paths still carry their own copy, like sink events do.
+        assert!(ex.paths.iter().all(|p| p
+            .state
+            .events
+            .iter()
+            .any(|e| matches!(e.channel, Channel::Return))));
+    }
+
+    #[test]
+    fn workers_produce_identical_explorations() {
+        // Branches, a widened loop, an inlined call, a sink and a source
+        // function all mint ids; the parallel run must be byte-identical.
+        let src = "int ipp_decrypt(char *dst, char *src, int n);\n\
+                   void send(int v);\n\
+                   int helper(int x) { if (x > 3) return x + 1; return x; }\n\
+                   int f(char *s, int n, char *out) {\n\
+                       int acc = 0;\n\
+                       int i = 0;\n\
+                       while (i < n) { acc = acc + s[0]; i = i + 1; }\n\
+                       if (s[1] > 7) acc = helper(acc);\n\
+                       ipp_decrypt(out, s, 2);\n\
+                       send(acc);\n\
+                       out[0] = acc;\n\
+                       return acc;\n\
+                   }";
+        let unit = minic::parse(src).unwrap();
+        let bindings = [
+            ParamBinding::SecretPointer,
+            ParamBinding::Scalar,
+            ParamBinding::InOutPointer,
+        ];
+        let mut base = EngineConfig::default();
+        base.sink_functions.insert("send".into());
+        base.source_functions.insert("ipp_decrypt".into());
+        let sequential = Engine::new(
+            &unit,
+            EngineConfig {
+                workers: 1,
+                ..base.clone()
+            },
+        )
+        .run("f", &bindings)
+        .unwrap();
+        for workers in [2, 4] {
+            let parallel = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    ..base.clone()
+                },
+            )
+            .run("f", &bindings)
+            .unwrap();
+            assert_eq!(sequential, parallel, "workers={workers} diverged");
+        }
+        // Sanity: the workload actually forked and minted secret sources.
+        assert!(sequential.paths.len() > 1);
+        assert!(!sequential.secret_sources.is_empty());
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod simplify;
 pub mod state;
 pub mod trace;
 pub mod value;
+mod worklist;
 
+pub use constraints::FeasibilityCache;
 pub use engine::{Engine, EngineConfig, Exploration, ParamBinding, PathOutcome};
 pub use error::EngineError;
 pub use value::{Region, SVal, Symbol};

@@ -66,9 +66,18 @@ pub fn fold_binary(op: BinOp, lhs: SVal, rhs: SVal) -> SVal {
         (BinOp::Ne, x, y) | (BinOp::Lt, x, y) | (BinOp::Gt, x, y) if x == y && !x.has_unknown() => {
             return SVal::Int(0)
         }
-        // logical identities
-        (BinOp::LogAnd, SVal::Int(0), _) | (BinOp::LogAnd, _, SVal::Int(0)) => return SVal::Int(0),
-        (BinOp::LogOr, x, _) | (BinOp::LogOr, _, x) if matches!(x, SVal::Int(v) if *v != 0) => {
+        // logical identities — a falsy constant annihilates `&&`, a truthy
+        // one decides `||`. Floats count: `0.0` (and `-0.0`) are falsy in C,
+        // any other value (NaN included: NaN != 0.0) is truthy.
+        (BinOp::LogAnd, c, _) | (BinOp::LogAnd, _, c)
+            if matches!(c, SVal::Int(0)) || matches!(c, SVal::Float(v) if v.0 == 0.0) =>
+        {
+            return SVal::Int(0)
+        }
+        (BinOp::LogOr, c, _) | (BinOp::LogOr, _, c)
+            if matches!(c, SVal::Int(v) if *v != 0)
+                || matches!(c, SVal::Float(v) if v.0 != 0.0) =>
+        {
             return SVal::Int(1)
         }
         _ => {}
@@ -242,6 +251,26 @@ mod tests {
         assert_eq!(simplify(&e), SVal::Int(0));
         let e = SVal::binary(BinOp::LogOr, SVal::Int(7), x());
         assert_eq!(simplify(&e), SVal::Int(1));
+    }
+
+    #[test]
+    fn short_circuit_identities_with_floats() {
+        // `0.0 && x` and `x && 0.0` are 0 even when x stays symbolic.
+        let e = SVal::binary(BinOp::LogAnd, SVal::float(0.0), x());
+        assert_eq!(simplify(&e), SVal::Int(0));
+        let e = SVal::binary(BinOp::LogAnd, x(), SVal::float(-0.0));
+        assert_eq!(simplify(&e), SVal::Int(0));
+        // A truthy float decides `||` regardless of the symbolic side.
+        let e = SVal::binary(BinOp::LogOr, SVal::float(2.5), x());
+        assert_eq!(simplify(&e), SVal::Int(1));
+        let e = SVal::binary(BinOp::LogOr, x(), SVal::float(-1.0));
+        assert_eq!(simplify(&e), SVal::Int(1));
+        // A falsy float must NOT decide `||` (the symbolic side remains).
+        let e = SVal::binary(BinOp::LogOr, SVal::float(0.0), x());
+        assert!(matches!(simplify(&e), SVal::Binary { .. }));
+        // And a truthy float must NOT annihilate `&&`.
+        let e = SVal::binary(BinOp::LogAnd, SVal::float(1.5), x());
+        assert!(matches!(simplify(&e), SVal::Binary { .. }));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The per-path execution state: environment, store, path condition, taint.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use minic::ast::ExprId;
@@ -214,12 +214,27 @@ pub struct ExecState {
     pub frames: Vec<Frame>,
     /// Recorded state snapshots (when tracing is enabled).
     pub trace: Vec<crate::trace::TraceStep>,
+    /// Next frame id to hand out for an inlined call on this path.
+    ///
+    /// Per-state (not global) so frame numbering depends only on the path's
+    /// own history — a prerequisite for the worklist engine's determinism
+    /// guarantee, since frame ids appear in rendered trace text.
+    pub next_frame: u32,
+    /// Next shadow-rename counter for re-declared locals on this path.
+    pub next_shadow: u32,
+    /// Base regions holding secret data on this path (entry parameters
+    /// marked secret, plus regions written by configured source functions).
+    pub secret_bases: BTreeSet<Region>,
 }
 
 impl ExecState {
-    /// Creates a pristine state.
+    /// Creates a pristine state. Frame id 0 is reserved for the entry
+    /// function, so inlined callees start at 1.
     pub fn new() -> Self {
-        ExecState::default()
+        ExecState {
+            next_frame: 1,
+            ..ExecState::default()
+        }
     }
 
     /// The innermost call frame.
@@ -250,6 +265,11 @@ impl ExecState {
     /// The taint of a region (⊥ if never set).
     pub fn taint_of(&self, region: &Region) -> TaintSet {
         self.taints.get(region)
+    }
+
+    /// Whether `region` lies within any base marked secret on this path.
+    pub fn is_secret_region(&self, region: &Region) -> bool {
+        self.secret_bases.iter().any(|base| region.is_within(base))
     }
 }
 

@@ -19,6 +19,14 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct OrderedF64(pub f64);
 
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Bit-level hashing is consistent with the total_cmp-based Eq:
+        // total_cmp equality implies identical bit patterns.
+        self.0.to_bits().hash(state);
+    }
+}
+
 impl PartialEq for OrderedF64 {
     fn eq(&self, other: &Self) -> bool {
         self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
@@ -46,7 +54,7 @@ impl fmt::Display for OrderedF64 {
 /// Symbols are identified by `id`; `hint` is a human-readable name used in
 /// traces and reports (e.g. `secrets[0]`). Two symbols with the same id are
 /// the same symbol — the engine never reuses ids within one exploration.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Symbol {
     /// Unique id within one exploration.
     pub id: u32,
@@ -75,7 +83,7 @@ impl fmt::Display for Symbol {
 }
 
 /// An abstract memory region, following the Clang Static Analyzer model.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Region {
     /// A named local variable or parameter of a function frame
     /// (`VarRegion`). `frame` disambiguates inlined calls.
@@ -125,6 +133,19 @@ impl Region {
         }
     }
 
+    /// Rewrites every symbol id in the region through `f`.
+    pub fn remap_symbols<F: Fn(u32) -> u32>(&mut self, f: &F) {
+        match self {
+            Region::Element { base, index } => {
+                base.remap_symbols(f);
+                index.remap_symbols(f);
+            }
+            Region::Field { base, .. } => base.remap_symbols(f),
+            Region::Sym { symbol } => symbol.id = f(symbol.id),
+            Region::Var { .. } | Region::Global { .. } | Region::Str { .. } => {}
+        }
+    }
+
     /// Whether this region is `other` or a subregion of it.
     pub fn is_within(&self, other: &Region) -> bool {
         if self == other {
@@ -157,7 +178,7 @@ impl fmt::Display for Region {
 }
 
 /// A symbolic value — what the store σ maps regions to.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SVal {
     /// A concrete integer.
     Int(i64),
@@ -276,6 +297,28 @@ impl SVal {
             Some(limit - budget)
         } else {
             None
+        }
+    }
+
+    /// Rewrites every symbol id in the expression through `f`.
+    ///
+    /// Used by the worklist engine's deterministic merge to translate
+    /// task-local symbol ids into the global numbering.
+    pub fn remap_symbols<F: Fn(u32) -> u32>(&mut self, f: &F) {
+        match self {
+            SVal::Sym(sym) => sym.id = f(sym.id),
+            SVal::Loc(region) => region.remap_symbols(f),
+            SVal::Binary { lhs, rhs, .. } => {
+                lhs.remap_symbols(f);
+                rhs.remap_symbols(f);
+            }
+            SVal::Unary { arg, .. } => arg.remap_symbols(f),
+            SVal::Call { args, .. } => {
+                for arg in args {
+                    arg.remap_symbols(f);
+                }
+            }
+            SVal::Int(_) | SVal::Float(_) | SVal::Unknown => {}
         }
     }
 

@@ -1,0 +1,291 @@
+//! Deterministic fan-out support for the worklist engine.
+//!
+//! The engine explores one top-level statement per *wave*: every live path
+//! state becomes an independent task, tasks run on a scoped thread pool
+//! ([`run_tasks`]), and the results are merged back **in task order**. Two
+//! pieces make the merged output byte-identical to a sequential run:
+//!
+//! 1. **Partitioned id allocation.** Each task mints symbol and source ids
+//!    from a private namespace starting at [`LOCAL_ID_BASE`] (the upper
+//!    half of the `u32` space), so concurrent tasks can never race on the
+//!    global counters.
+//! 2. **Order-preserving remap.** During the merge, [`IdRemap`] translates
+//!    each task's local ids onto the global counters in canonical task
+//!    order — reproducing exactly the numbering a sequential left-to-right
+//!    exploration would have produced.
+//!
+//! Frame ids and shadow-rename counters need no translation: they live in
+//! [`ExecState`](crate::state::ExecState) and depend only on the path's own
+//! history, which is scheduling-invariant by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use taint::{SourceId, TaintSet};
+
+use crate::state::{Channel, DeclassifyEvent, Environment, ExecState, Store};
+
+/// First id of the task-local symbol/source namespace (2³¹).
+///
+/// Global counters stay far below this in any realistic exploration; the
+/// engine debug-asserts the invariant at merge time.
+pub(crate) const LOCAL_ID_BASE: u32 = 0x8000_0000;
+
+/// Translates task-local symbol and source ids onto the global counters.
+pub(crate) struct IdRemap {
+    /// Global id assigned to the task's first local symbol.
+    pub symbol_base: u32,
+    /// Global id assigned to the task's first local source.
+    pub source_base: u32,
+}
+
+impl IdRemap {
+    /// Maps a symbol id; ids below [`LOCAL_ID_BASE`] pre-date the task and
+    /// pass through unchanged.
+    pub fn symbol(&self, id: u32) -> u32 {
+        if id >= LOCAL_ID_BASE {
+            self.symbol_base + (id - LOCAL_ID_BASE)
+        } else {
+            id
+        }
+    }
+
+    /// Maps a source id (same scheme as [`IdRemap::symbol`]).
+    pub fn source(&self, id: SourceId) -> SourceId {
+        let raw = id.index();
+        if raw >= LOCAL_ID_BASE {
+            SourceId::new(self.source_base + (raw - LOCAL_ID_BASE))
+        } else {
+            id
+        }
+    }
+
+    /// Rebuilds a taint set with all source ids mapped.
+    pub fn taint(&self, ts: &TaintSet) -> TaintSet {
+        TaintSet::from_sources(ts.sources().map(|s| self.source(s)))
+    }
+
+    /// Rewrites every local id in a declassification event.
+    pub fn remap_event(&self, event: &mut DeclassifyEvent) {
+        let sym = |id| self.symbol(id);
+        event.value.remap_symbols(&sym);
+        event.taint = self.taint(&event.taint);
+        event.pi_taint = self.taint(&event.pi_taint);
+        if let Channel::OutParam { region } = &mut event.channel {
+            region.remap_symbols(&sym);
+        }
+        // `event.pi` is rendered text; symbols print as `$hint`, never as a
+        // raw id, so it needs no translation.
+    }
+
+    /// Rewrites every local id in an execution state.
+    pub fn remap_state(&self, state: &mut ExecState) {
+        let sym = |id| self.symbol(id);
+
+        let mut env = Environment::new();
+        for (expr, region) in std::mem::take(&mut state.env).iter() {
+            let mut region = region.clone();
+            region.remap_symbols(&sym);
+            env.bind(*expr, region);
+        }
+        state.env = env;
+
+        let mut store = Store::new();
+        for (region, value) in std::mem::take(&mut state.store).iter() {
+            let mut region = region.clone();
+            let mut value = value.clone();
+            region.remap_symbols(&sym);
+            value.remap_symbols(&sym);
+            store.bind(region, value);
+        }
+        state.store = store;
+
+        let old_path = std::mem::take(&mut state.path);
+        for assumption in old_path.assumptions() {
+            let mut cond = assumption.cond.clone();
+            cond.remap_symbols(&sym);
+            state.path.push(cond, assumption.taken);
+        }
+
+        state.constraints.remap_symbols(&sym);
+
+        state.taints = std::mem::replace(&mut state.taints, taint::TaintMap::new())
+            .iter()
+            .map(|(region, ts)| {
+                let mut region = region.clone();
+                region.remap_symbols(&sym);
+                (region, self.taint(ts))
+            })
+            .collect();
+
+        state.pi_taint = self.taint(&state.pi_taint);
+
+        for event in &mut state.events {
+            self.remap_event(event);
+        }
+        for region in &mut state.write_log {
+            region.remap_symbols(&sym);
+        }
+        state.secret_bases = std::mem::take(&mut state.secret_bases)
+            .into_iter()
+            .map(|mut region| {
+                region.remap_symbols(&sym);
+                region
+            })
+            .collect();
+        for frame in &mut state.frames {
+            for scope in &mut frame.scopes {
+                for region in scope.values_mut() {
+                    region.remap_symbols(&sym);
+                }
+            }
+        }
+        // `state.trace` holds rendered text only — nothing to translate.
+    }
+}
+
+/// Runs `run` over `inputs` on up to `workers` scoped threads, returning
+/// the results **in input order** regardless of completion order.
+///
+/// With `workers <= 1` (or a single input) this degrades to a plain
+/// sequential loop — the legacy engine behaviour — using the very same
+/// task closure, so parallel and sequential runs share one code path.
+pub(crate) fn run_tasks<T, R, F>(workers: usize, inputs: Vec<T>, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = inputs.len();
+    if workers <= 1 || n <= 1 {
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(index, input)| run(index, input))
+            .collect();
+    }
+    let tasks: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let input = tasks[index]
+                    .lock()
+                    .expect("task slot")
+                    .take()
+                    .expect("each task is claimed exactly once");
+                let output = run(index, input);
+                *results[index].lock().expect("result slot") = Some(output);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every task completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Region, SVal, Symbol};
+
+    #[test]
+    fn run_tasks_preserves_input_order() {
+        let inputs: Vec<usize> = (0..64).collect();
+        let sequential = run_tasks(1, inputs.clone(), |i, v| (i, v * v));
+        let parallel = run_tasks(8, inputs, |i, v| {
+            if v % 3 == 0 {
+                std::thread::yield_now();
+            }
+            (i, v * v)
+        });
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel[10], (10, 100));
+    }
+
+    #[test]
+    fn remap_translates_local_ids_and_keeps_global_ones() {
+        let remap = IdRemap {
+            symbol_base: 5,
+            source_base: 9,
+        };
+        assert_eq!(remap.symbol(3), 3);
+        assert_eq!(remap.symbol(LOCAL_ID_BASE), 5);
+        assert_eq!(remap.symbol(LOCAL_ID_BASE + 2), 7);
+        assert_eq!(remap.source(SourceId::new(1)), SourceId::new(1));
+        assert_eq!(
+            remap.source(SourceId::new(LOCAL_ID_BASE + 1)),
+            SourceId::new(10)
+        );
+        let ts = TaintSet::from_sources([SourceId::new(1), SourceId::new(LOCAL_ID_BASE)]);
+        let mapped: Vec<_> = remap.taint(&ts).sources().collect();
+        assert_eq!(mapped, vec![SourceId::new(1), SourceId::new(9)]);
+    }
+
+    #[test]
+    fn remap_state_walks_every_component() {
+        let remap = IdRemap {
+            symbol_base: 100,
+            source_base: 200,
+        };
+        let local_sym = Symbol::new(LOCAL_ID_BASE, "fresh");
+        let region = Region::Element {
+            base: Box::new(Region::Sym {
+                symbol: local_sym.clone(),
+            }),
+            index: Box::new(SVal::Sym(local_sym.clone())),
+        };
+        let mut state = ExecState::new();
+        state.write(
+            region.clone(),
+            SVal::Sym(local_sym.clone()),
+            TaintSet::source(SourceId::new(LOCAL_ID_BASE)),
+        );
+        state.path.push(SVal::Sym(local_sym.clone()), true);
+        state.constraints.assume(&SVal::Sym(local_sym), true);
+        state.secret_bases.insert(region);
+
+        remap.remap_state(&mut state);
+
+        let expected = Symbol::new(100, "fresh");
+        let expected_region = Region::Element {
+            base: Box::new(Region::Sym {
+                symbol: expected.clone(),
+            }),
+            index: Box::new(SVal::Sym(expected.clone())),
+        };
+        assert_eq!(
+            state.store.lookup(&expected_region),
+            Some(&SVal::Sym(expected.clone()))
+        );
+        assert_eq!(
+            state
+                .taint_of(&expected_region)
+                .sources()
+                .collect::<Vec<_>>(),
+            vec![SourceId::new(200)]
+        );
+        assert_eq!(state.path.assumptions()[0].cond, SVal::Sym(expected));
+        assert_eq!(state.write_log, vec![expected_region.clone()]);
+        assert!(state.is_secret_region(&expected_region));
+        // The remapped constraint key must now answer for the global id.
+        assert_eq!(state.constraints.known_value(100), None);
+        assert_eq!(
+            state
+                .constraints
+                .clone()
+                .assume(&SVal::Sym(Symbol::new(100, "fresh")), false),
+            crate::constraints::Feasibility::Infeasible
+        );
+    }
+}

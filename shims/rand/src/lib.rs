@@ -1,0 +1,180 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides `SeedableRng::seed_from_u64`, `Rng::gen_range` over the range
+//! types this workspace samples, and a deterministic `StdRng` backed by
+//! xoshiro256++ seeded through splitmix64 — the same construction the real
+//! `rand` 0.8 `StdRng` documentation recommends for reproducible streams.
+//! (The concrete stream differs from upstream `StdRng`; the workspace only
+//! relies on determinism per seed, not on a specific stream.)
+
+use std::ops::Range;
+
+/// Trait for seeding a generator from a `u64`, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the slice of `rand::Rng` used here.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (half-open).
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// Samples a value of type `T` via [`Standard`]-style distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+}
+
+/// Types samplable from raw bits (`rng.gen()`).
+pub trait Standard {
+    /// Builds a sample from 64 uniform random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Range types usable with `gen_range`.
+pub trait SampleRange: Sized {
+    /// Samples uniformly from `range`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for $ty {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<$ty>) -> $ty {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Rejection-free modulo; bias is irrelevant for the synthetic
+                // data sizes this workspace draws.
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // splitmix64 expansion of the 64-bit seed into the full state,
+            // as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5.0..5.0);
+            assert!((-5.0..5.0).contains(&v));
+            let n = rng.gen_range(0..10u64);
+            assert!(n < 10);
+        }
+    }
+}

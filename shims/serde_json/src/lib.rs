@@ -1,0 +1,428 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Reuses the in-tree serde shim's [`Value`] tree as its JSON document
+//! model and adds the text layer: a JSON writer (compact and pretty) and a
+//! recursive-descent JSON reader, plus the `to_value` / `from_value` /
+//! `json!` entry points this workspace uses.
+
+pub use serde::{Number, Value};
+
+/// Errors share the serde shim's error type.
+pub type Error = serde::Error;
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` into a generic [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    serde::to_value(value)
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::DeserializeOwned>(value: Value) -> Result<T> {
+    serde::from_value(value)
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value)?, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value)?, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::DeserializeOwned>(text: &str) -> Result<T> {
+    from_value(parse(text)?)
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Supports `null`, nested
+/// array / object literals, and arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::json!($elem)),*])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![$((String::from($key), $crate::json!($value))),*])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+        // Non-finite floats have no JSON representation; serde_json emits
+        // null for them in its lossy mode.
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected input {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::custom("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::custom("lone high surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::custom("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| Error::custom("bad unicode escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("bad unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("bad unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::F64(v)))
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_pretty_text() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::String("a\"b\n".to_string())),
+            (
+                "items".to_string(),
+                Value::Array(vec![
+                    Value::Number(Number::I64(-3)),
+                    Value::Bool(true),
+                    Value::Null,
+                ]),
+            ),
+        ]);
+        let text = {
+            let mut out = String::new();
+            write_value(&mut out, &value, Some(2), 0);
+            out
+        };
+        assert_eq!(parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn parses_floats_and_large_integers() {
+        assert_eq!(parse("1.5").unwrap(), Value::Number(Number::F64(1.5)));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::Number(Number::U64(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn json_macro_builds_values() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(12345u64), Value::Number(Number::U64(12345)));
+        let obj = json!({"a": 1, "b": [true, null]});
+        assert_eq!(obj["a"], Value::Number(Number::I64(1)));
+        assert_eq!(obj["b"][1], Value::Null);
+    }
+
+    #[test]
+    fn index_mut_replaces_fields() {
+        let mut v = parse(r#"{"tag": 1}"#).unwrap();
+        v["tag"] = json!(2u64);
+        assert_eq!(v["tag"], Value::Number(Number::U64(2)));
+    }
+}
