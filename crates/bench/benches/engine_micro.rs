@@ -1,10 +1,14 @@
 //! Microbenchmarks of the engine's building blocks: frontend parsing,
 //! expression simplification, constraint management, taint joins, PRIML
-//! analysis, and the enclave runtime interpreter.
+//! analysis, the enclave runtime interpreter, and the supervised-runtime
+//! overhead (deadline polling).
+
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use minic::ast::BinOp;
 use symexec::constraints::ConstraintManager;
+use symexec::engine::{Engine, EngineConfig, ParamBinding};
 use symexec::simplify::simplify;
 use symexec::value::{SVal, Symbol};
 use taint::{SourceId, TaintSet};
@@ -98,6 +102,33 @@ fn bench_runtime(c: &mut Criterion) {
     });
 }
 
+fn bench_supervisor(c: &mut Criterion) {
+    // The deadline supervisor polls a monotonic clock every 64 interpreted
+    // steps; this pair quantifies that overhead on a fork-heavy workload
+    // (the far-future deadline never fires, so both runs explore the same
+    // paths).
+    let mut source = String::from("int f(int a) { int s = 0;\n");
+    for i in 0..8 {
+        source.push_str(&format!("if ((a >> {i}) & 1) s += {i};\n"));
+    }
+    source.push_str("return s; }");
+    let unit = minic::parse(&source).expect("parses");
+    let run = |deadline: Option<Duration>| {
+        let config = EngineConfig {
+            workers: 1,
+            deadline,
+            ..EngineConfig::default()
+        };
+        Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .expect("explores")
+    };
+    c.bench_function("explore_unsupervised", |b| b.iter(|| run(None)));
+    c.bench_function("explore_with_deadline", |b| {
+        b.iter(|| run(Some(Duration::from_secs(3600))))
+    });
+}
+
 criterion_group!(
     benches,
     bench_frontend,
@@ -105,6 +136,7 @@ criterion_group!(
     bench_constraints,
     bench_taint,
     bench_priml,
-    bench_runtime
+    bench_runtime,
+    bench_supervisor
 );
 criterion_main!(benches);

@@ -2,10 +2,11 @@
 //! nonreversibility policy checks of §V-B/§VI-B.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use edl::{AnalysisConfig, EdlFile, Prototype};
 use minic::ast::TranslationUnit;
+use symexec::degrade::CancelToken;
 use symexec::engine::{region_hint, Engine, EngineConfig, ParamBinding};
 use symexec::state::Channel;
 use taint::SourceId;
@@ -57,6 +58,15 @@ pub struct AnalyzerOptions {
     /// `0` = available parallelism, `1` = sequential. Results are
     /// byte-identical at every setting.
     pub workers: usize,
+    /// Wall-clock deadline in milliseconds (see [`EngineConfig::deadline`]):
+    /// exploration stops deterministically at the first wave boundary after
+    /// the deadline, recording the dropped paths in the ledger.
+    pub deadline_ms: Option<u64>,
+    /// Cooperative cancellation handle shared with the engine.
+    pub cancel: CancelToken,
+    /// Test hook: panic when this function is called (exercises the
+    /// engine's panic isolation end to end).
+    pub inject_panic_on_call: Option<String>,
 }
 
 impl Default for AnalyzerOptions {
@@ -73,6 +83,9 @@ impl Default for AnalyzerOptions {
             check_timing: false,
             property: Property::default(),
             workers: 0,
+            deadline_ms: None,
+            cancel: CancelToken::new(),
+            inject_panic_on_call: None,
         }
     }
 }
@@ -181,6 +194,9 @@ impl Analyzer {
             inline_depth: self.options.inline_depth,
             record_trace: self.options.record_trace,
             workers: self.options.workers,
+            deadline: self.options.deadline_ms.map(Duration::from_millis),
+            cancel: self.options.cancel.clone(),
+            inject_panic_on_call: self.options.inject_panic_on_call.clone(),
             ..EngineConfig::default()
         };
         for sink in self
@@ -337,6 +353,7 @@ impl Analyzer {
         Ok(Report {
             function: function.to_string(),
             findings,
+            degradations: exploration.ledger.entries().to_vec(),
             stats: AnalysisStats {
                 paths: exploration.paths.len(),
                 forks: exploration.stats.forks,
@@ -366,6 +383,8 @@ impl Analyzer {
             inline_depth: self.options.inline_depth,
             record_trace: true,
             workers: self.options.workers,
+            deadline: self.options.deadline_ms.map(Duration::from_millis),
+            cancel: self.options.cancel.clone(),
             ..EngineConfig::default()
         };
         let engine = Engine::new(&self.unit, engine_config).with_source(self.source.clone());

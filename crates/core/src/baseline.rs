@@ -91,6 +91,7 @@ pub fn analyze(source: &str, edl_text: &str, function: &str) -> Result<Report, E
     Ok(Report {
         function: function.to_string(),
         findings: pass.findings.into_values().collect(),
+        degradations: Vec::new(),
         stats: crate::report::AnalysisStats {
             paths: 1,
             forks: 0,

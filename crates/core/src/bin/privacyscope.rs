@@ -10,29 +10,50 @@
 //!     --max-paths <n>       path budget (default 4096)
 //!     --loop-bound <n>      symbolic loop bound (default 4)
 //!     --workers <n>         exploration threads (0 = all cores, 1 = sequential)
+//!     --deadline-ms <n>     wall-clock deadline; exploration stops at the
+//!                           first wave boundary past it and the dropped
+//!                           paths land in the degradation ledger
 //!
 //! privacyscope priml <program.priml>
 //!     analyze a PRIML program with the formal semantics and print the
 //!     simulation table (Tables II/III style)
 //! ```
 //!
-//! Exit code: 0 when every analyzed function satisfies nonreversibility,
-//! 1 when violations were found, 2 on usage or input errors.
+//! Exit codes: 0 when every analyzed function satisfies nonreversibility
+//! and the exploration was complete, 1 when violations were found, 2 on
+//! usage or input errors, 3 when every function *looks* secure but paths
+//! were lost (budget/deadline/panic) — the clean verdict is a lower bound.
 
 use std::process::ExitCode;
 
 use privacyscope::{Analyzer, AnalyzerOptions};
 
+/// What one CLI run concluded, before mapping onto an exit code.
+struct Verdict {
+    /// Every analyzed function was free of violations.
+    secure: bool,
+    /// At least one exploration lost paths (see `Report::is_degraded`).
+    degraded: bool,
+}
+
+impl Verdict {
+    fn clean() -> Verdict {
+        Verdict {
+            secure: true,
+            degraded: false,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(secure) => {
-            if secure {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+        Ok(Verdict { secure: false, .. }) => ExitCode::from(1),
+        Ok(Verdict {
+            secure: true,
+            degraded: true,
+        }) => ExitCode::from(3),
+        Ok(_) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("privacyscope: {message}");
             ExitCode::from(2)
@@ -40,13 +61,13 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<bool, String> {
+fn run(args: &[String]) -> Result<Verdict, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("priml") => priml_mode(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
-            Ok(true)
+            Ok(Verdict::clean())
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
@@ -56,8 +77,11 @@ const USAGE: &str = "\
 usage:
   privacyscope analyze <enclave.c> <enclave.edl> [--config <xml>] [--function <name>]
                        [--json] [--trace] [--baseline] [--max-paths <n>] [--loop-bound <n>]
-                       [--workers <n>]
+                       [--workers <n>] [--deadline-ms <n>]
   privacyscope priml <program.priml>
+
+exit codes: 0 secure and complete, 1 violations found, 2 usage/input error,
+            3 secure but paths were lost (verdict is a lower bound)
 ";
 
 struct Cli {
@@ -108,16 +132,33 @@ impl Cli {
                 .map_err(|_| format!("--{name} expects a number, got `{text}`")),
         }
     }
+
+    fn u64_opt_value(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(text) => text
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got `{text}`")),
+        }
+    }
 }
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
-fn analyze(args: &[String]) -> Result<bool, String> {
+fn analyze(args: &[String]) -> Result<Verdict, String> {
     let cli = parse_cli(
         args,
-        &["config", "function", "max-paths", "loop-bound", "workers"],
+        &[
+            "config",
+            "function",
+            "max-paths",
+            "loop-bound",
+            "workers",
+            "deadline-ms",
+        ],
         &["json", "trace", "baseline"],
     )?;
     let [source_path, edl_path] = cli.positional.as_slice() else {
@@ -132,6 +173,7 @@ fn analyze(args: &[String]) -> Result<bool, String> {
         max_paths: cli.usize_value("max-paths", 4096)?,
         loop_bound: cli.usize_value("loop-bound", 4)?,
         workers: cli.usize_value("workers", 0)?,
+        deadline_ms: cli.u64_opt_value("deadline-ms")?,
         ..AnalyzerOptions::default()
     };
 
@@ -152,13 +194,13 @@ fn analyze(args: &[String]) -> Result<bool, String> {
         return Err("no public ECALLs to analyze (and no --function given)".into());
     }
 
-    let mut secure = true;
+    let mut verdict = Verdict::clean();
     for target in &targets {
         if cli.has("baseline") {
             let report = privacyscope::baseline::analyze(&source, &edl_text, target)
                 .map_err(|e| e.to_string())?;
             emit(&report, cli.has("json"));
-            secure &= report.is_secure();
+            verdict.secure &= report.is_secure();
             continue;
         }
         if cli.has("trace") {
@@ -168,9 +210,10 @@ fn analyze(args: &[String]) -> Result<bool, String> {
         }
         let report = analyzer.analyze(target).map_err(|e| e.to_string())?;
         emit(&report, cli.has("json"));
-        secure &= report.is_secure();
+        verdict.secure &= report.is_secure();
+        verdict.degraded |= report.is_degraded();
     }
-    Ok(secure)
+    Ok(verdict)
 }
 
 fn emit(report: &privacyscope::Report, json: bool) {
@@ -181,7 +224,7 @@ fn emit(report: &privacyscope::Report, json: bool) {
     }
 }
 
-fn priml_mode(args: &[String]) -> Result<bool, String> {
+fn priml_mode(args: &[String]) -> Result<Verdict, String> {
     let cli = parse_cli(args, &[], &[])?;
     let [path] = cli.positional.as_slice() else {
         return Err(format!("`priml` needs a program file\n{USAGE}"));
@@ -196,5 +239,8 @@ fn priml_mode(args: &[String]) -> Result<bool, String> {
     if outcome.is_secure() {
         println!("nonreversibility holds.");
     }
-    Ok(outcome.is_secure())
+    Ok(Verdict {
+        secure: outcome.is_secure(),
+        degraded: false,
+    })
 }

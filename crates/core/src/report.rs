@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use symexec::Degradation;
 
 /// Whether a finding is an explicit or implicit information leak.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -126,6 +127,10 @@ pub struct Report {
     pub function: String,
     /// All findings, explicit first.
     pub findings: Vec<Finding>,
+    /// The exploration's degradation ledger: every way the analysis fell
+    /// short of a complete exploration, typed (empty = complete).
+    #[serde(default)]
+    pub degradations: Vec<Degradation>,
     /// Exploration statistics.
     pub stats: AnalysisStats,
 }
@@ -134,6 +139,14 @@ impl Report {
     /// Whether the function satisfies nonreversibility.
     pub fn is_secure(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Whether the exploration lost *paths* (budget, deadline, cancel or a
+    /// panicked task): the leak set is then a lower bound, and a "secure"
+    /// verdict is under-approximate. Precision-only degradations
+    /// (widening) do not count — they keep the leak set intact.
+    pub fn is_degraded(&self) -> bool {
+        self.degradations.iter().any(Degradation::loses_paths)
     }
 
     /// The explicit findings.
@@ -183,6 +196,26 @@ impl fmt::Display for Report {
                 ""
             }
         )?;
+        if !self.degradations.is_empty() {
+            writeln!(f, "Degradations:")?;
+            for degradation in &self.degradations {
+                writeln!(f, "  - {degradation}")?;
+            }
+            if self.is_degraded() {
+                writeln!(
+                    f,
+                    "Soundness: paths were lost — the leak set is a lower bound \
+                     (a clean verdict is under-approximate)."
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "Soundness: every feasible path was explored; only value \
+                     precision was reduced (taint preserved) — the leak set is \
+                     complete."
+                )?;
+            }
+        }
         if self.findings.is_empty() {
             writeln!(f, "No nonreversibility violations detected.")?;
         }
@@ -229,6 +262,7 @@ mod tests {
                     line: Some(4),
                 },
             ],
+            degradations: vec![],
             stats: AnalysisStats {
                 paths: 2,
                 forks: 1,
@@ -272,11 +306,37 @@ mod tests {
         let report = Report {
             function: "f".into(),
             findings: vec![],
+            degradations: vec![],
             stats: AnalysisStats::default(),
         };
         assert!(report.is_secure());
+        assert!(!report.is_degraded());
         assert!(report
             .to_string()
             .contains("No nonreversibility violations"));
+    }
+
+    #[test]
+    fn degraded_report_states_soundness() {
+        let mut report = Report {
+            function: "f".into(),
+            findings: vec![],
+            degradations: vec![Degradation::LoopWidened { count: 2 }],
+            stats: AnalysisStats::default(),
+        };
+        // Precision-only: the leak set is still complete.
+        assert!(!report.is_degraded());
+        let text = report.to_string();
+        assert!(text.contains("2 loop(s) havoc-widened"), "{text}");
+        assert!(text.contains("the leak set is complete"), "{text}");
+
+        report.degradations.push(Degradation::DeadlineExceeded {
+            wave: 4,
+            dropped: 7,
+        });
+        assert!(report.is_degraded());
+        let text = report.to_string();
+        assert!(text.contains("deadline exceeded at wave 4"), "{text}");
+        assert!(text.contains("lower bound"), "{text}");
     }
 }

@@ -10,6 +10,7 @@ use minic::types::Type;
 use crate::attest::{self, PlatformKey, Quote};
 use crate::crypto::{self, Key};
 use crate::error::SgxError;
+use crate::fault::{Fault, FaultPlan, FaultState, RetryPolicy};
 use crate::interp::{Interp, Value, Word};
 use crate::seal::{self, SealedBlob};
 
@@ -119,6 +120,8 @@ impl Enclave {
         Ok(Session {
             enclave: self,
             interp: Interp::new(&self.unit)?,
+            retry: RetryPolicy::default(),
+            retries: 0,
         })
     }
 
@@ -140,6 +143,19 @@ impl Enclave {
                 args.len()
             )));
         }
+
+        // Fault hooks: an injected delay fires before the body runs, the
+        // ECALL index keys copy-out truncations below.
+        let ecall_index = match interp.faults.as_mut() {
+            Some(faults) => {
+                let (index, delay) = faults.begin_ecall();
+                if let Some(latency) = delay {
+                    std::thread::sleep(latency);
+                }
+                Some(index)
+            }
+            None => None,
+        };
 
         let mut values = Vec::with_capacity(args.len());
         let mut out_ptrs: Vec<(String, usize, usize)> = Vec::new(); // (param, addr, len)
@@ -205,7 +221,12 @@ impl Enclave {
 
         let ret = interp.call(name, values)?;
         let mut outs = BTreeMap::new();
-        for (param, addr, len) in out_ptrs {
+        for (param, addr, mut len) in out_ptrs {
+            if let (Some(index), Some(faults)) = (ecall_index, interp.faults.as_mut()) {
+                if let Some(keep) = faults.truncation(index, &param) {
+                    len = keep.min(len);
+                }
+            }
             outs.insert(param, interp.read_buffer(addr, len)?);
         }
         Ok(EcallResult {
@@ -289,21 +310,89 @@ impl Enclave {
 /// A stateful enclave session: globals persist across ECALLs (like a
 /// loaded enclave between `sgx_create_enclave` and destruction), and each
 /// [`Session::ecall`] drains only the output produced since the last one.
+///
+/// A session can run under a deterministic [`FaultPlan`]
+/// ([`Session::with_faults`]) and absorb transient failures with a bounded
+/// [`RetryPolicy`] ([`Session::with_retry`]).
 #[derive(Debug)]
 pub struct Session<'e> {
     enclave: &'e Enclave,
     interp: Interp<'e>,
+    retry: RetryPolicy,
+    retries: usize,
 }
 
 impl<'e> Session<'e> {
+    /// Runs this session under a deterministic fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Session<'e> {
+        self.interp.faults = Some(FaultState::new(plan));
+        self
+    }
+
+    /// Sets the untrusted-side retry policy for transient ECALL failures.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Session<'e> {
+        self.retry = policy;
+        self
+    }
+
     /// Dispatches an ECALL against the session's persistent state.
+    ///
+    /// Transient failures ([`SgxError::is_transient`], i.e. injected OCALL
+    /// faults) are retried on the untrusted side up to the policy's budget
+    /// with a doubling backoff; observable output of failed attempts is
+    /// discarded, so a successful retry yields a clean result. Enclave
+    /// memory, as in real SGX, keeps the writes of failed attempts.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Enclave::ecall`]. A fault leaves the session
     /// usable (memory is unchanged beyond the faulting call's writes).
     pub fn ecall(&mut self, name: &str, args: &[EcallArg]) -> Result<EcallResult, SgxError> {
-        self.enclave.dispatch(&mut self.interp, name, args)
+        let mut attempt = 0;
+        loop {
+            match self.enclave.dispatch(&mut self.interp, name, args) {
+                Err(error) if error.is_transient() && attempt < self.retry.max_retries => {
+                    // Drop the failed attempt's observable side effects;
+                    // the successful retry re-emits its own.
+                    self.interp.output.clear();
+                    self.interp.ocalls.clear();
+                    let backoff = self.retry.backoff * 2u32.saturating_pow(attempt as u32);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// Seals data under the enclave identity, honouring any scheduled
+    /// [`Fault::CorruptSeal`] of the session's plan.
+    pub fn seal(&mut self, nonce: u64, plaintext: &[u8]) -> SealedBlob {
+        let mut blob = self.enclave.seal(nonce, plaintext);
+        if let Some(faults) = self.interp.faults.as_mut() {
+            if faults.corrupt_this_seal() {
+                seal::corrupt(&mut blob);
+            }
+        }
+        blob
+    }
+
+    /// Transient-failure retries performed so far (reliability counter).
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// Every fault the plan actually injected so far, in injection order —
+    /// the ground truth a robustness test asserts against.
+    pub fn injected_faults(&self) -> &[Fault] {
+        self.interp
+            .faults
+            .as_ref()
+            .map(FaultState::injected)
+            .unwrap_or(&[])
     }
 
     /// The owning enclave.

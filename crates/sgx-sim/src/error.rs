@@ -21,6 +21,23 @@ pub enum SgxError {
     Sealing(String),
     /// Attestation verification failed.
     Attestation(String),
+    /// An OCALL failed on the untrusted side (transient — a bounded retry
+    /// may succeed; see [`fault`](crate::fault)).
+    Ocall {
+        /// The OCALL that failed.
+        name: String,
+        /// Its 0-based index in the session's OCALL sequence.
+        index: usize,
+    },
+}
+
+impl SgxError {
+    /// Whether a bounded retry of the failing ECALL may succeed: only
+    /// host-side OCALL failures qualify — everything else (marshalling,
+    /// enclave faults, sealing) is deterministic and will fail again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SgxError::Ocall { .. })
+    }
 }
 
 impl fmt::Display for SgxError {
@@ -38,6 +55,9 @@ impl fmt::Display for SgxError {
             SgxError::Runtime(msg) => write!(f, "enclave fault: {msg}"),
             SgxError::Sealing(msg) => write!(f, "sealing: {msg}"),
             SgxError::Attestation(msg) => write!(f, "attestation: {msg}"),
+            SgxError::Ocall { name, index } => {
+                write!(f, "ocall `{name}` failed (injected fault, ocall #{index})")
+            }
         }
     }
 }

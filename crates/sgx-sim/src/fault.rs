@@ -1,0 +1,280 @@
+//! Deterministic fault injection for the simulated enclave boundary.
+//!
+//! A [`FaultPlan`] is an explicit, ordered schedule of boundary failures —
+//! fail the Nth OCALL, truncate an `[out]` buffer, corrupt a sealed blob,
+//! delay an ECALL — that a [`Session`](crate::enclave::Session) executes
+//! against. Triggers are *counter-based* (the Nth event since the session
+//! opened), which makes two properties fall out:
+//!
+//! * **reproducibility** — the same plan against the same call sequence
+//!   injects exactly the same faults, every run ([`FaultPlan::seeded`]
+//!   derives a whole schedule from one seed);
+//! * **transience** — a retried OCALL advances the counter past the
+//!   trigger, so an injected OCALL failure is naturally transient and a
+//!   bounded [`RetryPolicy`] can absorb it.
+
+use std::time::Duration;
+
+/// One injectable boundary failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the `nth` OCALL (0-based, counted across the session) with a
+    /// transient [`SgxError::Ocall`](crate::SgxError::Ocall).
+    FailOcall {
+        /// 0-based OCALL index.
+        nth: usize,
+    },
+    /// Truncate the named `[out]`/`[in, out]` buffer of the `nth` ECALL to
+    /// `keep` elements during copy-out (the host sees a short read).
+    TruncateOut {
+        /// 0-based ECALL index.
+        nth_ecall: usize,
+        /// Parameter name, as declared in the EDL.
+        param: String,
+        /// Elements surviving the truncation.
+        keep: usize,
+    },
+    /// Flip a bit in the `nth` blob sealed through the session (0-based);
+    /// unsealing it then fails MAC verification.
+    CorruptSeal {
+        /// 0-based seal index.
+        nth: usize,
+    },
+    /// Sleep this long before dispatching the `nth` ECALL (models a slow,
+    /// contended enclave transition — observable latency only).
+    DelayEcall {
+        /// 0-based ECALL index.
+        nth: usize,
+        /// Injected latency.
+        millis: u64,
+    },
+}
+
+/// A deterministic, ordered schedule of boundary faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules a transient failure of the `nth` OCALL.
+    pub fn fail_ocall(mut self, nth: usize) -> FaultPlan {
+        self.faults.push(Fault::FailOcall { nth });
+        self
+    }
+
+    /// Schedules a copy-out truncation of `param` on the `nth` ECALL.
+    pub fn truncate_out(mut self, nth_ecall: usize, param: &str, keep: usize) -> FaultPlan {
+        self.faults.push(Fault::TruncateOut {
+            nth_ecall,
+            param: param.to_string(),
+            keep,
+        });
+        self
+    }
+
+    /// Schedules corruption of the `nth` sealed blob.
+    pub fn corrupt_seal(mut self, nth: usize) -> FaultPlan {
+        self.faults.push(Fault::CorruptSeal { nth });
+        self
+    }
+
+    /// Schedules an injected delay before the `nth` ECALL.
+    pub fn delay_ecall(mut self, nth: usize, millis: u64) -> FaultPlan {
+        self.faults.push(Fault::DelayEcall { nth, millis });
+        self
+    }
+
+    /// Derives a reproducible schedule of `n` faults from a seed (an LCG
+    /// over the seed; the same seed always yields the same plan).
+    pub fn seeded(seed: u64, n: usize) -> FaultPlan {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut step = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let kind = step() % 3;
+            let nth = (step() % 4) as usize;
+            plan = match kind {
+                0 => plan.fail_ocall(nth),
+                1 => plan.corrupt_seal(nth),
+                _ => plan.delay_ecall(nth, step() % 8),
+            };
+        }
+        plan
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Bounded retry-with-backoff for transient ECALL failures on the
+/// untrusted side (see [`Session::ecall`](crate::enclave::Session::ecall)).
+///
+/// The default policy performs no retries; backoff doubles per attempt
+/// starting from `backoff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure.
+    pub max_retries: usize,
+    /// Sleep before the first retry; doubles each further retry.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `max_retries` times with a doubling backoff.
+    pub fn retries(max_retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// The live fault machinery of one session: the plan plus the event
+/// counters that drive its triggers.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    ocalls_seen: usize,
+    ecalls_seen: usize,
+    seals_seen: usize,
+    injected: Vec<Fault>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            ..FaultState::default()
+        }
+    }
+
+    /// Begins an ECALL: returns its 0-based index and any injected delay.
+    pub(crate) fn begin_ecall(&mut self) -> (usize, Option<Duration>) {
+        let index = self.ecalls_seen;
+        self.ecalls_seen += 1;
+        let mut delay = None;
+        for fault in self.plan.faults.clone() {
+            if let Fault::DelayEcall { nth, millis } = &fault {
+                if *nth == index {
+                    delay = Some(Duration::from_millis(*millis));
+                    self.injected.push(fault);
+                }
+            }
+        }
+        (index, delay)
+    }
+
+    /// Observes one OCALL; true when the plan fails this one.
+    pub(crate) fn fail_this_ocall(&mut self) -> Option<usize> {
+        let index = self.ocalls_seen;
+        self.ocalls_seen += 1;
+        let fault = Fault::FailOcall { nth: index };
+        if self.plan.faults.contains(&fault) {
+            self.injected.push(fault);
+            Some(index)
+        } else {
+            None
+        }
+    }
+
+    /// The surviving length for a copy-out of `param` on ECALL `ecall`,
+    /// when a truncation is scheduled.
+    pub(crate) fn truncation(&mut self, ecall: usize, param: &str) -> Option<usize> {
+        let hit = self
+            .plan
+            .faults
+            .iter()
+            .find(|f| {
+                matches!(f, Fault::TruncateOut { nth_ecall, param: p, .. }
+                    if *nth_ecall == ecall && p == param)
+            })?
+            .clone();
+        let Fault::TruncateOut { keep, .. } = &hit else {
+            unreachable!("filtered to TruncateOut above");
+        };
+        let keep = *keep;
+        self.injected.push(hit);
+        Some(keep)
+    }
+
+    /// Observes one seal; true when the plan corrupts this one.
+    pub(crate) fn corrupt_this_seal(&mut self) -> bool {
+        let index = self.seals_seen;
+        self.seals_seen += 1;
+        let fault = Fault::CorruptSeal { nth: index };
+        if self.plan.faults.contains(&fault) {
+            self.injected.push(fault);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Every fault actually injected so far, in injection order.
+    pub(crate) fn injected(&self) -> &[Fault] {
+        &self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 6);
+        let b = FaultPlan::seeded(42, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 6);
+        let c = FaultPlan::seeded(43, 6);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ocall_trigger_is_counter_based_and_transient() {
+        let mut state = FaultState::new(FaultPlan::new().fail_ocall(1));
+        assert_eq!(state.fail_this_ocall(), None); // ocall #0
+        assert_eq!(state.fail_this_ocall(), Some(1)); // ocall #1 fails
+        assert_eq!(state.fail_this_ocall(), None); // the retry sails through
+        assert_eq!(state.injected().len(), 1);
+    }
+
+    #[test]
+    fn ecall_delay_and_truncation_trigger_by_index() {
+        let plan = FaultPlan::new().delay_ecall(1, 3).truncate_out(0, "buf", 2);
+        let mut state = FaultState::new(plan);
+        let (first, delay) = state.begin_ecall();
+        assert_eq!((first, delay), (0, None));
+        assert_eq!(state.truncation(first, "buf"), Some(2));
+        assert_eq!(state.truncation(first, "other"), None);
+        let (second, delay) = state.begin_ecall();
+        assert_eq!(second, 1);
+        assert_eq!(delay, Some(Duration::from_millis(3)));
+        assert_eq!(state.truncation(second, "buf"), None);
+    }
+
+    #[test]
+    fn seal_corruption_counts_blobs() {
+        let mut state = FaultState::new(FaultPlan::new().corrupt_seal(0));
+        assert!(state.corrupt_this_seal());
+        assert!(!state.corrupt_this_seal());
+    }
+}

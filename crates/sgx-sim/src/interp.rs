@@ -106,6 +106,8 @@ pub struct Interp<'u> {
     fuel: u64,
     /// Key used by the IPP-style decrypt/encrypt builtins.
     pub crypto_key: Key,
+    /// Active fault-injection schedule, when the session runs under one.
+    pub(crate) faults: Option<crate::fault::FaultState>,
 }
 
 impl<'u> Interp<'u> {
@@ -125,6 +127,7 @@ impl<'u> Interp<'u> {
             rng: 0x5DEECE66D,
             fuel: 50_000_000,
             crypto_key: *b"sgx-sim-demo-key",
+            faults: None,
         };
         let globals: Vec<VarDecl> = unit.globals().cloned().collect();
         for decl in &globals {
@@ -927,8 +930,19 @@ impl<'u> Interp<'u> {
             }
             other => {
                 // A prototype without a body is an OCALL: dispatch to the
-                // untrusted host, which observes the arguments.
+                // untrusted host, which observes the arguments — and which
+                // may fail per the session's fault plan.
                 if self.unit.function(other).is_some() {
+                    if let Some(index) = self
+                        .faults
+                        .as_mut()
+                        .and_then(|faults| faults.fail_this_ocall())
+                    {
+                        return Err(SgxError::Ocall {
+                            name: other.to_string(),
+                            index,
+                        });
+                    }
                     self.ocalls.push((other.to_string(), values));
                     return Ok(Value::Int(0));
                 }

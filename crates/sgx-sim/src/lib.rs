@@ -18,14 +18,19 @@
 //!   secret sources);
 //! * [`seal`] — sealed storage (encrypt-then-MAC under a per-enclave key
 //!   derived from the measurement);
-//! * [`attest`] — mock local/remote attestation over measurements.
+//! * [`attest`] — mock local/remote attestation over measurements;
+//! * [`fault`] — deterministic fault injection at the boundary (fail the
+//!   Nth OCALL, truncate `[out]` copy-out, corrupt sealed blobs, delay
+//!   ECALLs) plus a bounded untrusted-side [`RetryPolicy`].
 
 pub mod attest;
 pub mod crypto;
 pub mod enclave;
 pub mod error;
+pub mod fault;
 pub mod interp;
 pub mod seal;
 
 pub use enclave::{EcallArg, EcallResult, Enclave};
 pub use error::SgxError;
+pub use fault::{Fault, FaultPlan, RetryPolicy};

@@ -40,6 +40,16 @@ pub fn seal(sealing_key: &Key, nonce: u64, plaintext: &[u8]) -> SealedBlob {
     }
 }
 
+/// Flips one ciphertext bit (or, for empty payloads, a tag bit): the blob
+/// keeps its shape but fails MAC verification — the fault-injection
+/// equivalent of storage corruption.
+pub(crate) fn corrupt(blob: &mut SealedBlob) {
+    match blob.ciphertext.first_mut() {
+        Some(byte) => *byte ^= 0x01,
+        None => blob.tag ^= 1,
+    }
+}
+
 /// Unseals a blob, verifying integrity and key possession.
 ///
 /// # Errors

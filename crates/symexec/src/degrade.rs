@@ -1,0 +1,406 @@
+//! The supervised-runtime vocabulary: typed degradations, the ledger that
+//! accumulates them, and cooperative cancellation.
+//!
+//! PrivacyScope's Algorithm 1 guarantees only hold for the paths the
+//! engine actually finished. Every mechanism that makes a run partial —
+//! budgets, deadlines, cancellation, a panicking path task, widening — now
+//! leaves a typed [`Degradation`] entry in the exploration's [`Ledger`], so
+//! a report can state exactly which soundness claim survives:
+//!
+//! * **path-losing** entries ([`Degradation::loses_paths`]) mean feasible
+//!   paths were not explored — the reported leak set is a *lower bound*;
+//! * **precision-losing** entries ([`Degradation::loses_precision`]) mean
+//!   only value precision was reduced (widening keeps taint, so the leak
+//!   set itself is unaffected).
+//!
+//! The ledger is part of the deterministic exploration result: entries are
+//! recorded per task and merged in canonical task order with additive
+//! coalescing, so the ledger is byte-identical at every worker count.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// One way an exploration degraded instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// Completed paths beyond `max_paths` were discarded (their return
+    /// observations still reach the global event log).
+    PathBudget {
+        /// Paths dropped by the budget.
+        dropped: usize,
+    },
+    /// Paths abandoned for exceeding the per-path step budget.
+    StepBudget {
+        /// Paths dropped mid-flight.
+        dropped: usize,
+    },
+    /// The wall-clock deadline expired: exploration stopped at the first
+    /// wave boundary after the deadline.
+    DeadlineExceeded {
+        /// The 0-based wave index at which exploration was cut.
+        wave: usize,
+        /// In-flight path states discarded at the cut.
+        dropped: usize,
+    },
+    /// The cancellation token fired: exploration stopped at the first
+    /// wave boundary after the cancel.
+    Cancelled {
+        /// The 0-based wave index at which exploration was cut.
+        wave: usize,
+        /// In-flight path states discarded at the cut.
+        dropped: usize,
+    },
+    /// A path task panicked; its paths were discarded, the rest of the
+    /// exploration is unaffected.
+    PathPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An oversized symbolic value was summarized into a fresh symbol
+    /// (taint preserved, value precision lost).
+    ValueWidened {
+        /// Summarizations applied.
+        count: usize,
+    },
+    /// A loop hit its unrolling bound and was havoc-widened (taint
+    /// preserved, value precision lost).
+    LoopWidened {
+        /// Widenings applied.
+        count: usize,
+    },
+}
+
+impl Degradation {
+    /// Whether this entry means feasible paths were *not* explored — the
+    /// leak set is then under-approximate (a lower bound).
+    pub fn loses_paths(&self) -> bool {
+        matches!(
+            self,
+            Degradation::PathBudget { .. }
+                | Degradation::StepBudget { .. }
+                | Degradation::DeadlineExceeded { .. }
+                | Degradation::Cancelled { .. }
+                | Degradation::PathPanicked { .. }
+        )
+    }
+
+    /// Whether this entry only reduced value precision: every feasible
+    /// path was still covered and taint (hence the leak set) is intact.
+    pub fn loses_precision(&self) -> bool {
+        !self.loses_paths()
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::PathBudget { dropped } => {
+                write!(
+                    f,
+                    "path budget exhausted: {dropped} completed path(s) dropped"
+                )
+            }
+            Degradation::StepBudget { dropped } => {
+                write!(
+                    f,
+                    "step budget exhausted: {dropped} path(s) abandoned mid-flight"
+                )
+            }
+            Degradation::DeadlineExceeded { wave, dropped } => {
+                write!(
+                    f,
+                    "deadline exceeded at wave {wave}: {dropped} in-flight path(s) dropped"
+                )
+            }
+            Degradation::Cancelled { wave, dropped } => {
+                write!(
+                    f,
+                    "cancelled at wave {wave}: {dropped} in-flight path(s) dropped"
+                )
+            }
+            Degradation::PathPanicked { message } => {
+                write!(f, "a path task panicked (isolated): {message}")
+            }
+            Degradation::ValueWidened { count } => {
+                write!(f, "{count} oversized value(s) summarized (taint preserved)")
+            }
+            Degradation::LoopWidened { count } => {
+                write!(f, "{count} loop(s) havoc-widened (taint preserved)")
+            }
+        }
+    }
+}
+
+/// The typed degradation ledger of one exploration.
+///
+/// Countable kinds coalesce additively on [`Ledger::record`]; panic
+/// entries deduplicate by message (the drop *count* lives in the stats).
+/// Entries keep first-occurrence order, which — recorded per task and
+/// absorbed in canonical task order — is worker-count-invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ledger {
+    entries: Vec<Degradation>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Records one degradation, coalescing with an existing entry of the
+    /// same kind where counts are additive.
+    pub fn record(&mut self, degradation: Degradation) {
+        use Degradation::*;
+        for existing in &mut self.entries {
+            match (existing, &degradation) {
+                (PathBudget { dropped }, PathBudget { dropped: more }) => {
+                    *dropped += more;
+                    return;
+                }
+                (StepBudget { dropped }, StepBudget { dropped: more }) => {
+                    *dropped += more;
+                    return;
+                }
+                (ValueWidened { count }, ValueWidened { count: more }) => {
+                    *count += more;
+                    return;
+                }
+                (LoopWidened { count }, LoopWidened { count: more }) => {
+                    *count += more;
+                    return;
+                }
+                (PathPanicked { message }, PathPanicked { message: same }) if message == same => {
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.entries.push(degradation);
+    }
+
+    /// Folds another ledger into this one (worklist merge), entry by entry
+    /// through [`Ledger::record`] so coalescing stays uniform.
+    pub fn absorb(&mut self, other: Ledger) {
+        for entry in other.entries {
+            self.record(entry);
+        }
+    }
+
+    /// The recorded entries, in first-occurrence order.
+    pub fn entries(&self) -> &[Degradation] {
+        &self.entries
+    }
+
+    /// Whether nothing degraded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of (coalesced) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every feasible path was explored (no path-losing entry);
+    /// the leak set is then complete, not merely a lower bound.
+    pub fn is_complete(&self) -> bool {
+        self.entries.iter().all(|d| !d.loses_paths())
+    }
+}
+
+impl<'a> IntoIterator for &'a Ledger {
+    type Item = &'a Degradation;
+    type IntoIter = std::slice::Iter<'a, Degradation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// A cooperative cancellation handle: clone it into a config, keep one
+/// copy, and [`CancelToken::cancel`] stops the exploration at the next
+/// wave boundary (recorded as [`Degradation::Cancelled`]).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// All tokens compare equal: a token is a control handle, not
+/// configuration, so two configs differing only in token wiring are
+/// interchangeable (this keeps `EngineConfig: PartialEq` meaningful).
+impl PartialEq for CancelToken {
+    fn eq(&self, _other: &CancelToken) -> bool {
+        true
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// Why the supervisor stopped an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StopKind {
+    Deadline,
+    Cancelled,
+}
+
+/// The per-run supervisor: one wall-clock start, an optional deadline and
+/// the cancellation token. Checked at every wave boundary and (cheaply)
+/// every few interpreted statements.
+#[derive(Debug)]
+pub(crate) struct Supervisor {
+    start: Instant,
+    deadline: Option<Duration>,
+    cancel: CancelToken,
+}
+
+impl Supervisor {
+    pub(crate) fn new(deadline: Option<Duration>, cancel: CancelToken) -> Supervisor {
+        Supervisor {
+            start: Instant::now(),
+            deadline,
+            cancel,
+        }
+    }
+
+    /// Whether the run must stop, and why. Cancellation wins over the
+    /// deadline when both hold.
+    pub(crate) fn stop(&self) -> Option<StopKind> {
+        if self.cancel.is_cancelled() {
+            return Some(StopKind::Cancelled);
+        }
+        match self.deadline {
+            Some(limit) if self.start.elapsed() >= limit => Some(StopKind::Deadline),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countable_entries_coalesce() {
+        let mut ledger = Ledger::new();
+        ledger.record(Degradation::PathBudget { dropped: 2 });
+        ledger.record(Degradation::LoopWidened { count: 1 });
+        ledger.record(Degradation::PathBudget { dropped: 3 });
+        ledger.record(Degradation::LoopWidened { count: 4 });
+        assert_eq!(
+            ledger.entries(),
+            &[
+                Degradation::PathBudget { dropped: 5 },
+                Degradation::LoopWidened { count: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn panics_deduplicate_by_message() {
+        let mut ledger = Ledger::new();
+        ledger.record(Degradation::PathPanicked {
+            message: "boom".into(),
+        });
+        ledger.record(Degradation::PathPanicked {
+            message: "boom".into(),
+        });
+        ledger.record(Degradation::PathPanicked {
+            message: "other".into(),
+        });
+        assert_eq!(ledger.len(), 2);
+    }
+
+    #[test]
+    fn absorb_is_record_entrywise() {
+        let mut a = Ledger::new();
+        a.record(Degradation::StepBudget { dropped: 1 });
+        let mut b = Ledger::new();
+        b.record(Degradation::StepBudget { dropped: 2 });
+        b.record(Degradation::ValueWidened { count: 7 });
+        a.absorb(b);
+        assert_eq!(
+            a.entries(),
+            &[
+                Degradation::StepBudget { dropped: 3 },
+                Degradation::ValueWidened { count: 7 },
+            ]
+        );
+    }
+
+    #[test]
+    fn soundness_classification() {
+        assert!(Degradation::DeadlineExceeded {
+            wave: 0,
+            dropped: 1
+        }
+        .loses_paths());
+        assert!(Degradation::PathPanicked {
+            message: "x".into()
+        }
+        .loses_paths());
+        assert!(Degradation::LoopWidened { count: 1 }.loses_precision());
+        let mut ledger = Ledger::new();
+        ledger.record(Degradation::ValueWidened { count: 1 });
+        assert!(ledger.is_complete());
+        ledger.record(Degradation::PathBudget { dropped: 1 });
+        assert!(!ledger.is_complete());
+    }
+
+    #[test]
+    fn cancel_token_fires_once_for_all_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // Tokens are control handles, not configuration.
+        assert_eq!(token, CancelToken::new());
+    }
+
+    #[test]
+    fn supervisor_deadline_and_cancel() {
+        let sup = Supervisor::new(None, CancelToken::new());
+        assert_eq!(sup.stop(), None);
+        let sup = Supervisor::new(Some(Duration::ZERO), CancelToken::new());
+        assert_eq!(sup.stop(), Some(StopKind::Deadline));
+        let token = CancelToken::new();
+        token.cancel();
+        let sup = Supervisor::new(Some(Duration::ZERO), token);
+        assert_eq!(sup.stop(), Some(StopKind::Cancelled));
+    }
+
+    #[test]
+    fn ledger_serde_round_trip() {
+        let mut ledger = Ledger::new();
+        ledger.record(Degradation::DeadlineExceeded {
+            wave: 3,
+            dropped: 9,
+        });
+        ledger.record(Degradation::PathPanicked {
+            message: "boom".into(),
+        });
+        let json = serde_json::to_string(&ledger).expect("serializes");
+        let back: Ledger = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(ledger, back);
+    }
+}

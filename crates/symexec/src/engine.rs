@@ -15,6 +15,8 @@
 //! byte-identical to a sequential run — see the `worklist` module.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use minic::ast::{
     BinOp, Expr, ExprKind, Function, Init, Stmt, StmtKind, TranslationUnit, UnOp, VarDecl,
@@ -24,6 +26,7 @@ use minic::Span;
 use taint::{SourceId, TaintSet};
 
 use crate::constraints::{Feasibility, FeasibilityCache};
+use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor};
 use crate::error::EngineError;
 use crate::simplify::{fold_binary, fold_unary, simplify};
 use crate::state::{Channel, DeclassifyEvent, ExecState, Frame};
@@ -89,6 +92,21 @@ pub struct EngineConfig {
     /// only *speculative* probes go through it, and feasibility is a pure
     /// function of the probed constraints.
     pub feasibility_cache: usize,
+    /// Wall-clock deadline for the whole exploration. When it expires, the
+    /// run stops at the first wave boundary after the deadline: every
+    /// in-flight path is discarded and recorded in the degradation ledger
+    /// ([`Degradation::DeadlineExceeded`]). Only *which wave* is the cut
+    /// depends on timing — the result is a pure function of the cut wave,
+    /// so a deadline-degraded run is still byte-identical at every worker
+    /// count for the same cutoff.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: keep a clone of this token and call
+    /// [`CancelToken::cancel`] to stop the run at the next wave boundary
+    /// (recorded as [`Degradation::Cancelled`]).
+    pub cancel: CancelToken,
+    /// Test/fault-injection hook: panic on entry to calls of this function,
+    /// exercising the per-task panic isolation. `None` in production.
+    pub inject_panic_on_call: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -105,20 +123,25 @@ impl Default for EngineConfig {
             max_value_size: 64,
             workers: 0,
             feasibility_cache: 1 << 16,
+            deadline: None,
+            cancel: CancelToken::new(),
+            inject_panic_on_call: None,
         }
     }
 }
 
 impl EngineConfig {
-    /// The worker-thread count a run will actually use (`workers`, with `0`
-    /// resolved to the machine's available parallelism).
+    /// The worker-thread count a run will actually use: `0` resolves to
+    /// the machine's available parallelism, and explicit requests are
+    /// clamped to it — asking for 512 workers on an 8-core box spawns 8.
     pub fn effective_workers(&self) -> usize {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if self.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            available
         } else {
-            self.workers
+            self.workers.min(available)
         }
     }
 }
@@ -147,6 +170,10 @@ pub struct Stats {
     pub dropped_steps: usize,
     /// Paths dropped for exceeding the path budget.
     pub dropped_paths: usize,
+    /// In-flight path states discarded at a deadline/cancellation cut.
+    pub dropped_deadline: usize,
+    /// Path tasks whose panic was isolated (their states discarded).
+    pub dropped_panics: usize,
     /// Total statements interpreted.
     pub steps: usize,
 }
@@ -160,6 +187,8 @@ impl Stats {
         self.widenings += other.widenings;
         self.dropped_steps += other.dropped_steps;
         self.dropped_paths += other.dropped_paths;
+        self.dropped_deadline += other.dropped_deadline;
+        self.dropped_panics += other.dropped_panics;
         self.steps += other.steps;
     }
 }
@@ -173,6 +202,10 @@ pub struct Exploration {
     pub paths: Vec<PathOutcome>,
     /// Whether any budget was exhausted (results are then a subset).
     pub exhausted: bool,
+    /// Every degradation the run absorbed, typed and coalesced; empty for
+    /// a clean, complete exploration. See [`Ledger::is_complete`] for the
+    /// soundness reading.
+    pub ledger: Ledger,
     /// Counters.
     pub stats: Stats,
     /// `[out]`-marked base regions, with the parameter name each came from.
@@ -240,13 +273,20 @@ impl<'u> Engine<'u> {
                 got: bindings.len(),
             });
         }
+        let Some(body) = func.body.as_deref() else {
+            // Unreachable after the filter above, but a typed error beats
+            // an unwrap reachable from user input.
+            return Err(EngineError::UnknownFunction(entry.to_string()));
+        };
 
         let cache = FeasibilityCache::new(self.config.feasibility_cache);
+        let supervisor = Supervisor::new(self.config.deadline, self.config.cancel.clone());
         let mut explorer = Explorer {
             unit: self.unit,
             config: &self.config,
             source: self.source.as_deref(),
             cache: &cache,
+            supervisor: &supervisor,
             next_symbol: 0,
             next_source: 1,
             base_forks: 0,
@@ -254,6 +294,8 @@ impl<'u> Engine<'u> {
             source_symbols: BTreeMap::new(),
             stats: Stats::default(),
             exhausted: false,
+            interrupted: false,
+            ledger: Ledger::new(),
             event_log: Vec::new(),
         };
 
@@ -263,8 +305,7 @@ impl<'u> Engine<'u> {
         let mut out_bases = Vec::new();
         explorer.bind_params(&mut state, func, bindings, &mut out_bases)?;
 
-        let body = func.body.as_ref().expect("checked above");
-        let finished = self.drive_worklist(&mut explorer, &cache, state, body);
+        let finished = self.drive_worklist(&mut explorer, &cache, &supervisor, state, body);
 
         let mut paths = Vec::new();
         for (mut st, flow) in finished {
@@ -290,6 +331,9 @@ impl<'u> Engine<'u> {
             if paths.len() >= self.config.max_paths {
                 explorer.exhausted = true;
                 explorer.stats.dropped_paths += 1;
+                explorer
+                    .ledger
+                    .record(Degradation::PathBudget { dropped: 1 });
                 continue;
             }
             if let Some(event) = return_event {
@@ -306,6 +350,7 @@ impl<'u> Engine<'u> {
             entry: entry.to_string(),
             paths,
             exhausted: explorer.exhausted,
+            ledger: explorer.ledger,
             stats: explorer.stats,
             out_bases,
             events: explorer.event_log,
@@ -332,14 +377,28 @@ impl<'u> Engine<'u> {
         &self,
         explorer: &mut Explorer<'u, '_>,
         cache: &FeasibilityCache,
+        supervisor: &Supervisor,
         state: ExecState,
         body: &[Stmt],
     ) -> StateFlows {
         let workers = self.config.effective_workers();
         let mut entries: StateFlows = vec![(state, Flow::Normal)];
-        for stmt in body {
-            if !entries.iter().any(|(_, flow)| *flow == Flow::Normal) {
+        for (wave, stmt) in body.iter().enumerate() {
+            let live = entries
+                .iter()
+                .filter(|(_, flow)| *flow == Flow::Normal)
+                .count();
+            if live == 0 {
                 break;
+            }
+            // Deadline/cancellation is decided only at wave boundaries:
+            // the merged result is a pure function of the cut wave, so the
+            // clock can only choose *when* to stop, never *what* the
+            // surviving output looks like.
+            if let Some(kind) = supervisor.stop() {
+                entries.retain(|(_, flow)| *flow != Flow::Normal);
+                cut_exploration(explorer, kind, wave, live);
+                return entries;
             }
             // Non-Normal entries (already returned / broken) pass through
             // positionally; Normal entries become tasks.
@@ -353,19 +412,30 @@ impl<'u> Engine<'u> {
                     layout.push(Some((st, flow)));
                 }
             }
+            let dropped = tasks.len();
             // All tasks of a wave share the wave-start fork count for the
             // fork backstop, keeping the check worker-count-invariant.
             let base_forks = explorer.stats.forks;
             let results = run_tasks(workers, tasks, |_, task_state| {
-                self.run_stmt_task(cache, base_forks, task_state, stmt)
+                self.run_stmt_task(cache, supervisor, base_forks, task_state, stmt)
             });
+            // A mid-wave deadline hit discards the *whole* wave — partial
+            // waves would make the output depend on worker scheduling. The
+            // result is then exactly "stopped before this wave".
+            if results.iter().any(|task| task.interrupted) {
+                let kind = supervisor.stop().unwrap_or(StopKind::Deadline);
+                entries.extend(layout.into_iter().flatten());
+                cut_exploration(explorer, kind, wave, dropped);
+                return entries;
+            }
             let mut results = results.into_iter();
             for slot in layout {
                 match slot {
                     Some(entry) => entries.push(entry),
                     None => {
-                        let task = results.next().expect("one result per task");
-                        entries.extend(merge_task(explorer, task));
+                        if let Some(task) = results.next() {
+                            entries.extend(merge_task(explorer, task));
+                        }
                     }
                 }
             }
@@ -375,39 +445,79 @@ impl<'u> Engine<'u> {
 
     /// Executes one statement in one path state with task-local id
     /// allocation (symbols and sources minted from [`LOCAL_ID_BASE`]).
+    ///
+    /// The whole task runs under `catch_unwind`: a panic anywhere inside a
+    /// path becomes a [`Degradation::PathPanicked`] entry (the task's
+    /// states are discarded), never a process abort. The shared structures
+    /// a task touches are poison-safe — the feasibility cache tolerates
+    /// poisoned locks by recomputing (a pure function), and the worklist's
+    /// result slots are only locked after the task closure has returned.
     fn run_stmt_task(
         &self,
         cache: &FeasibilityCache,
+        supervisor: &Supervisor,
         base_forks: usize,
         state: ExecState,
         stmt: &Stmt,
     ) -> TaskResult {
-        let mut task = Explorer {
-            unit: self.unit,
-            config: &self.config,
-            source: self.source.as_deref(),
-            cache,
-            next_symbol: LOCAL_ID_BASE,
-            next_source: LOCAL_ID_BASE,
-            base_forks,
-            source_names: BTreeMap::new(),
-            source_symbols: BTreeMap::new(),
-            stats: Stats::default(),
-            exhausted: false,
-            event_log: Vec::new(),
-        };
-        let flows = task.exec(state, stmt);
-        TaskResult {
-            flows,
-            fresh_symbols: task.next_symbol - LOCAL_ID_BASE,
-            fresh_sources: task.next_source - LOCAL_ID_BASE,
-            source_names: task.source_names,
-            source_symbols: task.source_symbols,
-            stats: task.stats,
-            exhausted: task.exhausted,
-            events: task.event_log,
-        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut task = Explorer {
+                unit: self.unit,
+                config: &self.config,
+                source: self.source.as_deref(),
+                cache,
+                supervisor,
+                next_symbol: LOCAL_ID_BASE,
+                next_source: LOCAL_ID_BASE,
+                base_forks,
+                source_names: BTreeMap::new(),
+                source_symbols: BTreeMap::new(),
+                stats: Stats::default(),
+                exhausted: false,
+                interrupted: false,
+                ledger: Ledger::new(),
+                event_log: Vec::new(),
+            };
+            let flows = task.exec(state, stmt);
+            TaskResult {
+                flows,
+                fresh_symbols: task.next_symbol - LOCAL_ID_BASE,
+                fresh_sources: task.next_source - LOCAL_ID_BASE,
+                source_names: task.source_names,
+                source_symbols: task.source_symbols,
+                stats: task.stats,
+                exhausted: task.exhausted,
+                interrupted: task.interrupted,
+                ledger: task.ledger,
+                events: task.event_log,
+            }
+        }));
+        outcome.unwrap_or_else(|payload| TaskResult::panicked(panic_message(payload)))
     }
+}
+
+/// Renders a panic payload (the argument of `panic!`) as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(text) => *text,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(text) => (*text).to_string(),
+            Err(_) => "opaque panic payload".to_string(),
+        },
+    }
+}
+
+/// Marks an exploration as cut by the supervisor: the surviving entries
+/// are exactly those of "stopped before wave `wave`", the `dropped`
+/// in-flight states are accounted in the stats and the ledger.
+fn cut_exploration(explorer: &mut Explorer<'_, '_>, kind: StopKind, wave: usize, dropped: usize) {
+    let degradation = match kind {
+        StopKind::Deadline => Degradation::DeadlineExceeded { wave, dropped },
+        StopKind::Cancelled => Degradation::Cancelled { wave, dropped },
+    };
+    explorer.ledger.record(degradation);
+    explorer.stats.dropped_deadline += dropped;
+    explorer.exhausted = true;
 }
 
 /// Everything one statement-task produced, with ids still task-local.
@@ -419,7 +529,35 @@ struct TaskResult {
     source_symbols: BTreeMap<u32, u32>,
     stats: Stats,
     exhausted: bool,
+    /// The supervisor fired mid-task; this wave's results must be discarded.
+    interrupted: bool,
+    ledger: Ledger,
     events: Vec<DeclassifyEvent>,
+}
+
+impl TaskResult {
+    /// The result of a task whose path panicked: the path is dropped, the
+    /// panic becomes a ledger entry, and nothing else survives.
+    fn panicked(message: String) -> Self {
+        let mut ledger = Ledger::new();
+        ledger.record(Degradation::PathPanicked { message });
+        let stats = Stats {
+            dropped_panics: 1,
+            ..Stats::default()
+        };
+        TaskResult {
+            flows: Vec::new(),
+            fresh_symbols: 0,
+            fresh_sources: 0,
+            source_names: BTreeMap::new(),
+            source_symbols: BTreeMap::new(),
+            stats,
+            exhausted: true,
+            interrupted: false,
+            ledger,
+            events: Vec::new(),
+        }
+    }
 }
 
 /// Folds a task's results into the global explorer, translating task-local
@@ -448,6 +586,7 @@ fn merge_task(explorer: &mut Explorer<'_, '_>, task: TaskResult) -> StateFlows {
     }
     explorer.stats.absorb(&task.stats);
     explorer.exhausted |= task.exhausted;
+    explorer.ledger.absorb(task.ledger);
     for mut event in task.events {
         remap.remap_event(&mut event);
         explorer.event_log.push(event);
@@ -483,6 +622,8 @@ struct Explorer<'u, 'c> {
     config: &'c EngineConfig,
     source: Option<&'c str>,
     cache: &'c FeasibilityCache,
+    /// Deadline/cancellation oracle, polled at step granularity.
+    supervisor: &'c Supervisor,
     next_symbol: u32,
     next_source: u32,
     /// Fork count accumulated before this task's wave started; the fork
@@ -493,6 +634,10 @@ struct Explorer<'u, 'c> {
     source_symbols: BTreeMap<u32, u32>,
     stats: Stats,
     exhausted: bool,
+    /// Set when the supervisor fired mid-execution: the task's results are
+    /// timing-dependent and the wave must be discarded for determinism.
+    interrupted: bool,
+    ledger: Ledger,
     event_log: Vec<DeclassifyEvent>,
 }
 
@@ -516,6 +661,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
         if value.size_within(self.config.max_value_size).is_some() {
             value
         } else {
+            self.ledger.record(Degradation::ValueWidened { count: 1 });
             SVal::Sym(self.fresh_symbol(format!("summary({hint})")))
         }
     }
@@ -1060,6 +1206,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
         callee: &str,
         args: &[Expr],
     ) -> EvalResults {
+        if self.config.inject_panic_on_call.as_deref() == Some(callee) {
+            panic!("injected panic in `{callee}`");
+        }
         // Evaluate arguments left to right, threading forks.
         let mut evaluated: Vec<(ExecState, Vec<(SVal, TaintSet)>)> = vec![(state, Vec::new())];
         for arg in args {
@@ -1163,6 +1312,12 @@ impl<'u, 'c> Explorer<'u, 'c> {
         func: &Function,
         values: &[(SVal, TaintSet)],
     ) -> EvalResults {
+        // A declaration without a definition cannot be inlined; treat the
+        // call as opaque (joined taint, unknown result) instead of
+        // panicking on malformed user input.
+        let Some(body) = func.body.as_ref() else {
+            return vec![(state, SVal::Unknown, join_all(values))];
+        };
         let frame_id = state.next_frame;
         state.next_frame += 1;
         state.frames.push(Frame::new(frame_id, &func.name));
@@ -1180,7 +1335,6 @@ impl<'u, 'c> Explorer<'u, 'c> {
             let value = self.summarize(value.clone(), &param.name);
             state.write(region, value, taint.clone());
         }
-        let body = func.body.as_ref().expect("definition");
         self.exec_block(state, body)
             .into_iter()
             .map(|(mut st, flow)| {
@@ -1288,9 +1442,20 @@ impl<'u, 'c> Explorer<'u, 'c> {
     fn exec(&mut self, mut state: ExecState, stmt: &Stmt) -> StateFlows {
         state.steps += 1;
         self.stats.steps += 1;
+        // Poll the supervisor at step granularity (every 64th step keeps
+        // the Instant::now syscall off the hot path). Once it fires, the
+        // task unwinds fast by dropping every remaining state; the caller
+        // discards the whole wave, so partial results never leak into the
+        // deterministic output.
+        if self.interrupted || (state.steps.is_multiple_of(64) && self.supervisor.stop().is_some())
+        {
+            self.interrupted = true;
+            return Vec::new();
+        }
         if state.steps > self.config.max_steps_per_path {
             self.stats.dropped_steps += 1;
             self.exhausted = true;
+            self.ledger.record(Degradation::StepBudget { dropped: 1 });
             return Vec::new();
         }
         match &stmt.kind {
@@ -1497,6 +1662,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
             // decision is identical for every worker layout.
             if self.base_forks + self.stats.forks >= self.config.max_paths.saturating_mul(4) {
                 self.exhausted = true;
+                self.ledger.record(Degradation::PathBudget { dropped: 1 });
                 out.truncate(1);
             } else {
                 self.stats.forks += 1;
@@ -1599,6 +1765,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
     /// fresh symbol that keeps the region's (joined) taint, so bounded
     /// unrolling stays sound for taint while guaranteeing termination.
     fn widen(&mut self, state: &mut ExecState, mark: usize) {
+        self.ledger.record(Degradation::LoopWidened { count: 1 });
         let written: BTreeSet<Region> = state.write_log[mark.min(state.write_log.len())..]
             .iter()
             .cloned()
@@ -2179,5 +2346,145 @@ mod tests {
             .unwrap();
         assert!(ex.exhausted);
         assert_eq!(ex.paths.len(), 16);
+        assert!(ex
+            .ledger
+            .entries()
+            .iter()
+            .any(|d| matches!(d, Degradation::PathBudget { .. })));
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_available_parallelism() {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let auto = EngineConfig {
+            workers: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(auto.effective_workers(), available);
+        let oversubscribed = EngineConfig {
+            workers: available + 512,
+            ..EngineConfig::default()
+        };
+        assert_eq!(oversubscribed.effective_workers(), available);
+        let modest = EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        };
+        assert_eq!(modest.effective_workers(), 1);
+    }
+
+    const BRANCHY: &str = "int f(int a) {\n\
+                           int s = 0;\n\
+                           if ((a >> 0) & 1) s += 1;\n\
+                           if ((a >> 1) & 1) s += 2;\n\
+                           if ((a >> 2) & 1) s += 4;\n\
+                           if ((a >> 3) & 1) s += 8;\n\
+                           return s; }";
+
+    #[test]
+    fn expired_deadline_cuts_at_wave_zero_deterministically() {
+        let unit = minic::parse(BRANCHY).unwrap();
+        let mut runs = Vec::new();
+        for workers in [1, 4] {
+            let config = EngineConfig {
+                workers,
+                deadline: Some(Duration::ZERO),
+                ..EngineConfig::default()
+            };
+            let ex = Engine::new(&unit, config)
+                .run("f", &[ParamBinding::Scalar])
+                .unwrap();
+            assert!(ex.exhausted);
+            assert_eq!(ex.paths.len(), 0);
+            assert_eq!(ex.stats.dropped_deadline, 1);
+            assert!(matches!(
+                ex.ledger.entries(),
+                [Degradation::DeadlineExceeded {
+                    wave: 0,
+                    dropped: 1
+                }]
+            ));
+            runs.push(ex);
+        }
+        assert_eq!(runs[0], runs[1], "deadline cut diverged across workers");
+    }
+
+    #[test]
+    fn cancellation_token_stops_the_run() {
+        let unit = minic::parse(BRANCHY).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let config = EngineConfig {
+            cancel: cancel.clone(),
+            ..EngineConfig::default()
+        };
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+        assert!(ex.exhausted);
+        assert!(ex.paths.is_empty());
+        assert!(matches!(
+            ex.ledger.entries(),
+            [Degradation::Cancelled { wave: 0, .. }]
+        ));
+    }
+
+    #[test]
+    fn panicking_path_is_isolated_and_deterministic() {
+        // The fork happens one wave before the panicking call, so `boom`
+        // runs in its own path-task; the other path must survive
+        // untouched, identically at every worker count.
+        let src = "void boom(void);\n\
+                   int f(int a) {\n\
+                       int hit = 0;\n\
+                       if (a > 0) hit = 1;\n\
+                       if (hit) boom();\n\
+                       return hit; }";
+        let unit = minic::parse(src).unwrap();
+        let mut runs = Vec::new();
+        for workers in [1, 4] {
+            let config = EngineConfig {
+                workers,
+                inject_panic_on_call: Some("boom".into()),
+                ..EngineConfig::default()
+            };
+            let ex = Engine::new(&unit, config)
+                .run("f", &[ParamBinding::Scalar])
+                .unwrap();
+            assert!(ex.exhausted);
+            assert_eq!(ex.stats.dropped_panics, 1);
+            assert_eq!(ex.paths.len(), 1);
+            assert_eq!(
+                ex.paths[0].return_value.as_ref().map(|(v, _)| v.clone()),
+                Some(SVal::Int(0))
+            );
+            assert!(ex.ledger.entries().iter().any(|d| matches!(
+                d,
+                Degradation::PathPanicked { message } if message.contains("boom")
+            )));
+            runs.push(ex);
+        }
+        assert_eq!(runs[0], runs[1], "panic isolation diverged across workers");
+    }
+
+    #[test]
+    fn step_budget_lands_in_the_ledger() {
+        let src = "int f(int a) { int i = 0; while (i < 100) { i = i + 1; } return i; }";
+        let unit = minic::parse(src).unwrap();
+        let config = EngineConfig {
+            max_steps_per_path: 10,
+            ..EngineConfig::default()
+        };
+        let ex = Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+        assert!(ex.exhausted);
+        assert!(ex
+            .ledger
+            .entries()
+            .iter()
+            .any(|d| matches!(d, Degradation::StepBudget { .. })));
     }
 }

@@ -42,6 +42,7 @@
 
 pub mod concrete;
 pub mod constraints;
+pub mod degrade;
 pub mod engine;
 pub mod error;
 pub mod path;
@@ -52,6 +53,7 @@ pub mod value;
 mod worklist;
 
 pub use constraints::FeasibilityCache;
+pub use degrade::{CancelToken, Degradation, Ledger};
 pub use engine::{Engine, EngineConfig, Exploration, ParamBinding, PathOutcome};
 pub use error::EngineError;
 pub use value::{Region, SVal, Symbol};

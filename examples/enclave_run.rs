@@ -25,6 +25,23 @@ fn floats(words: &[Word]) -> Vec<f64> {
         .collect()
 }
 
+/// Fetches an `[out]` buffer by name, checking it holds at least `len`
+/// elements — a typed error instead of a panicking index when the enclave
+/// returns less than expected.
+fn out_floats(result: &sgx_sim::EcallResult, param: &str, len: usize) -> Result<Vec<f64>, String> {
+    let words = result
+        .outs
+        .get(param)
+        .ok_or_else(|| format!("enclave returned no `{param}` buffer"))?;
+    if words.len() < len {
+        return Err(format!(
+            "`{param}` holds {} element(s), expected at least {len}",
+            words.len()
+        ));
+    }
+    Ok(floats(words))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = PlatformKey::from_seed(b"demo-machine");
 
@@ -48,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             EcallArg::Out(7),
         ],
     )?;
-    let model = floats(&result.outs["model"]);
+    let model = out_floats(&result, "model", 6)?;
     println!(
         "trained model: w = [{:.3}, {:.3}, {:.3}], b = {:.3} (truth: {:?}, {})",
         model[0], model[1], model[2], model[3], data.true_weights, data.true_bias
@@ -69,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kmeans.entry,
         &[EcallArg::In(float_buffer(&points)), EcallArg::Out(7)],
     )?;
-    let out = floats(&result.outs["result"]);
+    let out = out_floats(&result, "result", 3)?;
     println!(
         "kmeans: centroids ({:.2}, {:.2}), inertia {:.2}",
         out[0], out[1], out[2]
@@ -83,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rec.entry,
         &[EcallArg::In(float_buffer(&ratings)), EcallArg::Out(9)],
     )?;
-    let out = floats(&result.outs["out"]);
+    let out = out_floats(&result, "out", 6)?;
     println!(
         "recommender predictions for user 0: {:?}",
         &out[..5]
@@ -93,9 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // the host can invert the leaked slot — exactly what PrivacyScope flags
     let recovered = (out[5] - 7.0) / 2.0;
-    println!(
-        "…but out[5] lets the host recover rating[0][1] = {recovered} (actual {})",
-        ratings[1]
-    );
+    let actual = ratings
+        .get(1)
+        .copied()
+        .ok_or("ratings dataset is unexpectedly short")?;
+    println!("…but out[5] lets the host recover rating[0][1] = {recovered} (actual {actual})");
     Ok(())
 }

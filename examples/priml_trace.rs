@@ -24,10 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nconcrete run with secrets (10, 20): declassified {:?}",
         run.declassified
     );
+    let leaked = run
+        .declassified
+        .get(1)
+        .ok_or("Example 1 should declassify two values")?;
     println!(
-        "attacker inverts the second output: {} / 2 = {}\n",
-        run.declassified[1],
-        run.declassified[1] / 2
+        "attacker inverts the second output: {leaked} / 2 = {}\n",
+        leaked / 2
     );
 
     println!("── Example 2 (implicit leakage) ──");

@@ -1,10 +1,13 @@
 //! Failure injection across the crate boundaries: malformed inputs,
-//! exhausted budgets, and enclave boundary violations must surface as
-//! typed errors (or flagged-degraded results), never panics.
+//! exhausted budgets, deadlines, panicking path tasks, and injected
+//! enclave boundary faults must surface as typed errors (or
+//! flagged-degraded results), never panics.
 
 use privacyscope::{Analyzer, AnalyzerOptions};
 use sgx_sim::enclave::{EcallArg, Enclave};
 use sgx_sim::interp::Word;
+use sgx_sim::{Fault, FaultPlan, RetryPolicy, SgxError};
+use symexec::Degradation;
 
 const GOOD_EDL: &str = "enclave { trusted { public int f([in] char *s, [out] char *out); }; };";
 
@@ -206,4 +209,272 @@ fn dropped_paths_still_contribute_return_observations() {
             .any(|f| f.channel == "return value" && f.secret == "s[0]"),
         "{report}"
     );
+}
+
+#[test]
+fn path_budget_exhaustion_lands_in_the_degradation_ledger() {
+    let mut source = String::from("int f(char *s, char *out) { int acc = 0;\n");
+    for i in 0..16 {
+        source.push_str(&format!("if ((s[{i}] >> 1) & 1) acc += {i};\n"));
+    }
+    source.push_str("out[0] = acc + s[0] + s[1]; return 0; }");
+    let options = AnalyzerOptions {
+        max_paths: 8,
+        ..AnalyzerOptions::default()
+    };
+    let report = Analyzer::from_sources(&source, GOOD_EDL, options)
+        .expect("builds")
+        .analyze("f")
+        .expect("analyzes");
+    assert!(report.is_degraded(), "{report}");
+    assert!(report
+        .degradations
+        .iter()
+        .any(|d| matches!(d, Degradation::PathBudget { .. })));
+    let text = report.to_string();
+    assert!(text.contains("Degradations:"), "{text}");
+    assert!(text.contains("lower bound"), "{text}");
+}
+
+#[test]
+fn exceeded_deadline_degrades_instead_of_failing() {
+    // A pre-expired deadline pins the wave cutoff at 0, making the
+    // degraded result deterministic regardless of machine speed.
+    let source = "int f(char *s, char *out) { out[0] = s[0]; return 0; }";
+    let options = AnalyzerOptions {
+        deadline_ms: Some(0),
+        ..AnalyzerOptions::default()
+    };
+    let report = Analyzer::from_sources(source, GOOD_EDL, options)
+        .expect("builds")
+        .analyze("f")
+        .expect("returns Ok despite the deadline");
+    assert!(report.stats.exhausted);
+    assert!(report.is_degraded());
+    assert!(
+        report.degradations.iter().any(|d| matches!(
+            d,
+            Degradation::DeadlineExceeded {
+                wave: 0,
+                dropped: 1
+            }
+        )),
+        "{report}"
+    );
+    assert!(report.to_string().contains("deadline exceeded at wave 0"));
+}
+
+#[test]
+fn deadline_degraded_run_is_identical_across_worker_counts() {
+    let mut source = String::from("int f(char *s, char *out) { int acc = 0;\n");
+    for i in 0..6 {
+        source.push_str(&format!("if ((s[{i}] >> 1) & 1) acc += {i};\n"));
+    }
+    source.push_str("out[0] = acc; return 0; }");
+    let run = |workers: usize| {
+        let options = AnalyzerOptions {
+            deadline_ms: Some(0),
+            workers,
+            ..AnalyzerOptions::default()
+        };
+        let mut report = Analyzer::from_sources(&source, GOOD_EDL, options)
+            .expect("builds")
+            .analyze("f")
+            .expect("analyzes");
+        // wall-clock time is the one legitimately nondeterministic field
+        report.stats.time = std::time::Duration::ZERO;
+        report
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        sequential, parallel,
+        "deadline-degraded output diverged across worker counts"
+    );
+    assert_eq!(sequential.degradations, parallel.degradations);
+    assert!(sequential
+        .degradations
+        .iter()
+        .any(|d| matches!(d, Degradation::DeadlineExceeded { wave: 0, .. })));
+}
+
+#[test]
+fn panicking_path_task_is_isolated_across_worker_counts() {
+    // `boom` is reached only on the s[0] > 0 path; the injected panic must
+    // surface as a ledger entry while the sibling path's verdict survives,
+    // byte-identically at every worker count.
+    let source = "void boom(void);\n\
+                  int f(char *s, char *out) {\n\
+                      int hit = 0;\n\
+                      if (s[0] > 0) hit = 1;\n\
+                      if (hit) boom();\n\
+                      out[0] = s[1];\n\
+                      return hit; }";
+    let run = |workers: usize| {
+        let options = AnalyzerOptions {
+            workers,
+            inject_panic_on_call: Some("boom".into()),
+            ..AnalyzerOptions::default()
+        };
+        let mut report = Analyzer::from_sources(source, GOOD_EDL, options)
+            .expect("builds")
+            .analyze("f")
+            .expect("returns Ok despite the panic");
+        report.stats.time = std::time::Duration::ZERO;
+        report
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel, "panic isolation diverged");
+    assert!(sequential.is_degraded());
+    assert!(
+        sequential.degradations.iter().any(
+            |d| matches!(d, Degradation::PathPanicked { message } if message.contains("boom"))
+        ),
+        "{sequential}"
+    );
+    // The surviving path still emits its explicit leak.
+    assert!(
+        sequential
+            .explicit_findings()
+            .any(|f| f.channel == "out[0]" && f.secret == "s[1]"),
+        "{sequential}"
+    );
+    assert!(sequential.to_string().contains("panicked"));
+}
+
+const OCALL_SOURCE: &str = "void ocall_log(int v);\n\
+                            int f(char *s, char *out) {\n\
+                                ocall_log(1);\n\
+                                out[0] = s[0] + 1;\n\
+                                return 0; }";
+
+const OCALL_EDL: &str = "enclave {\n\
+                         trusted { public int f([in] char *s, [out] char *out); };\n\
+                         untrusted { void ocall_log(int v); };\n\
+                         };";
+
+#[test]
+fn injected_ocall_fault_without_retry_is_a_transient_typed_error() {
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().fail_ocall(0));
+    let err = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(3)]), EcallArg::Out(1)])
+        .expect_err("the fault must surface");
+    assert!(err.is_transient(), "{err}");
+    assert!(matches!(err, SgxError::Ocall { index: 0, .. }), "{err}");
+    assert_eq!(session.injected_faults(), &[Fault::FailOcall { nth: 0 }]);
+}
+
+#[test]
+fn transient_ocall_fault_within_retry_budget_yields_a_clean_run() {
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().fail_ocall(0))
+        .with_retry(RetryPolicy::retries(2));
+    let result = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(3)]), EcallArg::Out(1)])
+        .expect("the retry must absorb the fault");
+    // The successful attempt's observable output is clean: exactly one
+    // OCALL, the correct [out] contents, one retry on the books.
+    assert_eq!(result.outs["out"], vec![Word::Int(4)]);
+    assert_eq!(result.ocalls.len(), 1);
+    assert_eq!(session.retries(), 1);
+}
+
+#[test]
+fn fault_beyond_the_retry_budget_still_fails_typed() {
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    // fail the first two OCALL attempts; only one retry allowed
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().fail_ocall(0).fail_ocall(1))
+        .with_retry(RetryPolicy::retries(1));
+    let err = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(3)]), EcallArg::Out(1)])
+        .expect_err("budget exhausted");
+    assert!(err.is_transient());
+    assert_eq!(session.retries(), 1);
+}
+
+#[test]
+fn truncated_out_buffer_is_a_short_read_not_a_crash() {
+    let source = "int f(char *s, char *out) {\n\
+                  out[0] = 1; out[1] = 2; out[2] = 3;\n\
+                  return 0; }";
+    let edl = "enclave { trusted { public int f([in] char *s, [out, count=3] char *out); }; };";
+    let enclave = Enclave::load(source, edl).expect("loads");
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().truncate_out(0, "out", 1));
+    let result = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(0)]), EcallArg::Out(3)])
+        .expect("truncation is not fatal");
+    assert_eq!(result.outs["out"], vec![Word::Int(1)], "{result:?}");
+}
+
+#[test]
+fn scheduled_seal_corruption_is_detected_at_unseal() {
+    let source = "int f(char *s, char *out) { return 0; }";
+    let enclave = Enclave::load(source, GOOD_EDL).expect("loads");
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().corrupt_seal(1));
+    let good = session.seal(0, b"weights");
+    let corrupted = session.seal(1, b"weights");
+    assert_eq!(enclave.unseal(&good).expect("intact blob"), b"weights");
+    assert!(matches!(
+        enclave.unseal(&corrupted).expect_err("must be rejected"),
+        SgxError::Sealing(_)
+    ));
+    assert_eq!(session.injected_faults(), &[Fault::CorruptSeal { nth: 1 }]);
+}
+
+#[test]
+fn delayed_ecall_only_adds_latency() {
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().delay_ecall(0, 1));
+    let started = std::time::Instant::now();
+    let result = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(9)]), EcallArg::Out(1)])
+        .expect("a delay is not a failure");
+    assert!(started.elapsed() >= std::time::Duration::from_millis(1));
+    assert_eq!(result.outs["out"], vec![Word::Int(10)]);
+    assert_eq!(
+        session.injected_faults(),
+        &[Fault::DelayEcall { nth: 0, millis: 1 }]
+    );
+}
+
+#[test]
+fn seeded_fault_plans_reproduce_identical_sessions() {
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    let run = |seed: u64| {
+        let mut session = enclave
+            .session()
+            .expect("opens")
+            .with_faults(FaultPlan::seeded(seed, 4))
+            .with_retry(RetryPolicy::retries(4));
+        let outcome = session
+            .ecall("f", &[EcallArg::In(vec![Word::Int(3)]), EcallArg::Out(1)])
+            .map_err(|e| e.to_string());
+        (
+            outcome,
+            session.injected_faults().to_vec(),
+            session.retries(),
+        )
+    };
+    assert_eq!(FaultPlan::seeded(7, 4), FaultPlan::seeded(7, 4));
+    assert_eq!(run(7), run(7), "same seed must replay identically");
 }

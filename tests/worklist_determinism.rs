@@ -13,6 +13,7 @@
 use proptest::prelude::*;
 use symexec::engine::{Engine, EngineConfig, Exploration, ParamBinding};
 use symexec::state::Channel;
+use symexec::Degradation;
 
 /// Mirrors `Analyzer::bindings` for a default (no-override) configuration.
 fn bindings_from_edl(edl_text: &str, entry: &str) -> Vec<ParamBinding> {
@@ -128,7 +129,31 @@ proptest! {
         prop_assert_eq!(return_events, BRANCHY_PATHS);
 
         // And the whole exploration is budget-deterministic: workers only
-        // change wall-clock time, never the result.
+        // change wall-clock time, never the result. (`Exploration`
+        // equality covers the degradation ledger too.)
         prop_assert_eq!(exploration, explore_branchy(budget, 1));
     }
+}
+
+/// The degradation ledger is part of the deterministic output: a
+/// budget-truncated exploration reports the same coalesced entries at
+/// every worker count, in the same order.
+#[test]
+fn degradation_ledger_is_worker_count_invariant() {
+    let sequential = explore_branchy(8, 1);
+    let parallel = explore_branchy(8, 4);
+    assert_eq!(sequential.ledger, parallel.ledger);
+    assert!(
+        sequential
+            .ledger
+            .entries()
+            .iter()
+            .any(|d| matches!(d, Degradation::PathBudget { .. })),
+        "a truncated run must disclose the path budget: {:?}",
+        sequential.ledger
+    );
+    // An untruncated run keeps a clean ledger.
+    let clean = explore_branchy(40, 4);
+    assert!(clean.ledger.is_empty(), "{:?}", clean.ledger);
+    assert!(clean.ledger.is_complete());
 }
