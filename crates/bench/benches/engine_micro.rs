@@ -129,6 +129,36 @@ fn bench_supervisor(c: &mut Criterion) {
     });
 }
 
+fn bench_checkpoint(c: &mut Criterion) {
+    // Per-wave snapshot overhead: the same fork-heavy workload with a
+    // snapshot serialized, fsynced and atomically renamed at *every* wave
+    // boundary versus checkpointing disabled. Real runs checkpoint far less
+    // often, so this is the worst case.
+    let mut source = String::from("int f(int a) { int s = 0;\n");
+    for i in 0..8 {
+        source.push_str(&format!("if ((a >> {i}) & 1) s += {i};\n"));
+    }
+    source.push_str("return s; }");
+    let unit = minic::parse(&source).expect("parses");
+    let path = std::env::temp_dir().join(format!("ps_bench_ckpt_{}.snap", std::process::id()));
+    let run = |checkpoint: Option<std::path::PathBuf>| {
+        let config = EngineConfig {
+            workers: 1,
+            checkpoint_every: usize::from(checkpoint.is_some()),
+            checkpoint,
+            ..EngineConfig::default()
+        };
+        Engine::new(&unit, config)
+            .run("f", &[ParamBinding::Scalar])
+            .expect("explores")
+    };
+    c.bench_function("explore_without_checkpoint", |b| b.iter(|| run(None)));
+    c.bench_function("explore_checkpoint_every_wave", |b| {
+        b.iter(|| run(Some(path.clone())))
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group!(
     benches,
     bench_frontend,
@@ -137,6 +167,7 @@ criterion_group!(
     bench_taint,
     bench_priml,
     bench_runtime,
-    bench_supervisor
+    bench_supervisor,
+    bench_checkpoint
 );
 criterion_main!(benches);

@@ -23,6 +23,7 @@ fn main() {
     let mut corpus: Vec<mlcorpus::Module> = mlcorpus::modules();
     corpus.extend(
         mlcorpus::inject::kmeans_injections()
+            .expect("corpus anchors intact")
             .into_iter()
             .map(|i| i.module),
     );

@@ -46,7 +46,7 @@ fn main() {
         report.stats.paths
     );
 
-    for injection in mlcorpus::inject::kmeans_injections() {
+    for injection in mlcorpus::inject::kmeans_injections().expect("corpus anchors intact") {
         println!();
         println!(
             "injected payload `{}` ({}):",

@@ -2,6 +2,7 @@
 //! nonreversibility policy checks of §V-B/§VI-B.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use edl::{AnalysisConfig, EdlFile, Prototype};
@@ -67,6 +68,18 @@ pub struct AnalyzerOptions {
     /// Test hook: panic when this function is called (exercises the
     /// engine's panic isolation end to end).
     pub inject_panic_on_call: Option<String>,
+    /// Write a crash-safe, resumable snapshot to this path whenever the
+    /// exploration is cut by a deadline or cancellation (see
+    /// [`EngineConfig::checkpoint`]).
+    pub checkpoint: Option<PathBuf>,
+    /// Additionally snapshot every N wave boundaries (0 = only at a cut).
+    /// Requires [`AnalyzerOptions::checkpoint`].
+    pub checkpoint_every: usize,
+    /// Resume exploration from a snapshot previously written via
+    /// `checkpoint`. The snapshot must match the current source, EDL
+    /// bindings and analysis options byte-for-byte — a mismatch is a typed
+    /// [`Error::Checkpoint`], never a silently different result.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for AnalyzerOptions {
@@ -86,6 +99,9 @@ impl Default for AnalyzerOptions {
             deadline_ms: None,
             cancel: CancelToken::new(),
             inject_panic_on_call: None,
+            checkpoint: None,
+            checkpoint_every: 0,
+            resume: None,
         }
     }
 }
@@ -197,6 +213,8 @@ impl Analyzer {
             deadline: self.options.deadline_ms.map(Duration::from_millis),
             cancel: self.options.cancel.clone(),
             inject_panic_on_call: self.options.inject_panic_on_call.clone(),
+            checkpoint: self.options.checkpoint.clone(),
+            checkpoint_every: self.options.checkpoint_every,
             ..EngineConfig::default()
         };
         for sink in self
@@ -218,7 +236,13 @@ impl Analyzer {
         }
 
         let engine = Engine::new(&self.unit, engine_config).with_source(self.source.clone());
-        let exploration = engine.run(function, &bindings)?;
+        let exploration = match &self.options.resume {
+            Some(path) => {
+                let snapshot = symexec::Snapshot::load(path)?;
+                engine.resume(function, &bindings, snapshot)?
+            }
+            None => engine.run(function, &bindings)?,
+        };
 
         let source_name = |id: SourceId| -> String {
             exploration
@@ -354,6 +378,10 @@ impl Analyzer {
             function: function.to_string(),
             findings,
             degradations: exploration.ledger.entries().to_vec(),
+            checkpoint: exploration
+                .checkpoint
+                .as_ref()
+                .map(|path| path.display().to_string()),
             stats: AnalysisStats {
                 paths: exploration.paths.len(),
                 forks: exploration.stats.forks,

@@ -92,6 +92,7 @@ pub fn analyze(source: &str, edl_text: &str, function: &str) -> Result<Report, E
         function: function.to_string(),
         findings: pass.findings.into_values().collect(),
         degradations: Vec::new(),
+        checkpoint: None,
         stats: crate::report::AnalysisStats {
             paths: 1,
             forks: 0,

@@ -13,6 +13,14 @@
 //!     --deadline-ms <n>     wall-clock deadline; exploration stops at the
 //!                           first wave boundary past it and the dropped
 //!                           paths land in the degradation ledger
+//!     --checkpoint <file>   write a crash-safe resumable snapshot when a
+//!                           deadline/cancellation cuts the run (the path is
+//!                           reported in the JSON report and on stderr)
+//!     --checkpoint-every <n> additionally snapshot every n wave boundaries
+//!                           (requires --checkpoint)
+//!     --resume <file>       continue a previous run from its snapshot; the
+//!                           final report is byte-identical to an
+//!                           uninterrupted run at any --workers setting
 //!
 //! privacyscope priml <program.priml>
 //!     analyze a PRIML program with the formal semantics and print the
@@ -77,7 +85,8 @@ const USAGE: &str = "\
 usage:
   privacyscope analyze <enclave.c> <enclave.edl> [--config <xml>] [--function <name>]
                        [--json] [--trace] [--baseline] [--max-paths <n>] [--loop-bound <n>]
-                       [--workers <n>] [--deadline-ms <n>]
+                       [--workers <n>] [--deadline-ms <n>] [--checkpoint <file>]
+                       [--checkpoint-every <n>] [--resume <file>]
   privacyscope priml <program.priml>
 
 exit codes: 0 secure and complete, 1 violations found, 2 usage/input error,
@@ -158,6 +167,9 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
             "loop-bound",
             "workers",
             "deadline-ms",
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
         ],
         &["json", "trace", "baseline"],
     )?;
@@ -169,11 +181,24 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
     let source = read(source_path)?;
     let edl_text = read(edl_path)?;
 
+    let checkpoint = cli.value("checkpoint").map(std::path::PathBuf::from);
+    let checkpoint_every = cli.usize_value("checkpoint-every", 0)?;
+    let resume = cli.value("resume").map(std::path::PathBuf::from);
+    if checkpoint_every > 0 && checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint <file>".into());
+    }
+    if cli.has("baseline") && (checkpoint.is_some() || resume.is_some()) {
+        return Err("--checkpoint/--resume do not apply to the --baseline DFA".into());
+    }
+
     let options = AnalyzerOptions {
         max_paths: cli.usize_value("max-paths", 4096)?,
         loop_bound: cli.usize_value("loop-bound", 4)?,
         workers: cli.usize_value("workers", 0)?,
         deadline_ms: cli.u64_opt_value("deadline-ms")?,
+        checkpoint,
+        checkpoint_every,
+        resume,
         ..AnalyzerOptions::default()
     };
 
@@ -193,6 +218,13 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
     if targets.is_empty() {
         return Err("no public ECALLs to analyze (and no --function given)".into());
     }
+    if targets.len() > 1 && (cli.value("checkpoint").is_some() || cli.value("resume").is_some()) {
+        return Err(format!(
+            "--checkpoint/--resume snapshot one exploration, but {} targets were selected; \
+             pick one with --function",
+            targets.len()
+        ));
+    }
 
     let mut verdict = Verdict::clean();
     for target in &targets {
@@ -210,6 +242,12 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         }
         let report = analyzer.analyze(target).map_err(|e| e.to_string())?;
         emit(&report, cli.has("json"));
+        if let Some(path) = &report.checkpoint {
+            eprintln!(
+                "privacyscope: wrote resumable checkpoint to `{path}`; \
+                 continue with `--resume {path}`"
+            );
+        }
         verdict.secure &= report.is_secure();
         verdict.degraded |= report.is_degraded();
     }

@@ -15,6 +15,9 @@ pub enum Error {
     UnknownTarget(String),
     /// The symbolic engine rejected the setup.
     Engine(symexec::EngineError),
+    /// A resume snapshot could not be loaded (missing, truncated, corrupt,
+    /// or written for a different analysis).
+    Checkpoint(symexec::CheckpointError),
 }
 
 impl fmt::Display for Error {
@@ -27,6 +30,7 @@ impl fmt::Display for Error {
                 write!(f, "`{name}` is not a declared ECALL target")
             }
             Error::Engine(e) => write!(f, "engine: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -54,6 +58,12 @@ impl From<edl::ConfigError> for Error {
 impl From<symexec::EngineError> for Error {
     fn from(e: symexec::EngineError) -> Self {
         Error::Engine(e)
+    }
+}
+
+impl From<symexec::CheckpointError> for Error {
+    fn from(e: symexec::CheckpointError) -> Self {
+        Error::Checkpoint(e)
     }
 }
 

@@ -131,6 +131,10 @@ pub struct Report {
     /// short of a complete exploration, typed (empty = complete).
     #[serde(default)]
     pub degradations: Vec<Degradation>,
+    /// Path of the last resumable snapshot the exploration wrote, if any
+    /// (`--checkpoint`): pass it back via `--resume` to continue the run.
+    #[serde(default)]
+    pub checkpoint: Option<String>,
     /// Exploration statistics.
     pub stats: AnalysisStats,
 }
@@ -216,6 +220,12 @@ impl fmt::Display for Report {
                 )?;
             }
         }
+        if let Some(path) = &self.checkpoint {
+            writeln!(
+                f,
+                "Checkpoint: resumable snapshot at `{path}` (continue with --resume)."
+            )?;
+        }
         if self.findings.is_empty() {
             writeln!(f, "No nonreversibility violations detected.")?;
         }
@@ -263,6 +273,7 @@ mod tests {
                 },
             ],
             degradations: vec![],
+            checkpoint: None,
             stats: AnalysisStats {
                 paths: 2,
                 forks: 1,
@@ -307,6 +318,7 @@ mod tests {
             function: "f".into(),
             findings: vec![],
             degradations: vec![],
+            checkpoint: None,
             stats: AnalysisStats::default(),
         };
         assert!(report.is_secure());
@@ -322,6 +334,7 @@ mod tests {
             function: "f".into(),
             findings: vec![],
             degradations: vec![Degradation::LoopWidened { count: 2 }],
+            checkpoint: None,
             stats: AnalysisStats::default(),
         };
         // Precision-only: the leak set is still complete.

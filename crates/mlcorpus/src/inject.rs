@@ -7,7 +7,7 @@
 //! at those anchors (comments are invisible to the clean build and to the
 //! LoC metric).
 
-use crate::Module;
+use crate::{CorpusError, Module};
 
 /// Where a payload is spliced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,16 +32,23 @@ pub struct Injection {
     pub payload: &'static str,
 }
 
-fn splice(source: &'static str, site: Site, payload: &'static str) -> String {
+fn splice(
+    module: &str,
+    source: &'static str,
+    site: Site,
+    payload: &'static str,
+) -> Result<String, CorpusError> {
     let anchor = match site {
         Site::Prologue => "/* inject: prologue */",
         Site::Epilogue => "/* inject: epilogue */",
     };
-    assert!(
-        source.contains(anchor),
-        "module source lacks the `{anchor}` anchor"
-    );
-    source.replace(anchor, payload)
+    if !source.contains(anchor) {
+        return Err(CorpusError::MissingAnchor {
+            module: module.to_string(),
+            anchor,
+        });
+    }
+    Ok(source.replace(anchor, payload))
 }
 
 /// Leaked sources live here so tests can name them.
@@ -54,14 +61,15 @@ pub const IMPLICIT_OCALL_PAYLOAD: &str =
 
 /// The three injected Kmeans variants of case study 2.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the corpus source lost its anchors (a corpus bug).
-pub fn kmeans_injections() -> Vec<Injection> {
+/// Returns [`CorpusError::MissingAnchor`] if the corpus source lost its
+/// anchors (a corpus bug) — never panics, so harnesses can report it.
+pub fn kmeans_injections() -> Result<Vec<Injection>, CorpusError> {
     let base = crate::kmeans::module();
-    let mk = |name, explicit, site, payload| {
-        let source = splice(base.source, site, payload);
-        Injection {
+    let mk = |name, explicit, site, payload| -> Result<Injection, CorpusError> {
+        let source = splice(base.name, base.source, site, payload)?;
+        Ok(Injection {
             name,
             explicit,
             module: Module {
@@ -75,28 +83,28 @@ pub fn kmeans_injections() -> Vec<Injection> {
                 expected_violations: 1,
             },
             payload,
-        }
+        })
     };
-    vec![
+    Ok(vec![
         mk(
             "explicit-out-copy",
             true,
             Site::Epilogue,
             EXPLICIT_OUT_PAYLOAD,
-        ),
+        )?,
         mk(
             "explicit-ocall",
             true,
             Site::Prologue,
             EXPLICIT_OCALL_PAYLOAD,
-        ),
+        )?,
         mk(
             "implicit-ocall",
             false,
             Site::Prologue,
             IMPLICIT_OCALL_PAYLOAD,
-        ),
-    ]
+        )?,
+    ])
 }
 
 #[cfg(test)]
@@ -104,17 +112,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn injected_variants_parse() {
-        for injection in kmeans_injections() {
-            minic::parse(injection.module.source).unwrap_or_else(|e| {
-                panic!("{} does not parse: {e}", injection.name);
-            });
+    fn injected_variants_validate() {
+        for injection in kmeans_injections().expect("corpus anchors intact") {
+            injection
+                .module
+                .validate()
+                .expect("injected variant is valid");
         }
     }
 
     #[test]
     fn payloads_are_spliced_at_anchors() {
-        let injections = kmeans_injections();
+        let injections = kmeans_injections().expect("corpus anchors intact");
         assert_eq!(injections.len(), 3);
         for injection in &injections {
             assert!(injection.module.source.contains(injection.payload));
@@ -127,8 +136,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "anchor")]
-    fn missing_anchor_panics() {
-        let _ = splice("int f() { return 0; }", Site::Prologue, "x;");
+    fn missing_anchor_is_a_typed_error() {
+        let err = splice("Kmeans", "int f() { return 0; }", Site::Prologue, "x;")
+            .expect_err("anchorless source must be rejected");
+        assert!(matches!(
+            err,
+            CorpusError::MissingAnchor {
+                anchor: "/* inject: prologue */",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("anchor"));
     }
 }

@@ -14,11 +14,61 @@
 //! mechanically inserts explicit/implicit leakage payloads into any module,
 //! mimicking the paper's malicious-enclave-writer experiment.
 
+use std::fmt;
+
 pub mod datasets;
 pub mod inject;
 pub mod kmeans;
 pub mod linear_regression;
 pub mod recommender;
+
+/// A defect in the shipped corpus itself: a module whose source or EDL no
+/// longer parses, or one that lost an injection anchor. Library paths
+/// report these as values — a broken corpus must never panic the harness
+/// that consumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// The module's Mini-C source does not parse.
+    Parse {
+        /// Module name.
+        module: String,
+        /// The underlying parse error.
+        error: minic::Error,
+    },
+    /// The module's EDL interface does not parse.
+    Edl {
+        /// Module name.
+        module: String,
+        /// The underlying EDL error.
+        error: edl::EdlError,
+    },
+    /// The module's source lost an `/* inject: … */` anchor comment, so a
+    /// payload has nowhere to go.
+    MissingAnchor {
+        /// Module name.
+        module: String,
+        /// The anchor comment that was expected.
+        anchor: &'static str,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Parse { module, error } => {
+                write!(f, "corpus module `{module}` does not parse: {error}")
+            }
+            CorpusError::Edl { module, error } => {
+                write!(f, "corpus module `{module}` has a bad EDL: {error}")
+            }
+            CorpusError::MissingAnchor { module, anchor } => {
+                write!(f, "corpus module `{module}` lacks the `{anchor}` anchor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
 
 /// A corpus module: source, interface, and ground truth for the harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +83,25 @@ pub struct Module {
     pub entry: &'static str,
     /// Number of nonreversibility violations the clean variant contains.
     pub expected_violations: usize,
+}
+
+impl Module {
+    /// Checks that the module's source and EDL still parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CorpusError`] found.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        minic::parse(self.source).map_err(|error| CorpusError::Parse {
+            module: self.name.to_string(),
+            error,
+        })?;
+        edl::parse_edl(self.edl).map_err(|error| CorpusError::Edl {
+            module: self.name.to_string(),
+            error,
+        })?;
+        Ok(())
+    }
 }
 
 /// All three clean modules, in the paper's Table V order.
@@ -55,15 +124,26 @@ pub fn recommender_vulnerable() -> Module {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn all_modules_parse() {
+    fn all_modules_validate() {
         for module in super::modules() {
-            minic::parse(module.source).unwrap_or_else(|e| {
-                panic!("{} does not parse: {e}", module.name);
-            });
-            edl::parse_edl(module.edl).unwrap_or_else(|e| {
-                panic!("{} EDL does not parse: {e}", module.name);
-            });
+            module.validate().expect("shipped corpus module is valid");
         }
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let mut broken = super::recommender::module();
+        broken.source = "int f( {";
+        assert!(matches!(
+            broken.validate(),
+            Err(super::CorpusError::Parse { .. })
+        ));
+        let mut bad_edl = super::recommender::module();
+        bad_edl.edl = "enclave { trusted {";
+        assert!(matches!(
+            bad_edl.validate(),
+            Err(super::CorpusError::Edl { .. })
+        ));
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum Degradation {
         /// Widenings applied.
         count: usize,
     },
+    /// Writing a checkpoint snapshot failed (disk full, permissions, …).
+    /// The exploration itself lost nothing — but the run is not resumable
+    /// from that boundary, which an operator relying on `--checkpoint`
+    /// needs to know.
+    CheckpointFailed {
+        /// The rendered [`crate::CheckpointError`].
+        message: String,
+    },
 }
 
 impl Degradation {
@@ -90,8 +98,13 @@ impl Degradation {
 
     /// Whether this entry only reduced value precision: every feasible
     /// path was still covered and taint (hence the leak set) is intact.
+    /// (A failed checkpoint write loses neither paths nor precision — it
+    /// only costs resumability.)
     pub fn loses_precision(&self) -> bool {
-        !self.loses_paths()
+        matches!(
+            self,
+            Degradation::ValueWidened { .. } | Degradation::LoopWidened { .. }
+        )
     }
 }
 
@@ -130,6 +143,9 @@ impl fmt::Display for Degradation {
             }
             Degradation::LoopWidened { count } => {
                 write!(f, "{count} loop(s) havoc-widened (taint preserved)")
+            }
+            Degradation::CheckpointFailed { message } => {
+                write!(f, "checkpoint write failed (run not resumable): {message}")
             }
         }
     }
@@ -175,6 +191,11 @@ impl Ledger {
                     return;
                 }
                 (PathPanicked { message }, PathPanicked { message: same }) if message == same => {
+                    return;
+                }
+                (CheckpointFailed { message }, CheckpointFailed { message: same })
+                    if message == same =>
+                {
                     return;
                 }
                 _ => {}

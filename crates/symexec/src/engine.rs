@@ -16,6 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Duration;
 
 use minic::ast::{
@@ -23,8 +24,10 @@ use minic::ast::{
 };
 use minic::types::Type;
 use minic::Span;
+use serde::{Deserialize, Serialize};
 use taint::{SourceId, TaintSet};
 
+use crate::checkpoint::{self, Frontier, Snapshot};
 use crate::constraints::{Feasibility, FeasibilityCache};
 use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor};
 use crate::error::EngineError;
@@ -107,6 +110,18 @@ pub struct EngineConfig {
     /// Test/fault-injection hook: panic on entry to calls of this function,
     /// exercising the per-task panic isolation. `None` in production.
     pub inject_panic_on_call: Option<String>,
+    /// Write a resumable [`Snapshot`] to this path when the supervisor
+    /// stops the run (deadline/cancel), and — see
+    /// [`EngineConfig::checkpoint_every`] — periodically at wave
+    /// boundaries. `None` disables checkpointing entirely. A failed write
+    /// never aborts the exploration; it lands in the ledger as
+    /// [`Degradation::CheckpointFailed`].
+    pub checkpoint: Option<PathBuf>,
+    /// Additionally write a snapshot at the start of every `N`th wave
+    /// (crash insurance against process death, not just clean supervisor
+    /// stops). `0` = only on a supervisor stop. Ignored unless
+    /// [`EngineConfig::checkpoint`] is set.
+    pub checkpoint_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +141,8 @@ impl Default for EngineConfig {
             deadline: None,
             cancel: CancelToken::new(),
             inject_panic_on_call: None,
+            checkpoint: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -156,7 +173,7 @@ pub struct PathOutcome {
 }
 
 /// Exploration statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stats {
     /// State forks performed.
     pub forks: usize,
@@ -219,6 +236,11 @@ pub struct Exploration {
     /// The symbolic-variable id backing each secret source (for recovery-
     /// formula synthesis).
     pub source_symbols: BTreeMap<SourceId, u32>,
+    /// Path of the last resumable snapshot written during this run (on a
+    /// supervisor stop or a periodic boundary), `None` when checkpointing
+    /// was disabled or nothing was written. Operators can feed it back via
+    /// [`Engine::resume`].
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Exploration {
@@ -261,6 +283,36 @@ impl<'u> Engine<'u> {
     /// binding list does not match the signature, or a binding is
     /// incompatible with the parameter type.
     pub fn run(&self, entry: &str, bindings: &[ParamBinding]) -> Result<Exploration, EngineError> {
+        self.run_from(entry, bindings, None)
+    }
+
+    /// Continues an exploration from a [`Snapshot`] written by an earlier
+    /// run with [`EngineConfig::checkpoint`] set. The final [`Exploration`]
+    /// is byte-identical to an uninterrupted run of the same analysis, at
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// All of [`Engine::run`]'s conditions, plus
+    /// [`EngineError::Checkpoint`] with
+    /// [`CheckpointError::FingerprintMismatch`](crate::CheckpointError::FingerprintMismatch)
+    /// when the snapshot was written for a different source, entry,
+    /// bindings, or analysis-relevant configuration.
+    pub fn resume(
+        &self,
+        entry: &str,
+        bindings: &[ParamBinding],
+        snapshot: Snapshot,
+    ) -> Result<Exploration, EngineError> {
+        self.run_from(entry, bindings, Some(snapshot))
+    }
+
+    fn run_from(
+        &self,
+        entry: &str,
+        bindings: &[ParamBinding],
+        resume: Option<Snapshot>,
+    ) -> Result<Exploration, EngineError> {
         let func = self
             .unit
             .function(entry)
@@ -278,6 +330,11 @@ impl<'u> Engine<'u> {
             // an unwrap reachable from user input.
             return Err(EngineError::UnknownFunction(entry.to_string()));
         };
+
+        // Only computed when checkpointing or resuming is in play: the
+        // fingerprint pretty-prints the whole unit.
+        let fingerprint = (resume.is_some() || self.config.checkpoint.is_some())
+            .then(|| checkpoint::fingerprint(self.unit, entry, bindings, &self.config));
 
         let cache = FeasibilityCache::new(self.config.feasibility_cache);
         let supervisor = Supervisor::new(self.config.deadline, self.config.cancel.clone());
@@ -299,13 +356,62 @@ impl<'u> Engine<'u> {
             event_log: Vec::new(),
         };
 
-        let mut state = ExecState::new();
-        state.frames.push(Frame::new(0, entry));
-        explorer.init_globals(&mut state);
-        let mut out_bases = Vec::new();
-        explorer.bind_params(&mut state, func, bindings, &mut out_bases)?;
+        let (start_wave, start_entries, out_bases) = match resume {
+            Some(snapshot) => {
+                snapshot
+                    .verify_fingerprint(fingerprint.unwrap_or_default())
+                    .map_err(EngineError::Checkpoint)?;
+                let Frontier {
+                    wave,
+                    entries,
+                    next_symbol,
+                    next_source,
+                    source_names,
+                    source_symbols,
+                    stats,
+                    exhausted,
+                    ledger,
+                    events,
+                    out_bases,
+                } = snapshot.frontier;
+                explorer.next_symbol = next_symbol;
+                explorer.next_source = next_source;
+                explorer.source_names = source_names;
+                explorer.source_symbols = source_symbols;
+                explorer.stats = stats;
+                explorer.base_forks = explorer.stats.forks;
+                explorer.exhausted = exhausted;
+                explorer.ledger = ledger;
+                explorer.event_log = events;
+                (wave, entries, out_bases)
+            }
+            None => {
+                let mut state = ExecState::new();
+                state.frames.push(Frame::new(0, entry));
+                explorer.init_globals(&mut state);
+                let mut out_bases = Vec::new();
+                explorer.bind_params(&mut state, func, bindings, &mut out_bases)?;
+                (0, vec![(state, Flow::Normal)], out_bases)
+            }
+        };
 
-        let finished = self.drive_worklist(&mut explorer, &cache, &supervisor, state, body);
+        let mut checkpoint_written = None;
+        let sink = CheckpointSink {
+            path: self.config.checkpoint.as_deref(),
+            every: self.config.checkpoint_every,
+            fingerprint: fingerprint.unwrap_or_default(),
+            out_bases: &out_bases,
+            written: &mut checkpoint_written,
+        };
+        let finished = self.drive_worklist(
+            &mut explorer,
+            &cache,
+            &supervisor,
+            start_wave,
+            start_entries,
+            body,
+            sink,
+        );
 
         let mut paths = Vec::new();
         for (mut st, flow) in finished {
@@ -364,6 +470,7 @@ impl<'u> Engine<'u> {
                 .iter()
                 .map(|(id, sym)| (SourceId::new(*id), *sym))
                 .collect(),
+            checkpoint: checkpoint_written,
         })
     }
 
@@ -373,17 +480,20 @@ impl<'u> Engine<'u> {
     /// back in task order with their fresh ids renumbered onto the global
     /// counters, so the outcome is byte-identical to a sequential run (see
     /// the `worklist` module docs for the argument).
+    #[allow(clippy::too_many_arguments)]
     fn drive_worklist(
         &self,
         explorer: &mut Explorer<'u, '_>,
         cache: &FeasibilityCache,
         supervisor: &Supervisor,
-        state: ExecState,
+        start_wave: usize,
+        start_entries: StateFlows,
         body: &[Stmt],
+        mut sink: CheckpointSink<'_>,
     ) -> StateFlows {
         let workers = self.config.effective_workers();
-        let mut entries: StateFlows = vec![(state, Flow::Normal)];
-        for (wave, stmt) in body.iter().enumerate() {
+        let mut entries = start_entries;
+        for (wave, stmt) in body.iter().enumerate().skip(start_wave) {
             let live = entries
                 .iter()
                 .filter(|(_, flow)| *flow == Flow::Normal)
@@ -391,11 +501,20 @@ impl<'u> Engine<'u> {
             if live == 0 {
                 break;
             }
+            // Periodic crash insurance: at every Nth boundary the merged
+            // frontier is a complete restart point, whether or not the run
+            // later stops cleanly.
+            if sink.due(wave) {
+                sink.write(explorer, &entries, wave);
+            }
             // Deadline/cancellation is decided only at wave boundaries:
             // the merged result is a pure function of the cut wave, so the
             // clock can only choose *when* to stop, never *what* the
             // surviving output looks like.
             if let Some(kind) = supervisor.stop() {
+                // Snapshot the full frontier *before* the cut discards the
+                // in-flight states — this is what `--resume` continues from.
+                sink.write(explorer, &entries, wave);
                 entries.retain(|(_, flow)| *flow != Flow::Normal);
                 cut_exploration(explorer, kind, wave, live);
                 return entries;
@@ -413,6 +532,10 @@ impl<'u> Engine<'u> {
                 }
             }
             let dropped = tasks.len();
+            // When checkpointing, keep the pre-wave states: a mid-wave
+            // interrupt discards the whole wave, and the snapshot must
+            // carry the frontier as of *this* boundary.
+            let backup = sink.enabled().then(|| tasks.clone());
             // All tasks of a wave share the wave-start fork count for the
             // fork backstop, keeping the check worker-count-invariant.
             let base_forks = explorer.stats.forks;
@@ -424,6 +547,22 @@ impl<'u> Engine<'u> {
             // result is then exactly "stopped before this wave".
             if results.iter().any(|task| task.interrupted) {
                 let kind = supervisor.stop().unwrap_or(StopKind::Deadline);
+                if let Some(backup) = backup {
+                    // Rebuild the boundary frontier in canonical order:
+                    // pass-through slots plus the saved pre-wave states.
+                    let mut saved = backup.into_iter();
+                    let frontier: StateFlows = layout
+                        .iter()
+                        .map(|slot| match slot {
+                            Some(entry) => entry.clone(),
+                            None => (
+                                saved.next().expect("one saved state per task slot"),
+                                Flow::Normal,
+                            ),
+                        })
+                        .collect();
+                    sink.write(explorer, &frontier, wave);
+                }
                 entries.extend(layout.into_iter().flatten());
                 cut_exploration(explorer, kind, wave, dropped);
                 return entries;
@@ -520,6 +659,61 @@ fn cut_exploration(explorer: &mut Explorer<'_, '_>, kind: StopKind, wave: usize,
     explorer.exhausted = true;
 }
 
+/// Where (and how often) `drive_worklist` persists resumable snapshots.
+///
+/// A disabled sink (`path: None`) makes every call a no-op, so the hot loop
+/// pays nothing when checkpointing is off. Write failures are downgraded to
+/// a [`Degradation::CheckpointFailed`] ledger entry: durability must never
+/// cost the run its (otherwise intact) result.
+struct CheckpointSink<'a> {
+    path: Option<&'a std::path::Path>,
+    every: usize,
+    fingerprint: u64,
+    out_bases: &'a [(String, Region)],
+    written: &'a mut Option<PathBuf>,
+}
+
+impl CheckpointSink<'_> {
+    fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Whether the periodic policy wants a snapshot at this boundary.
+    fn due(&self, wave: usize) -> bool {
+        self.enabled() && self.every > 0 && wave.is_multiple_of(self.every)
+    }
+
+    /// Serializes the boundary frontier plus the explorer's merged global
+    /// state and writes it atomically.
+    fn write(&mut self, explorer: &mut Explorer<'_, '_>, entries: &StateFlows, wave: usize) {
+        let Some(path) = self.path else {
+            return;
+        };
+        let snapshot = Snapshot {
+            fingerprint: self.fingerprint,
+            frontier: Frontier {
+                wave,
+                entries: entries.clone(),
+                next_symbol: explorer.next_symbol,
+                next_source: explorer.next_source,
+                source_names: explorer.source_names.clone(),
+                source_symbols: explorer.source_symbols.clone(),
+                stats: explorer.stats,
+                exhausted: explorer.exhausted,
+                ledger: explorer.ledger.clone(),
+                events: explorer.event_log.clone(),
+                out_bases: self.out_bases.to_vec(),
+            },
+        };
+        match snapshot.write_atomic(path) {
+            Ok(()) => *self.written = Some(path.to_path_buf()),
+            Err(error) => explorer.ledger.record(Degradation::CheckpointFailed {
+                message: error.to_string(),
+            }),
+        }
+    }
+}
+
 /// Everything one statement-task produced, with ids still task-local.
 struct TaskResult {
     flows: StateFlows,
@@ -605,8 +799,8 @@ fn merge_task(explorer: &mut Explorer<'_, '_>, task: TaskResult) -> StateFlows {
 }
 
 /// Control flow out of a statement.
-#[derive(Debug, Clone, PartialEq)]
-enum Flow {
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Flow {
     Normal,
     Break,
     Continue,
@@ -2486,5 +2680,132 @@ mod tests {
             .entries()
             .iter()
             .any(|d| matches!(d, Degradation::StepBudget { .. })));
+    }
+
+    fn tmp_snapshot_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "privacyscope_engine_{tag}_{}.ckpt",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn deadline_checkpoint_resumes_to_identical_exploration() {
+        let unit = minic::parse(BRANCHY).unwrap();
+        for workers in [1, 4] {
+            let path = tmp_snapshot_path(&format!("deadline_w{workers}"));
+            let interrupted = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    deadline: Some(Duration::ZERO),
+                    checkpoint: Some(path.clone()),
+                    ..EngineConfig::default()
+                },
+            )
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+            // The interrupted run still reports its own degradation, but it
+            // left a resumable snapshot behind and says so.
+            assert!(matches!(
+                interrupted.ledger.entries(),
+                [Degradation::DeadlineExceeded { .. }]
+            ));
+            assert_eq!(interrupted.checkpoint.as_deref(), Some(path.as_path()));
+
+            let snapshot = Snapshot::load(&path).expect("snapshot loads");
+            let resumed = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                },
+            )
+            .resume("f", &[ParamBinding::Scalar], snapshot)
+            .unwrap();
+            let uninterrupted = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                },
+            )
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+            assert_eq!(
+                resumed, uninterrupted,
+                "resume diverged from the uninterrupted run at workers={workers}"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn periodic_snapshot_survives_engine_drop_and_resumes_identically() {
+        let unit = minic::parse(BRANCHY).unwrap();
+        let path = tmp_snapshot_path("periodic");
+        let full = {
+            // Scope the writing engine so resume happens against a fresh
+            // engine with nothing shared — the snapshot on disk is the only
+            // carrier, as after a process death.
+            let engine = Engine::new(
+                &unit,
+                EngineConfig {
+                    checkpoint: Some(path.clone()),
+                    checkpoint_every: 1,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.run("f", &[ParamBinding::Scalar]).unwrap()
+        };
+        assert_eq!(full.checkpoint.as_deref(), Some(path.as_path()));
+
+        let snapshot = Snapshot::load(&path).expect("snapshot loads");
+        assert!(snapshot.wave() > 0, "periodic snapshot is past wave zero");
+        let resumed = Engine::new(&unit, EngineConfig::default())
+            .resume("f", &[ParamBinding::Scalar], snapshot)
+            .unwrap();
+        // The writing run records the snapshot path it produced; the resumed
+        // run wrote none. Every analysis-visible field must match exactly.
+        let mut full = full;
+        full.checkpoint = None;
+        assert_eq!(resumed, full, "resume from a mid-run snapshot diverged");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_mismatched_config_is_a_typed_error() {
+        let unit = minic::parse(BRANCHY).unwrap();
+        let path = tmp_snapshot_path("mismatch");
+        Engine::new(
+            &unit,
+            EngineConfig {
+                deadline: Some(Duration::ZERO),
+                checkpoint: Some(path.clone()),
+                ..EngineConfig::default()
+            },
+        )
+        .run("f", &[ParamBinding::Scalar])
+        .unwrap();
+        let snapshot = Snapshot::load(&path).expect("snapshot loads");
+        let err = Engine::new(
+            &unit,
+            EngineConfig {
+                loop_bound: 7,
+                ..EngineConfig::default()
+            },
+        )
+        .resume("f", &[ParamBinding::Scalar], snapshot)
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::Checkpoint(
+                    crate::checkpoint::CheckpointError::FingerprintMismatch { .. }
+                )
+            ),
+            "expected a typed fingerprint mismatch, got: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::checkpoint::CheckpointError;
+
 /// Errors reported by the symbolic execution engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -35,6 +37,10 @@ pub enum EngineError {
         /// The configured budget.
         budget: usize,
     },
+    /// A resume snapshot was rejected (stale, truncated, corrupt, or
+    /// written for a different analysis). The run never starts — a bad
+    /// snapshot must not produce a silently wrong result.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for EngineError {
@@ -62,11 +68,18 @@ impl fmt::Display for EngineError {
             EngineError::PathBudgetExhausted { budget } => {
                 write!(f, "exploration exceeded the path budget of {budget}")
             }
+            EngineError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

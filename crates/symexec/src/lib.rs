@@ -40,6 +40,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 pub mod concrete;
 pub mod constraints;
 pub mod degrade;
@@ -52,6 +53,7 @@ pub mod trace;
 pub mod value;
 mod worklist;
 
+pub use checkpoint::{CheckpointError, Snapshot};
 pub use constraints::FeasibilityCache;
 pub use degrade::{CancelToken, Degradation, Ledger};
 pub use engine::{Engine, EngineConfig, Exploration, ParamBinding, PathOutcome};

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    for injection in mlcorpus::inject::kmeans_injections() {
+    for injection in mlcorpus::inject::kmeans_injections()? {
         println!("── payload `{}` ──", injection.name);
         println!("    {}", injection.payload);
         let module = injection.module;

@@ -88,7 +88,7 @@ fn clean_kmeans_is_secure() {
 
 #[test]
 fn case_study_2_injected_kmeans_leaks_are_detected() {
-    for injection in mlcorpus::inject::kmeans_injections() {
+    for injection in mlcorpus::inject::kmeans_injections().expect("corpus anchors intact") {
         let report = analyze(&injection.module, fast_options());
         assert!(
             !report.is_secure(),
@@ -126,6 +126,7 @@ fn baseline_finds_explicit_but_not_implicit_on_recommender() {
 #[test]
 fn baseline_misses_injected_implicit_leak() {
     let injection = mlcorpus::inject::kmeans_injections()
+        .expect("corpus anchors intact")
         .into_iter()
         .find(|i| !i.explicit)
         .expect("an implicit payload exists");

@@ -171,7 +171,7 @@ fn attestation_binds_the_measurement() {
 
     // a tampered (injected) enclave has a different measurement, so the
     // host notices before provisioning any secrets
-    let injected = &mlcorpus::inject::kmeans_injections()[0].module;
+    let injected = &mlcorpus::inject::kmeans_injections().expect("corpus anchors intact")[0].module;
     let evil = Enclave::load(injected.source, injected.edl).expect("loads");
     assert_ne!(evil.measurement(), enclave.measurement());
     assert!(attest::verify(
