@@ -159,6 +159,60 @@ fn bench_checkpoint(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // Telemetry overhead per exploration, in three postures: handle
+    // disabled (the default — the per-step hot loop must see zero
+    // telemetry cost), metrics-only (per-wave counter/histogram updates,
+    // no I/O), and full JSONL tracing (per-wave + per-path-task spans
+    // through a buffered writer). The workload is the recommender
+    // ML-corpus module (kmeans explores for seconds per run — too heavy
+    // for an iteration loop).
+    let module = mlcorpus::recommender::module();
+    let unit = minic::parse(module.source).expect("parses");
+    let trace_path =
+        std::env::temp_dir().join(format!("ps_bench_trace_{}.jsonl", std::process::id()));
+    let metrics_path =
+        std::env::temp_dir().join(format!("ps_bench_metrics_{}.json", std::process::id()));
+    let run = |telemetry: telemetry::Telemetry| {
+        let config = EngineConfig {
+            workers: 1,
+            max_paths: 32,
+            telemetry,
+            ..EngineConfig::default()
+        };
+        Engine::new(&unit, config)
+            .run(
+                module.entry,
+                &[ParamBinding::SecretPointer, ParamBinding::OutPointer],
+            )
+            .expect("explores")
+    };
+    c.bench_function("explore_telemetry_off", |b| {
+        b.iter(|| run(telemetry::Telemetry::disabled()))
+    });
+    c.bench_function("explore_telemetry_metrics", |b| {
+        let handle = telemetry::TelemetryConfig {
+            metrics_out: Some(metrics_path.clone()),
+            ..telemetry::TelemetryConfig::default()
+        }
+        .build()
+        .expect("metrics sink opens");
+        b.iter(|| run(handle.clone()))
+    });
+    c.bench_function("explore_telemetry_full", |b| {
+        let handle = telemetry::TelemetryConfig {
+            trace_out: Some(trace_path.clone()),
+            metrics_out: Some(metrics_path.clone()),
+            ..telemetry::TelemetryConfig::default()
+        }
+        .build()
+        .expect("trace sink opens");
+        b.iter(|| run(handle.clone()))
+    });
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&metrics_path);
+}
+
 criterion_group!(
     benches,
     bench_frontend,
@@ -168,6 +222,7 @@ criterion_group!(
     bench_priml,
     bench_runtime,
     bench_supervisor,
-    bench_checkpoint
+    bench_checkpoint,
+    bench_telemetry
 );
 criterion_main!(benches);

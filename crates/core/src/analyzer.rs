@@ -11,6 +11,7 @@ use symexec::degrade::CancelToken;
 use symexec::engine::{region_hint, Engine, EngineConfig, ParamBinding};
 use symexec::state::Channel;
 use taint::SourceId;
+use telemetry::Telemetry;
 
 use crate::error::Error;
 use crate::invert::recovery_formula;
@@ -80,6 +81,12 @@ pub struct AnalyzerOptions {
     /// bindings and analysis options byte-for-byte — a mismatch is a typed
     /// [`Error::Checkpoint`], never a silently different result.
     pub resume: Option<PathBuf>,
+    /// Observation channel for per-phase spans, engine instrumentation,
+    /// metrics, and logs (CLI: `--trace-out`, `--metrics-out`,
+    /// `--log-level`, `--timings`). Disabled by default; never changes any
+    /// analysis result — reports and checkpoints are byte-identical with
+    /// telemetry on or off.
+    pub telemetry: Telemetry,
 }
 
 impl Default for AnalyzerOptions {
@@ -102,6 +109,7 @@ impl Default for AnalyzerOptions {
             checkpoint: None,
             checkpoint_every: 0,
             resume: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -127,8 +135,23 @@ impl Analyzer {
         edl_text: &str,
         options: AnalyzerOptions,
     ) -> Result<Analyzer, Error> {
-        let unit = minic::parse(source)?;
-        let edl_file = edl::parse_edl(edl_text)?;
+        // Frontend phases are staged explicitly (instead of one
+        // `minic::parse` call) so each gets its own telemetry phase span;
+        // the composition is identical to `minic::parse`.
+        let telemetry = options.telemetry.clone();
+        let mut unit = {
+            let _span = telemetry.phase("parse", None);
+            let tokens = minic::lexer::lex(source)?;
+            minic::parser::parse_tokens(source, tokens)?
+        };
+        {
+            let _span = telemetry.phase("sema", None);
+            minic::sema::check(&mut unit)?;
+        }
+        let edl_file = {
+            let _span = telemetry.phase("edl_ingest", None);
+            edl::parse_edl(edl_text)?
+        };
         Ok(Analyzer {
             unit,
             source: source.to_string(),
@@ -198,13 +221,22 @@ impl Analyzer {
     /// ECALL with a definition, or an engine error for invalid setups.
     pub fn analyze(&self, function: &str) -> Result<Report, Error> {
         let started = Instant::now();
+        let telemetry = self.options.telemetry.clone();
+        let mut analyze_span = telemetry.span("analyze", None);
+        analyze_span.field("function", function);
+        let analyze_id = analyze_span.id();
         let proto = self
             .edl
             .ecall(function)
             .ok_or_else(|| Error::UnknownTarget(function.to_string()))?;
         let bindings = self.bindings(proto);
 
+        // The engine's wave spans nest under this phase span; the span
+        // also feeds the `--timings` table as the "explore" row.
+        let explore_span = telemetry.phase("explore", analyze_id);
         let mut engine_config = EngineConfig {
+            telemetry: telemetry.clone(),
+            telemetry_parent: explore_span.id(),
             loop_bound: self.options.loop_bound,
             max_paths: self.options.max_paths,
             inline_depth: self.options.inline_depth,
@@ -243,6 +275,16 @@ impl Analyzer {
             }
             None => engine.run(function, &bindings)?,
         };
+        explore_span.finish();
+        telemetry.info(|| {
+            format!(
+                "explored `{function}`: {} paths, {} forks, {} events",
+                exploration.paths.len(),
+                exploration.stats.forks,
+                exploration.events.len()
+            )
+        });
+        let policy_span = telemetry.phase("policy", analyze_id);
 
         let source_name = |id: SourceId| -> String {
             exploration
@@ -373,8 +415,10 @@ impl Analyzer {
                 line: None,
             });
         }
+        policy_span.finish();
 
-        Ok(Report {
+        let report_span = telemetry.phase("report", analyze_id);
+        let report = Report {
             function: function.to_string(),
             findings,
             degradations: exploration.ledger.entries().to_vec(),
@@ -386,11 +430,19 @@ impl Analyzer {
                 paths: exploration.paths.len(),
                 forks: exploration.stats.forks,
                 infeasible: exploration.stats.infeasible,
+                cache_hits: exploration.stats.cache_hits,
+                cache_misses: exploration.stats.cache_misses,
                 exhausted: exploration.exhausted,
                 time: started.elapsed(),
                 loc: minic::count_loc(&self.source),
             },
-        })
+        };
+        report_span.finish();
+        telemetry.counter("analyzer.targets", 1);
+        telemetry.counter("analyzer.findings", report.findings.len() as u64);
+        analyze_span.field("findings", report.findings.len());
+        analyze_span.field("paths", report.stats.paths);
+        Ok(report)
     }
 
     /// Runs the engine with tracing enabled and renders the Table IV-style

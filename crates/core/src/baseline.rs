@@ -97,6 +97,8 @@ pub fn analyze(source: &str, edl_text: &str, function: &str) -> Result<Report, E
             paths: 1,
             forks: 0,
             infeasible: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             exhausted: false,
             time: started.elapsed(),
             loc: minic::count_loc(source),

@@ -21,6 +21,15 @@
 //!     --resume <file>       continue a previous run from its snapshot; the
 //!                           final report is byte-identical to an
 //!                           uninterrupted run at any --workers setting
+//!     --trace-out <file>    write a JSONL span/event trace (wave, path-task,
+//!                           analyzer-phase, checkpoint-write spans)
+//!     --metrics-out <file>  write an end-of-run JSON metrics summary
+//!                           (counters + fixed-bucket histograms)
+//!     --log-level <level>   stderr logger: off|warn|info|debug (default off)
+//!     --timings             print a per-phase timing table on stderr
+//!
+//! Telemetry is purely observational: reports and checkpoints are
+//! byte-identical with it on or off, at any worker count.
 //!
 //! privacyscope priml <program.priml>
 //!     analyze a PRIML program with the formal semantics and print the
@@ -86,7 +95,8 @@ usage:
   privacyscope analyze <enclave.c> <enclave.edl> [--config <xml>] [--function <name>]
                        [--json] [--trace] [--baseline] [--max-paths <n>] [--loop-bound <n>]
                        [--workers <n>] [--deadline-ms <n>] [--checkpoint <file>]
-                       [--checkpoint-every <n>] [--resume <file>]
+                       [--checkpoint-every <n>] [--resume <file>] [--trace-out <file>]
+                       [--metrics-out <file>] [--log-level off|warn|info|debug] [--timings]
   privacyscope priml <program.priml>
 
 exit codes: 0 secure and complete, 1 violations found, 2 usage/input error,
@@ -170,8 +180,11 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
             "checkpoint",
             "checkpoint-every",
             "resume",
+            "trace-out",
+            "metrics-out",
+            "log-level",
         ],
-        &["json", "trace", "baseline"],
+        &["json", "trace", "baseline", "timings"],
     )?;
     let [source_path, edl_path] = cli.positional.as_slice() else {
         return Err(format!(
@@ -191,6 +204,19 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         return Err("--checkpoint/--resume do not apply to the --baseline DFA".into());
     }
 
+    let log_level = match cli.value("log-level") {
+        None => telemetry::Level::Off,
+        Some(text) => text.parse().map_err(|e| format!("{e}"))?,
+    };
+    let telemetry = telemetry::TelemetryConfig {
+        trace_out: cli.value("trace-out").map(std::path::PathBuf::from),
+        metrics_out: cli.value("metrics-out").map(std::path::PathBuf::from),
+        log_level,
+        timings: cli.has("timings"),
+    }
+    .build()
+    .map_err(|e| format!("cannot open telemetry sink: {e}"))?;
+
     let options = AnalyzerOptions {
         max_paths: cli.usize_value("max-paths", 4096)?,
         loop_bound: cli.usize_value("loop-bound", 4)?,
@@ -199,6 +225,7 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         checkpoint,
         checkpoint_every,
         resume,
+        telemetry: telemetry.clone(),
         ..AnalyzerOptions::default()
     };
 
@@ -251,6 +278,9 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         verdict.secure &= report.is_secure();
         verdict.degraded |= report.is_degraded();
     }
+    telemetry
+        .finish()
+        .map_err(|e| format!("cannot write telemetry output: {e}"))?;
     Ok(verdict)
 }
 

@@ -97,6 +97,17 @@ pub struct AnalysisStats {
     pub forks: usize,
     /// Branches pruned as infeasible.
     pub infeasible: usize,
+    /// Feasibility probes answered by the memoized probe set. Counted
+    /// deterministically at wave boundaries (canonical merge order), so
+    /// the value is invariant under worker count and cache capacity —
+    /// it measures the *workload's* probe redundancy, not live cache
+    /// occupancy (which is scheduling-dependent and goes to telemetry
+    /// sinks only).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Feasibility probes computed fresh (first-seen keys).
+    #[serde(default)]
+    pub cache_misses: usize,
     /// Whether any exploration budget was exhausted.
     pub exhausted: bool,
     /// Wall-clock analysis time.
@@ -278,6 +289,8 @@ mod tests {
                 paths: 2,
                 forks: 1,
                 infeasible: 0,
+                cache_hits: 3,
+                cache_misses: 5,
                 exhausted: false,
                 time: Duration::from_micros(1234),
                 loc: 9,

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use edl::{Direction, EdlFile, Prototype};
 use minic::ast::TranslationUnit;
 use minic::types::Type;
+use telemetry::{PendingSpan, Telemetry};
 
 use crate::attest::{self, PlatformKey, Quote};
 use crate::crypto::{self, Key};
@@ -51,6 +52,7 @@ pub struct Enclave {
     edl: EdlFile,
     measurement: u64,
     sealing_key: Key,
+    telemetry: Telemetry,
 }
 
 impl Enclave {
@@ -81,7 +83,18 @@ impl Enclave {
             edl: edl_file,
             measurement,
             sealing_key,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: every subsequent ECALL/OCALL boundary
+    /// crossing emits a span (with `[out]`-copy byte counts and fault
+    /// firings as events). Purely observational — results are identical
+    /// with telemetry on or off.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Enclave {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The enclave measurement (MRENCLAVE analogue).
@@ -125,7 +138,55 @@ impl Enclave {
         })
     }
 
+    /// Wraps [`Enclave::dispatch_inner`] in an `ecall` boundary span:
+    /// telemetry is threaded into the interpreter for the duration of the
+    /// call so OCALL spans can parent themselves to this crossing, and the
+    /// span closes with the `[out]`-copy byte count and OCALL tally.
     fn dispatch(
+        &self,
+        interp: &mut Interp<'_>,
+        name: &str,
+        args: &[EcallArg],
+    ) -> Result<EcallResult, SgxError> {
+        let mut span = self.telemetry.begin("ecall", None);
+        if let Some(span) = span.as_mut() {
+            span.field("name", name);
+        }
+        interp.telemetry = self.telemetry.clone();
+        interp.current_ecall = span.as_ref().map(PendingSpan::id);
+        let result = self.dispatch_inner(interp, name, args);
+        interp.current_ecall = None;
+        self.telemetry.counter("sgx.ecalls", 1);
+        if let Some(mut span) = span {
+            span.field("ok", result.is_ok());
+            if let Ok(result) = &result {
+                let out_bytes: usize = result
+                    .outs
+                    .iter()
+                    .map(|(param, words)| words.len() * self.out_elem_bytes(name, param))
+                    .sum();
+                span.field("out_bytes", out_bytes as u64);
+                span.field("ocalls", result.ocalls.len() as u64);
+                self.telemetry.counter("sgx.out_bytes", out_bytes as u64);
+            }
+            self.telemetry.emit(span);
+        }
+        result
+    }
+
+    /// Byte width of one element of the named `[out]` parameter (1 when
+    /// the prototype or parameter is unknown — telemetry only, never
+    /// load-bearing).
+    fn out_elem_bytes(&self, ecall: &str, param: &str) -> usize {
+        self.edl
+            .ecall(ecall)
+            .and_then(|proto| proto.params.iter().find(|p| p.name == param))
+            .and_then(|p| pointee_type(&p.c_type).size())
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    fn dispatch_inner(
         &self,
         interp: &mut Interp<'_>,
         name: &str,
@@ -150,6 +211,12 @@ impl Enclave {
             Some(faults) => {
                 let (index, delay) = faults.begin_ecall();
                 if let Some(latency) = delay {
+                    self.telemetry.counter("sgx.faults", 1);
+                    self.telemetry
+                        .event("fault", interp.current_ecall, |fields| {
+                            fields.push(("kind", "delay_ecall".into()));
+                            fields.push(("delay_us", (latency.as_micros() as u64).into()));
+                        });
                     std::thread::sleep(latency);
                 }
                 Some(index)
@@ -224,7 +291,18 @@ impl Enclave {
         for (param, addr, mut len) in out_ptrs {
             if let (Some(index), Some(faults)) = (ecall_index, interp.faults.as_mut()) {
                 if let Some(keep) = faults.truncation(index, &param) {
-                    len = keep.min(len);
+                    let kept = keep.min(len);
+                    if kept < len {
+                        self.telemetry.counter("sgx.faults", 1);
+                        self.telemetry
+                            .event("fault", interp.current_ecall, |fields| {
+                                fields.push(("kind", "truncate_out".into()));
+                                fields.push(("param", param.as_str().into()));
+                                fields.push(("kept", (kept as u64).into()));
+                                fields.push(("full", (len as u64).into()));
+                            });
+                    }
+                    len = kept;
                 }
             }
             outs.insert(param, interp.read_buffer(addr, len)?);
@@ -356,6 +434,13 @@ impl<'e> Session<'e> {
                     // the successful retry re-emits its own.
                     self.interp.output.clear();
                     self.interp.ocalls.clear();
+                    let telemetry = &self.enclave.telemetry;
+                    telemetry.counter("sgx.retries", 1);
+                    telemetry.event("retry", None, |fields| {
+                        fields.push(("ecall", name.into()));
+                        fields.push(("attempt", (attempt as u64 + 1).into()));
+                        fields.push(("error", error.to_string().into()));
+                    });
                     let backoff = self.retry.backoff * 2u32.saturating_pow(attempt as u32);
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
@@ -374,6 +459,12 @@ impl<'e> Session<'e> {
         let mut blob = self.enclave.seal(nonce, plaintext);
         if let Some(faults) = self.interp.faults.as_mut() {
             if faults.corrupt_this_seal() {
+                let telemetry = &self.enclave.telemetry;
+                telemetry.counter("sgx.faults", 1);
+                telemetry.event("fault", None, |fields| {
+                    fields.push(("kind", "corrupt_seal".into()));
+                    fields.push(("nonce", nonce.into()));
+                });
                 seal::corrupt(&mut blob);
             }
         }

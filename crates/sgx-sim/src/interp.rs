@@ -108,6 +108,12 @@ pub struct Interp<'u> {
     pub crypto_key: Key,
     /// Active fault-injection schedule, when the session runs under one.
     pub(crate) faults: Option<crate::fault::FaultState>,
+    /// Telemetry handle for OCALL boundary spans (disabled by default;
+    /// [`crate::Enclave::with_telemetry`] threads a live one through).
+    pub(crate) telemetry: telemetry::Telemetry,
+    /// Span id of the ECALL currently being dispatched, so OCALL spans can
+    /// parent themselves to the enclosing boundary crossing.
+    pub(crate) current_ecall: Option<u64>,
 }
 
 impl<'u> Interp<'u> {
@@ -128,6 +134,8 @@ impl<'u> Interp<'u> {
             fuel: 50_000_000,
             crypto_key: *b"sgx-sim-demo-key",
             faults: None,
+            telemetry: telemetry::Telemetry::disabled(),
+            current_ecall: None,
         };
         let globals: Vec<VarDecl> = unit.globals().cloned().collect();
         for decl in &globals {
@@ -933,17 +941,37 @@ impl<'u> Interp<'u> {
                 // untrusted host, which observes the arguments — and which
                 // may fail per the session's fault plan.
                 if self.unit.function(other).is_some() {
+                    let mut span = self.telemetry.begin("ocall", self.current_ecall);
+                    if let Some(span) = span.as_mut() {
+                        span.field("name", other);
+                        span.field("args", values.len() as u64);
+                    }
+                    self.telemetry.counter("sgx.ocalls", 1);
                     if let Some(index) = self
                         .faults
                         .as_mut()
                         .and_then(|faults| faults.fail_this_ocall())
                     {
+                        self.telemetry.counter("sgx.faults", 1);
+                        self.telemetry.event("fault", self.current_ecall, |fields| {
+                            fields.push(("kind", "fail_ocall".into()));
+                            fields.push(("ocall", other.into()));
+                            fields.push(("index", (index as u64).into()));
+                        });
+                        if let Some(mut span) = span {
+                            span.field("ok", false);
+                            self.telemetry.emit(span);
+                        }
                         return Err(SgxError::Ocall {
                             name: other.to_string(),
                             index,
                         });
                     }
                     self.ocalls.push((other.to_string(), values));
+                    if let Some(mut span) = span {
+                        span.field("ok", true);
+                        self.telemetry.emit(span);
+                    }
                     return Ok(Value::Int(0));
                 }
                 Err(self.fault(format!("call to unknown function `{other}`")))

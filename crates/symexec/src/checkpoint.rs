@@ -36,7 +36,7 @@
 //! trusted after magic, version, length, checksum, and fingerprint all
 //! pass).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -172,6 +172,14 @@ pub(crate) struct Frontier {
     pub events: Vec<DeclassifyEvent>,
     /// `[out]`-marked base regions from parameter binding.
     pub out_bases: Vec<(String, Region)>,
+    /// FNV hashes of every feasibility-probe key accounted so far (the
+    /// deterministic hit/miss counters in [`Stats`] are classifications
+    /// against this set). Persisted so a resumed run counts probe
+    /// redundancy exactly like an uninterrupted one. `serde(default)`
+    /// keeps pre-telemetry snapshots loadable: they resume with an empty
+    /// seen-set and correspondingly conservative hit counts.
+    #[serde(default)]
+    pub probe_seen: BTreeSet<u64>,
 }
 
 /// A validated, resumable exploration snapshot.
@@ -369,6 +377,47 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// [`std::hash::Hasher`] over FNV-1a, for hashing `Hash` types (feasibility
+/// probe keys) with a *stable* function — `RandomState` would make the
+/// hashes differ between processes, which would break checkpointed probe
+/// accounting across a kill/resume boundary.
+pub(crate) struct FnvHasher(u64);
+
+impl FnvHasher {
+    pub(crate) fn new() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The stable 64-bit key of one feasibility probe `(constraints, cond,
+/// taken)`, as logged by `Explorer::probe` and accumulated in
+/// [`Frontier::probe_seen`].
+pub(crate) fn probe_key(
+    constraints: &crate::constraints::ConstraintManager,
+    cond: &crate::value::SVal,
+    taken: bool,
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = FnvHasher::new();
+    constraints.hash(&mut hasher);
+    cond.hash(&mut hasher);
+    taken.hash(&mut hasher);
+    hasher.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +440,7 @@ mod tests {
                 ledger: Ledger::new(),
                 events: Vec::new(),
                 out_bases: Vec::new(),
+                probe_seen: BTreeSet::from([0xfeed_f00d]),
             },
         }
     }

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use minic::ast::{
     BinOp, Expr, ExprKind, Function, Init, Stmt, StmtKind, TranslationUnit, UnOp, VarDecl,
@@ -26,9 +26,10 @@ use minic::types::Type;
 use minic::Span;
 use serde::{Deserialize, Serialize};
 use taint::{SourceId, TaintSet};
+use telemetry::{FieldValue, PendingSpan, Telemetry};
 
 use crate::checkpoint::{self, Frontier, Snapshot};
-use crate::constraints::{Feasibility, FeasibilityCache};
+use crate::constraints::{ConstraintManager, Feasibility, FeasibilityCache};
 use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor};
 use crate::error::EngineError;
 use crate::simplify::{fold_binary, fold_unary, simplify};
@@ -122,6 +123,16 @@ pub struct EngineConfig {
     /// stops). `0` = only on a supervisor stop. Ignored unless
     /// [`EngineConfig::checkpoint`] is set.
     pub checkpoint_every: usize,
+    /// Observation channel for spans, events, metrics, and logs. Like the
+    /// cancellation token, the handle is control plumbing rather than
+    /// configuration: all handles compare equal, the checkpoint fingerprint
+    /// ignores it, and instrumentation never feeds wall-clock data back
+    /// into the exploration result. The disabled default costs one `None`
+    /// check at wave granularity and nothing in the per-step hot loop.
+    pub telemetry: Telemetry,
+    /// Span id the engine's wave spans are parented under (the analyzer
+    /// passes its `explore` phase span). Purely observational.
+    pub telemetry_parent: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -143,6 +154,8 @@ impl Default for EngineConfig {
             inject_panic_on_call: None,
             checkpoint: None,
             checkpoint_every: 0,
+            telemetry: Telemetry::disabled(),
+            telemetry_parent: None,
         }
     }
 }
@@ -193,6 +206,18 @@ pub struct Stats {
     pub dropped_panics: usize,
     /// Total statements interpreted.
     pub steps: usize,
+    /// Feasibility probes answered by the memoized probe set: probes whose
+    /// key a prior probe (in canonical merge order) already computed. This
+    /// is the redundancy a sequential run would observe — it is accounted
+    /// deterministically at wave boundaries and is therefore invariant
+    /// under worker count *and* under the real cache's capacity (which is
+    /// a scheduling-dependent performance detail; see `Explorer::probe`).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Feasibility probes with a first-seen key (the complement of
+    /// [`Stats::cache_hits`]).
+    #[serde(default)]
+    pub cache_misses: usize,
 }
 
 impl Stats {
@@ -207,6 +232,8 @@ impl Stats {
         self.dropped_deadline += other.dropped_deadline;
         self.dropped_panics += other.dropped_panics;
         self.steps += other.steps;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -354,6 +381,8 @@ impl<'u> Engine<'u> {
             interrupted: false,
             ledger: Ledger::new(),
             event_log: Vec::new(),
+            probe_log: Vec::new(),
+            probe_seen: BTreeSet::new(),
         };
 
         let (start_wave, start_entries, out_bases) = match resume {
@@ -373,6 +402,7 @@ impl<'u> Engine<'u> {
                     ledger,
                     events,
                     out_bases,
+                    probe_seen,
                 } = snapshot.frontier;
                 explorer.next_symbol = next_symbol;
                 explorer.next_source = next_source;
@@ -383,6 +413,7 @@ impl<'u> Engine<'u> {
                 explorer.exhausted = exhausted;
                 explorer.ledger = ledger;
                 explorer.event_log = events;
+                explorer.probe_seen = probe_seen;
                 (wave, entries, out_bases)
             }
             None => {
@@ -394,6 +425,12 @@ impl<'u> Engine<'u> {
                 (0, vec![(state, Flow::Normal)], out_bases)
             }
         };
+        // Globals/parameter binding may itself evaluate (and probe) before
+        // wave 0; account those probes first so the counters line up with a
+        // purely sequential run. On a resume the log is empty — the init
+        // phase's probes are already inside the snapshot's stats/seen-set.
+        let initial_probes = std::mem::take(&mut explorer.probe_log);
+        explorer.absorb_probes(initial_probes);
 
         let mut checkpoint_written = None;
         let sink = CheckpointSink {
@@ -402,6 +439,7 @@ impl<'u> Engine<'u> {
             fingerprint: fingerprint.unwrap_or_default(),
             out_bases: &out_bases,
             written: &mut checkpoint_written,
+            telemetry: self.config.telemetry.clone(),
         };
         let finished = self.drive_worklist(
             &mut explorer,
@@ -492,6 +530,7 @@ impl<'u> Engine<'u> {
         mut sink: CheckpointSink<'_>,
     ) -> StateFlows {
         let workers = self.config.effective_workers();
+        let tele = self.config.telemetry.clone();
         let mut entries = start_entries;
         for (wave, stmt) in body.iter().enumerate().skip(start_wave) {
             let live = entries
@@ -536,11 +575,24 @@ impl<'u> Engine<'u> {
             // interrupt discards the whole wave, and the snapshot must
             // carry the frontier as of *this* boundary.
             let backup = sink.enabled().then(|| tasks.clone());
+            // Per-wave instrumentation lives at this boundary only: workers
+            // carry plain per-task buffers (stats, probe logs, pending
+            // spans) that are folded in canonical order below, so telemetry
+            // adds no cross-worker ordering. Timestamps go to the sinks —
+            // never into the merged exploration state.
+            let mut wave_span = tele.begin("wave", self.config.telemetry_parent);
+            if let Some(span) = wave_span.as_mut() {
+                span.field("wave", wave);
+                span.field("frontier", live);
+            }
+            let wave_id = wave_span.as_ref().map(PendingSpan::id);
+            let wave_started = tele.is_enabled().then(Instant::now);
+            let stats_before = explorer.stats;
             // All tasks of a wave share the wave-start fork count for the
             // fork backstop, keeping the check worker-count-invariant.
             let base_forks = explorer.stats.forks;
             let results = run_tasks(workers, tasks, |_, task_state| {
-                self.run_stmt_task(cache, supervisor, base_forks, task_state, stmt)
+                self.run_stmt_task(cache, supervisor, base_forks, task_state, stmt, wave_id)
             });
             // A mid-wave deadline hit discards the *whole* wave — partial
             // waves would make the output depend on worker scheduling. The
@@ -564,6 +616,10 @@ impl<'u> Engine<'u> {
                     sink.write(explorer, &frontier, wave);
                 }
                 entries.extend(layout.into_iter().flatten());
+                if let Some(mut span) = wave_span {
+                    span.field("interrupted", true);
+                    tele.emit(span);
+                }
                 cut_exploration(explorer, kind, wave, dropped);
                 return entries;
             }
@@ -577,6 +633,42 @@ impl<'u> Engine<'u> {
                         }
                     }
                 }
+            }
+            if tele.is_enabled() {
+                let after = explorer.stats;
+                let delta = |now: usize, then: usize| (now - then) as u64;
+                let forks = delta(after.forks, stats_before.forks);
+                let infeasible = delta(after.infeasible, stats_before.infeasible);
+                let cache_hits = delta(after.cache_hits, stats_before.cache_hits);
+                let cache_misses = delta(after.cache_misses, stats_before.cache_misses);
+                let widenings = delta(after.widenings, stats_before.widenings);
+                let steps = delta(after.steps, stats_before.steps);
+                tele.counter("engine.waves", 1);
+                tele.counter("engine.forks", forks);
+                tele.counter("engine.infeasible", infeasible);
+                tele.counter("engine.cache_hits", cache_hits);
+                tele.counter("engine.cache_misses", cache_misses);
+                tele.counter("engine.widenings", widenings);
+                tele.counter("engine.steps", steps);
+                if let Some(started) = wave_started {
+                    tele.observe("engine.wave_us", started.elapsed().as_micros() as u64);
+                }
+                if let Some(mut span) = wave_span {
+                    span.field("forks", forks);
+                    span.field("infeasible", infeasible);
+                    span.field("cache_hits", cache_hits);
+                    span.field("cache_misses", cache_misses);
+                    span.field("widenings", widenings);
+                    span.field("steps", steps);
+                    tele.emit(span);
+                }
+                tele.debug(|| {
+                    format!(
+                        "wave {wave}: frontier {live}, {forks} forks, {steps} steps, \
+                         cache {cache_hits}/{}",
+                        cache_hits + cache_misses
+                    )
+                });
             }
         }
         entries
@@ -598,8 +690,15 @@ impl<'u> Engine<'u> {
         base_forks: usize,
         state: ExecState,
         stmt: &Stmt,
+        wave_span: Option<u64>,
     ) -> TaskResult {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Per-task telemetry is buffered as plain data (a pending span
+            // and the probe log) and handed back with the result: the merge
+            // thread emits it in canonical order, so workers never touch
+            // the sink and never synchronize on telemetry.
+            let mut span = self.config.telemetry.begin("path_task", wave_span);
+            let started = self.config.telemetry.is_enabled().then(Instant::now);
             let mut task = Explorer {
                 unit: self.unit,
                 config: &self.config,
@@ -616,8 +715,16 @@ impl<'u> Engine<'u> {
                 interrupted: false,
                 ledger: Ledger::new(),
                 event_log: Vec::new(),
+                probe_log: Vec::new(),
+                probe_seen: BTreeSet::new(),
             };
             let flows = task.exec(state, stmt);
+            if let Some(span) = span.as_mut() {
+                span.field("steps", task.stats.steps);
+                span.field("forks", task.stats.forks);
+                span.field("out_states", flows.len());
+                span.complete();
+            }
             TaskResult {
                 flows,
                 fresh_symbols: task.next_symbol - LOCAL_ID_BASE,
@@ -629,6 +736,9 @@ impl<'u> Engine<'u> {
                 interrupted: task.interrupted,
                 ledger: task.ledger,
                 events: task.event_log,
+                probes: task.probe_log,
+                span,
+                elapsed_us: started.map_or(0, |at| at.elapsed().as_micros() as u64),
             }
         }));
         outcome.unwrap_or_else(|payload| TaskResult::panicked(panic_message(payload)))
@@ -650,6 +760,26 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// are exactly those of "stopped before wave `wave`", the `dropped`
 /// in-flight states are accounted in the stats and the ledger.
 fn cut_exploration(explorer: &mut Explorer<'_, '_>, kind: StopKind, wave: usize, dropped: usize) {
+    let kind_name = match &kind {
+        StopKind::Deadline => "deadline",
+        StopKind::Cancelled => "cancelled",
+    };
+    let telemetry = &explorer.config.telemetry;
+    telemetry.event(
+        "supervisor_stop",
+        explorer.config.telemetry_parent,
+        |fields| {
+            fields.push(("kind", FieldValue::from(kind_name)));
+            fields.push(("wave", FieldValue::from(wave)));
+            fields.push(("dropped", FieldValue::from(dropped)));
+        },
+    );
+    telemetry.warn(|| {
+        format!(
+            "exploration cut at wave {wave} ({kind_name}): \
+             {dropped} in-flight path state(s) dropped"
+        )
+    });
     let degradation = match kind {
         StopKind::Deadline => Degradation::DeadlineExceeded { wave, dropped },
         StopKind::Cancelled => Degradation::Cancelled { wave, dropped },
@@ -671,6 +801,7 @@ struct CheckpointSink<'a> {
     fingerprint: u64,
     out_bases: &'a [(String, Region)],
     written: &'a mut Option<PathBuf>,
+    telemetry: Telemetry,
 }
 
 impl CheckpointSink<'_> {
@@ -689,6 +820,11 @@ impl CheckpointSink<'_> {
         let Some(path) = self.path else {
             return;
         };
+        let mut span = self.telemetry.begin("checkpoint_write", None);
+        if let Some(span) = span.as_mut() {
+            span.field("wave", wave);
+            span.field("entries", entries.len());
+        }
         let snapshot = Snapshot {
             fingerprint: self.fingerprint,
             frontier: Frontier {
@@ -703,13 +839,24 @@ impl CheckpointSink<'_> {
                 ledger: explorer.ledger.clone(),
                 events: explorer.event_log.clone(),
                 out_bases: self.out_bases.to_vec(),
+                probe_seen: explorer.probe_seen.clone(),
             },
         };
-        match snapshot.write_atomic(path) {
+        let result = snapshot.write_atomic(path);
+        self.telemetry.counter("engine.checkpoint_writes", 1);
+        if let Some(mut span) = span {
+            span.field("ok", result.is_ok());
+            self.telemetry.emit(span);
+        }
+        match result {
             Ok(()) => *self.written = Some(path.to_path_buf()),
-            Err(error) => explorer.ledger.record(Degradation::CheckpointFailed {
-                message: error.to_string(),
-            }),
+            Err(error) => {
+                self.telemetry
+                    .warn(|| format!("checkpoint write to {} failed: {error}", path.display()));
+                explorer.ledger.record(Degradation::CheckpointFailed {
+                    message: error.to_string(),
+                });
+            }
         }
     }
 }
@@ -727,6 +874,13 @@ struct TaskResult {
     interrupted: bool,
     ledger: Ledger,
     events: Vec<DeclassifyEvent>,
+    /// Feasibility-probe key hashes in program order, classified at merge.
+    probes: Vec<u64>,
+    /// Buffered telemetry span, emitted by the merging thread.
+    span: Option<PendingSpan>,
+    /// Task wall-clock in microseconds (0 when telemetry is off); feeds
+    /// the metrics histogram only, never the exploration result.
+    elapsed_us: u64,
 }
 
 impl TaskResult {
@@ -750,6 +904,9 @@ impl TaskResult {
             interrupted: false,
             ledger,
             events: Vec::new(),
+            probes: Vec::new(),
+            span: None,
+            elapsed_us: 0,
         }
     }
 }
@@ -757,11 +914,23 @@ impl TaskResult {
 /// Folds a task's results into the global explorer, translating task-local
 /// symbol/source ids onto the global counters. Called in canonical task
 /// order, this reproduces the exact numbering of a sequential exploration.
-fn merge_task(explorer: &mut Explorer<'_, '_>, task: TaskResult) -> StateFlows {
+fn merge_task(explorer: &mut Explorer<'_, '_>, mut task: TaskResult) -> StateFlows {
     debug_assert!(
         explorer.next_symbol < LOCAL_ID_BASE && explorer.next_source < LOCAL_ID_BASE,
         "global id counters must stay below the task-local namespace"
     );
+    // Emit the task's buffered telemetry from the merging thread, in
+    // canonical task order; timings go to the sinks only.
+    let telemetry = &explorer.config.telemetry;
+    if telemetry.is_enabled() {
+        telemetry.counter("engine.path_tasks", 1);
+        telemetry.observe("engine.path_task_us", task.elapsed_us);
+        if let Some(span) = task.span.take() {
+            telemetry.emit(span);
+        }
+    }
+    let probes = std::mem::take(&mut task.probes);
+    explorer.absorb_probes(probes);
     let remap = IdRemap {
         symbol_base: explorer.next_symbol,
         source_base: explorer.next_source,
@@ -833,9 +1002,49 @@ struct Explorer<'u, 'c> {
     interrupted: bool,
     ledger: Ledger,
     event_log: Vec<DeclassifyEvent>,
+    /// Hashes of every feasibility-probe key this explorer issued, in
+    /// program order. Task logs are drained into the global explorer's
+    /// [`Explorer::probe_seen`] at the wave boundary, in canonical merge
+    /// order, which is what makes the hit/miss counters scheduling-free.
+    probe_log: Vec<u64>,
+    /// Every probe key already accounted (global explorer only). Persisted
+    /// in checkpoints so a resumed run counts exactly like an
+    /// uninterrupted one.
+    probe_seen: BTreeSet<u64>,
 }
 
 impl<'u, 'c> Explorer<'u, 'c> {
+    /// Checks branch feasibility through the shared memoization cache and
+    /// logs the probe key for deterministic hit/miss accounting.
+    ///
+    /// The *result* comes from [`FeasibilityCache::check`] (a pure function
+    /// of the key, so memoization can never change it). The *counters* do
+    /// not: whether a concrete probe hits the shared cache depends on what
+    /// other workers inserted first, so instead each probe's FNV-hashed key
+    /// is logged here and classified later against the keys already seen in
+    /// canonical merge order — i.e. the redundancy a sequential run would
+    /// observe. That keeps `Stats` (and everything downstream: reports,
+    /// checkpoints, determinism tests) invariant under worker count and
+    /// cache capacity.
+    fn probe(&mut self, constraints: &ConstraintManager, cond: &SVal, taken: bool) -> Feasibility {
+        self.probe_log
+            .push(checkpoint::probe_key(constraints, cond, taken));
+        self.cache.check(constraints, cond, taken)
+    }
+
+    /// Classifies a drained probe log against the global seen-set. Must be
+    /// called in canonical merge order (it is: from `merge_task` and for
+    /// the init phase in `run_from`).
+    fn absorb_probes(&mut self, probes: Vec<u64>) {
+        for key in probes {
+            if self.probe_seen.insert(key) {
+                self.stats.cache_misses += 1;
+            } else {
+                self.stats.cache_hits += 1;
+            }
+        }
+    }
+
     fn fresh_symbol(&mut self, hint: impl Into<String>) -> Symbol {
         let sym = Symbol::new(self.next_symbol, hint);
         self.next_symbol += 1;
@@ -1825,7 +2034,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
         // `assume` below still runs directly on the path's constraints.
         let feasible: Vec<bool> = [true, false]
             .into_iter()
-            .map(|taken| self.cache.check(&state.constraints, cond, taken) == Feasibility::Feasible)
+            .map(|taken| self.probe(&state.constraints, cond, taken) == Feasibility::Feasible)
             .collect();
         self.stats.infeasible += feasible.iter().filter(|f| !**f).count();
         let mut pending = Vec::new();
@@ -1894,9 +2103,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
                         for (cst, cv, ct) in self.eval(st, cond_expr) {
                             let cv = simplify(&cv);
                             let concrete = cv.is_const()
-                                || self.cache.check(&cst.constraints, &cv, true)
+                                || self.probe(&cst.constraints, &cv, true)
                                     == Feasibility::Infeasible
-                                || self.cache.check(&cst.constraints, &cv, false)
+                                || self.probe(&cst.constraints, &cv, false)
                                     == Feasibility::Infeasible;
                             for (branch, taken) in self.fork(cst, &cv, &ct, cond_expr.span) {
                                 if taken {
@@ -1979,7 +2188,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                 .source
                 .map(|src| span.slice(src).to_string())
                 .unwrap_or_else(|| format!("<bytes {span}>"));
-            let step = TraceStep::capture(&text, &state, self.source.unwrap_or(""));
+            let step = TraceStep::capture(&text, &state);
             state.trace.push(step);
         }
         state

@@ -21,8 +21,7 @@ pub struct TraceStep {
 
 impl TraceStep {
     /// Captures a snapshot of `state` after interpreting `stmt_text`.
-    pub fn capture(stmt_text: &str, state: &ExecState, source: &str) -> TraceStep {
-        let _ = source;
+    pub fn capture(stmt_text: &str, state: &ExecState) -> TraceStep {
         let mut env = String::new();
         for (i, (id, region)) in state.env.iter().enumerate() {
             if i > 0 {
@@ -116,8 +115,56 @@ mod tests {
     #[test]
     fn capture_renders_state() {
         let state = ExecState::new();
-        let step = TraceStep::capture("  x = 1; ", &state, "");
+        let step = TraceStep::capture("  x = 1; ", &state);
         assert_eq!(step.stmt, "x = 1;");
         assert_eq!(step.pi, "True");
+    }
+
+    #[test]
+    fn empty_traces_render_header_only() {
+        let table = render_table(&[]);
+        assert_eq!(
+            table,
+            "state | stmt | σ/env | π\n------+------+-------+---\n"
+        );
+        // An empty per-path trace contributes no rows either.
+        let table = render_table(&[Vec::new(), Vec::new()]);
+        assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn fork_rows_are_labelled_in_discovery_order() {
+        let shared = step("int t = s[0];");
+        let left = step("return 0;");
+        let right = step("return 1;");
+        let table = render_table(&[
+            vec![shared.clone(), left.clone()],
+            vec![shared.clone(), right.clone()],
+        ]);
+        let label_of = |stmt: &str| {
+            table
+                .lines()
+                .find(|line| line.contains(stmt))
+                .and_then(|line| line.split('|').next())
+                .map(|label| label.trim().to_string())
+        };
+        // The shared prefix is state A; the two fork continuations get the
+        // next labels in the order their paths were harvested.
+        assert_eq!(label_of("int t = s[0];").as_deref(), Some("A"));
+        assert_eq!(label_of("return 0;").as_deref(), Some("B"));
+        assert_eq!(label_of("return 1;").as_deref(), Some("C"));
+    }
+
+    #[test]
+    fn identical_steps_share_one_labelled_row() {
+        let a = step("x = 1;");
+        let table = render_table(&[vec![a.clone()], vec![a.clone()], vec![a]]);
+        // Three paths over the same step collapse to a single `A` row.
+        assert_eq!(table.matches("x = 1;").count(), 1);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table
+            .lines()
+            .nth(2)
+            .is_some_and(|row| row.starts_with("A ")));
     }
 }

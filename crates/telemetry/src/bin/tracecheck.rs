@@ -1,0 +1,252 @@
+//! Schema validator for telemetry output, used by the CI observability
+//! smoke step (a small Rust binary so CI needs no `jq`).
+//!
+//! Usage: `tracecheck <trace.jsonl> [metrics.json]`
+//!
+//! Validates every JSONL line against the record schema documented in the
+//! `telemetry` crate: `span` records carry `id`/`parent`/`name`/`t_us`/
+//! `dur_us`, `event` records the same minus `dur_us`, `log` records carry
+//! `level`/`message`. Because a parent span closes — and is therefore
+//! written — *after* its children, parent links are resolved in a second
+//! pass over the collected span ids. Exits 0 and prints a one-line summary
+//! on success; prints the offending line number and reason and exits 1 on
+//! the first violation.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn get<'a>(object: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    object
+        .iter()
+        .find(|(name, _)| name == key)
+        .map(|(_, value)| value)
+}
+
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Number(number) => number.as_u64(),
+        _ => None,
+    }
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::String(text) => Some(text.as_str()),
+        _ => None,
+    }
+}
+
+fn check_fields(object: &[(String, Value)]) -> Result<(), String> {
+    match get(object, "fields") {
+        None => Ok(()),
+        Some(Value::Object(fields)) => {
+            for (key, value) in fields {
+                match value {
+                    Value::String(_) | Value::Number(_) | Value::Bool(_) => {}
+                    other => {
+                        return Err(format!(
+                            "field `{key}` must be a string, number, or bool, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("`fields` must be an object, got {other:?}")),
+    }
+}
+
+struct Summary {
+    spans: usize,
+    events: usize,
+    logs: usize,
+    span_ids: BTreeSet<u64>,
+    /// (line number, parent id) pairs to resolve once all spans are known.
+    parents: Vec<(usize, u64)>,
+}
+
+fn check_line(line: &str, lineno: usize, summary: &mut Summary) -> Result<(), String> {
+    let value =
+        serde_json::parse(line).map_err(|error| format!("does not parse as JSON: {error}"))?;
+    let Value::Object(object) = &value else {
+        return Err("record is not a JSON object".to_string());
+    };
+    let kind = get(object, "type")
+        .and_then(as_str)
+        .ok_or("missing string `type`")?;
+    get(object, "t_us")
+        .and_then(as_u64)
+        .ok_or("missing u64 `t_us`")?;
+    match kind {
+        "span" | "event" => {
+            let id = get(object, "id")
+                .and_then(as_u64)
+                .ok_or("missing u64 `id`")?;
+            let name = get(object, "name")
+                .and_then(as_str)
+                .ok_or("missing string `name`")?;
+            if name.is_empty() {
+                return Err("empty `name`".to_string());
+            }
+            match get(object, "parent") {
+                Some(Value::Null) | None => {}
+                Some(parent) => {
+                    let parent = as_u64(parent).ok_or("`parent` must be null or a u64")?;
+                    summary.parents.push((lineno, parent));
+                }
+            }
+            check_fields(object)?;
+            if kind == "span" {
+                get(object, "dur_us")
+                    .and_then(as_u64)
+                    .ok_or("span missing u64 `dur_us`")?;
+                if !summary.span_ids.insert(id) {
+                    return Err(format!("duplicate span id {id}"));
+                }
+                summary.spans += 1;
+            } else {
+                summary.events += 1;
+            }
+        }
+        "log" => {
+            let level = get(object, "level")
+                .and_then(as_str)
+                .ok_or("log missing string `level`")?;
+            if !matches!(level, "warn" | "info" | "debug") {
+                return Err(format!("unknown log level `{level}`"));
+            }
+            get(object, "message")
+                .and_then(as_str)
+                .ok_or("log missing string `message`")?;
+            summary.logs += 1;
+        }
+        other => return Err(format!("unknown record type `{other}`")),
+    }
+    Ok(())
+}
+
+fn check_trace(path: &str) -> Result<Summary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| format!("{path}: cannot read trace: {error}"))?;
+    let mut summary = Summary {
+        spans: 0,
+        events: 0,
+        logs: 0,
+        span_ids: BTreeSet::new(),
+        parents: Vec::new(),
+    };
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        check_line(line, index + 1, &mut summary)
+            .map_err(|reason| format!("{path}:{}: {reason}", index + 1))?;
+    }
+    // Second pass: every parent link must point at an emitted span. Parents
+    // legitimately appear after their children in the file (a wave span
+    // closes after its path-task spans), hence the deferred resolution.
+    for (lineno, parent) in &summary.parents {
+        if !summary.span_ids.contains(parent) {
+            return Err(format!(
+                "{path}:{lineno}: parent {parent} is not an emitted span id"
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+fn check_metrics(path: &str) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| format!("{path}: cannot read metrics: {error}"))?;
+    let value =
+        serde_json::parse(&text).map_err(|error| format!("{path}: does not parse: {error}"))?;
+    let Value::Object(object) = &value else {
+        return Err(format!("{path}: summary is not a JSON object"));
+    };
+    let Some(Value::Object(counters)) = get(object, "counters") else {
+        return Err(format!("{path}: missing `counters` object"));
+    };
+    for (name, value) in counters {
+        as_u64(value).ok_or(format!("{path}: counter `{name}` is not a u64"))?;
+    }
+    let Some(Value::Object(histograms)) = get(object, "histograms") else {
+        return Err(format!("{path}: missing `histograms` object"));
+    };
+    for (name, value) in histograms {
+        let Value::Object(histogram) = value else {
+            return Err(format!("{path}: histogram `{name}` is not an object"));
+        };
+        let Some(Value::Array(bounds)) = get(histogram, "bounds_us") else {
+            return Err(format!("{path}: histogram `{name}` missing `bounds_us`"));
+        };
+        let Some(Value::Array(counts)) = get(histogram, "counts") else {
+            return Err(format!("{path}: histogram `{name}` missing `counts`"));
+        };
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "{path}: histogram `{name}` needs {} counts (bounds + overflow), got {}",
+                bounds.len() + 1,
+                counts.len()
+            ));
+        }
+        let mut tallied: u64 = 0;
+        for count in counts {
+            tallied += as_u64(count).ok_or(format!("{path}: histogram `{name}` non-u64 count"))?;
+        }
+        let declared = get(histogram, "count")
+            .and_then(as_u64)
+            .ok_or(format!("{path}: histogram `{name}` missing u64 `count`"))?;
+        if tallied != declared {
+            return Err(format!(
+                "{path}: histogram `{name}` bucket counts sum to {tallied}, `count` says {declared}"
+            ));
+        }
+        get(histogram, "sum_us")
+            .and_then(as_u64)
+            .ok_or(format!("{path}: histogram `{name}` missing u64 `sum_us`"))?;
+    }
+    Ok((counters.len(), histograms.len()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, metrics_path) = match args.as_slice() {
+        [trace] => (trace.as_str(), None),
+        [trace, metrics] => (trace.as_str(), Some(metrics.as_str())),
+        _ => {
+            eprintln!("usage: tracecheck <trace.jsonl> [metrics.json]");
+            return ExitCode::from(2);
+        }
+    };
+    let summary = match check_trace(trace_path) {
+        Ok(summary) => summary,
+        Err(reason) => {
+            eprintln!("tracecheck: {reason}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut report = format!(
+        "tracecheck: ok: {} spans, {} events, {} logs, {} parent links",
+        summary.spans,
+        summary.events,
+        summary.logs,
+        summary.parents.len()
+    );
+    if let Some(metrics_path) = metrics_path {
+        match check_metrics(metrics_path) {
+            Ok((counters, histograms)) => {
+                report.push_str(&format!(
+                    "; metrics: {counters} counters, {histograms} histograms"
+                ));
+            }
+            Err(reason) => {
+                eprintln!("tracecheck: {reason}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{report}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,740 @@
+//! Structured tracing and metrics for the PrivacyScope analysis stack.
+//!
+//! Hand-rolled, shims-only observability layer: a span/event model with a
+//! buffered JSONL sink, a leveled stderr logger, and a metrics registry
+//! (counters + fixed-bucket histograms). The design constraint that shapes
+//! everything here is **determinism**: instrumentation must never influence
+//! analysis results. Wall-clock values flow only into the trace and metrics
+//! sinks — never into `Report`s, checkpoints, or any state the engine's
+//! worker-count-invariance tests assert on. A disabled handle is a single
+//! `None` check per call site and allocates nothing.
+//!
+//! # Threading model
+//!
+//! [`Telemetry`] is a cheap clone-able handle (`Option<Arc>`). Worker threads
+//! never write to the sink directly: hot paths create plain-data
+//! [`PendingSpan`]s (or nothing at all) and hand them back to the merging
+//! thread, which emits them in canonical merge order at wave boundaries. The
+//! only cross-thread state is the span-id counter (an atomic that feeds ids
+//! into the trace output and nothing else) — so the JSONL file is
+//! deterministic up to timestamps, and the analysis is deterministic, period.
+//!
+//! # JSONL schema
+//!
+//! One record per line:
+//!
+//! ```json
+//! {"type":"span","id":7,"parent":3,"name":"wave","t_us":120,"dur_us":85,"fields":{"wave":2}}
+//! {"type":"event","id":8,"parent":7,"name":"fault","t_us":130,"fields":{"kind":"truncate_out"}}
+//! {"type":"log","t_us":140,"level":"warn","message":"exploration cut at wave 2"}
+//! ```
+//!
+//! `t_us` is microseconds since the handle was built; `dur_us` is a monotonic
+//! duration. Parents may be emitted *after* their children (a wave span
+//! closes after its path-task spans), so consumers resolve parent links in a
+//! second pass — see the `tracecheck` validator binary.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::Value;
+
+pub mod metrics;
+
+pub use metrics::{Histogram, Registry, BUCKET_BOUNDS_US};
+
+/// Locks a mutex, recovering the guard from a poisoned lock: telemetry is
+/// best-effort and must never abort an analysis because an instrumented
+/// thread panicked while holding the sink.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Verbosity of the stderr logger. `Off` (the default) silences everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No log output at all.
+    #[default]
+    Off,
+    /// Degradations and anomalies only.
+    Warn,
+    /// Warnings plus per-phase progress.
+    Info,
+    /// Everything, including per-wave detail.
+    Debug,
+}
+
+impl Level {
+    /// Lower-case name as accepted by `--log-level` and emitted in records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Error returned when parsing an unrecognized log-level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidLevel(String);
+
+impl std::fmt::Display for InvalidLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid log level `{}` (expected off|warn|info|debug)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidLevel {}
+
+impl std::str::FromStr for Level {
+    type Err = InvalidLevel;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text {
+            "off" => Ok(Level::Off),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(InvalidLevel(other.to_string())),
+        }
+    }
+}
+
+/// A typed span/event field value. Keys are static strings so a disabled or
+/// metrics-only run never formats anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Unsigned counter-like values (sizes, counts, byte totals).
+    U64(u64),
+    /// Signed values.
+    I64(i64),
+    /// Names and labels.
+    Str(String),
+    /// Flags.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(value: u64) -> Self {
+        FieldValue::U64(value)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(value: usize) -> Self {
+        FieldValue::U64(value as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(value: u32) -> Self {
+        FieldValue::U64(u64::from(value))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(value: i64) -> Self {
+        FieldValue::I64(value)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(value: bool) -> Self {
+        FieldValue::Bool(value)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(value: &str) -> Self {
+        FieldValue::Str(value.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(value: String) -> Self {
+        FieldValue::Str(value)
+    }
+}
+
+impl FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Number(serde::Number::U64(*v)),
+            FieldValue::I64(v) => Value::Number(serde::Number::I64(*v)),
+            FieldValue::Str(v) => Value::String(v.clone()),
+            FieldValue::Bool(v) => Value::Bool(*v),
+        }
+    }
+}
+
+/// An open span as plain `Send` data: created on any thread, carried across
+/// a channel or task result, completed and emitted later (the trace sink is
+/// only touched by [`Telemetry::emit`]). Duration is monotonic, measured on
+/// the creating thread's `Instant`.
+#[derive(Debug)]
+pub struct PendingSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_us: u64,
+    started: Instant,
+    dur_us: Option<u64>,
+    fields: Vec<(&'static str, FieldValue)>,
+    phase: bool,
+}
+
+impl PendingSpan {
+    /// The span id, used to parent child spans and events.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches a key=value field. Last write wins is *not* implemented:
+    /// callers attach each key once.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        self.fields.push((key, value.into()));
+    }
+
+    /// Stamps the duration (idempotent) and returns it in microseconds.
+    pub fn complete(&mut self) -> u64 {
+        if self.dur_us.is_none() {
+            self.dur_us = Some(self.started.elapsed().as_micros() as u64);
+        }
+        self.dur_us.unwrap_or(0)
+    }
+}
+
+/// RAII span handle for single-threaded call sites: completes and emits the
+/// span on drop (or via the more explicit [`SpanGuard::finish`]).
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    record: Option<PendingSpan>,
+}
+
+impl SpanGuard {
+    /// The span id if recording, for parenting children.
+    pub fn id(&self) -> Option<u64> {
+        self.record.as_ref().map(PendingSpan::id)
+    }
+
+    /// Attaches a key=value field (no-op when not recording).
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(record) = self.record.as_mut() {
+            record.field(key, value);
+        }
+    }
+
+    /// Completes and emits the span now instead of at end of scope.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(record) = self.record.take() {
+            self.telemetry.emit(record);
+        }
+    }
+}
+
+/// Sink configuration, normally populated from the CLI flags `--trace-out`,
+/// `--metrics-out`, `--log-level`, and `--timings`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// JSONL trace destination; `None` disables span/event output.
+    pub trace_out: Option<PathBuf>,
+    /// End-of-run metrics summary destination; `None` disables the registry
+    /// dump (counters still accumulate while any sink is enabled).
+    pub metrics_out: Option<PathBuf>,
+    /// stderr logger verbosity.
+    pub log_level: Level,
+    /// Print a human-readable per-phase timing table to stderr at
+    /// [`Telemetry::finish`].
+    pub timings: bool,
+}
+
+impl TelemetryConfig {
+    /// True if any sink or logger is requested.
+    pub fn is_enabled(&self) -> bool {
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.log_level != Level::Off
+            || self.timings
+    }
+
+    /// Opens the sinks and returns a live handle, or the disabled handle if
+    /// nothing was requested.
+    pub fn build(self) -> io::Result<Telemetry> {
+        if !self.is_enabled() {
+            return Ok(Telemetry::disabled());
+        }
+        let trace = match &self.trace_out {
+            Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+            None => None,
+        };
+        Ok(Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                level: self.log_level,
+                timings: self.timings,
+                next_id: AtomicU64::new(1),
+                trace,
+                metrics: Mutex::new(Registry::new()),
+                metrics_out: self.metrics_out,
+                phases: Mutex::new(Vec::new()),
+                finished: AtomicBool::new(false),
+            })),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct PhaseTiming {
+    name: &'static str,
+    calls: u64,
+    total_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    level: Level,
+    timings: bool,
+    next_id: AtomicU64,
+    trace: Option<Mutex<BufWriter<File>>>,
+    metrics: Mutex<Registry>,
+    metrics_out: Option<PathBuf>,
+    phases: Mutex<Vec<PhaseTiming>>,
+    finished: AtomicBool,
+}
+
+/// Handle to the telemetry sinks. Cheap to clone; a disabled handle (the
+/// default) reduces every operation to one `Option` check with zero
+/// allocation, which is what lets it live inside engine configuration
+/// structs without a measurable hot-loop cost.
+///
+/// All handles compare equal: like a cancellation token, a telemetry handle
+/// is a control/observation channel, not configuration — embedding it must
+/// not perturb config equality or checkpoint fingerprints.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl PartialEq for Telemetry {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for Telemetry {}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The inert handle: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// True when any sink or logger is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when span/event records are being written.
+    pub fn tracing(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.trace.is_some())
+    }
+
+    fn start(&self, name: &'static str, parent: Option<u64>, phase: bool) -> PendingSpan {
+        let (id, start_us) = match &self.inner {
+            Some(inner) => (
+                inner.next_id.fetch_add(1, Ordering::Relaxed),
+                inner.epoch.elapsed().as_micros() as u64,
+            ),
+            None => (0, 0),
+        };
+        PendingSpan {
+            id,
+            parent,
+            name,
+            start_us,
+            started: Instant::now(),
+            dur_us: None,
+            fields: Vec::new(),
+            phase,
+        }
+    }
+
+    /// Opens a span as plain data for deferred emission, or `None` when the
+    /// trace sink is off (the caller then skips all field bookkeeping).
+    pub fn begin(&self, name: &'static str, parent: Option<u64>) -> Option<PendingSpan> {
+        if self.tracing() {
+            Some(self.start(name, parent, false))
+        } else {
+            None
+        }
+    }
+
+    /// RAII span for single-threaded call sites.
+    pub fn span(&self, name: &'static str, parent: Option<u64>) -> SpanGuard {
+        SpanGuard {
+            record: self.begin(name, parent),
+            telemetry: self.clone(),
+        }
+    }
+
+    /// RAII span that additionally feeds the `--timings` table. Recorded
+    /// whenever tracing *or* timings are on.
+    pub fn phase(&self, name: &'static str, parent: Option<u64>) -> SpanGuard {
+        let wants = self.tracing() || self.inner.as_ref().is_some_and(|inner| inner.timings);
+        SpanGuard {
+            record: wants.then(|| self.start(name, parent, true)),
+            telemetry: self.clone(),
+        }
+    }
+
+    /// Completes (if needed) and writes out a span record. Safe to call from
+    /// any thread; intended to be called from the canonical merge order so
+    /// the record sequence is deterministic up to timestamps.
+    pub fn emit(&self, mut record: PendingSpan) {
+        let Some(inner) = &self.inner else { return };
+        let dur_us = record.complete();
+        if record.phase {
+            let mut phases = lock(&inner.phases);
+            match phases.iter_mut().find(|timing| timing.name == record.name) {
+                Some(timing) => {
+                    timing.calls += 1;
+                    timing.total_us += dur_us;
+                }
+                None => phases.push(PhaseTiming {
+                    name: record.name,
+                    calls: 1,
+                    total_us: dur_us,
+                }),
+            }
+        }
+        if inner.trace.is_some() {
+            let mut pairs = vec![
+                ("type", Value::String("span".to_string())),
+                ("id", Value::Number(serde::Number::U64(record.id))),
+                (
+                    "parent",
+                    match record.parent {
+                        Some(parent) => Value::Number(serde::Number::U64(parent)),
+                        None => Value::Null,
+                    },
+                ),
+                ("name", Value::String(record.name.to_string())),
+                ("t_us", Value::Number(serde::Number::U64(record.start_us))),
+                ("dur_us", Value::Number(serde::Number::U64(dur_us))),
+            ];
+            if !record.fields.is_empty() {
+                pairs.push(("fields", fields_value(&record.fields)));
+            }
+            self.write_record(inner, pairs);
+        }
+    }
+
+    /// Emits an instantaneous event. The field-filling closure only runs
+    /// when the trace sink is live, so disabled runs pay nothing.
+    pub fn event(
+        &self,
+        name: &'static str,
+        parent: Option<u64>,
+        fill: impl FnOnce(&mut Vec<(&'static str, FieldValue)>),
+    ) {
+        let Some(inner) = &self.inner else { return };
+        if inner.trace.is_none() {
+            return;
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let t_us = inner.epoch.elapsed().as_micros() as u64;
+        let mut fields = Vec::new();
+        fill(&mut fields);
+        let mut pairs = vec![
+            ("type", Value::String("event".to_string())),
+            ("id", Value::Number(serde::Number::U64(id))),
+            (
+                "parent",
+                match parent {
+                    Some(parent) => Value::Number(serde::Number::U64(parent)),
+                    None => Value::Null,
+                },
+            ),
+            ("name", Value::String(name.to_string())),
+            ("t_us", Value::Number(serde::Number::U64(t_us))),
+        ];
+        if !fields.is_empty() {
+            pairs.push(("fields", fields_value(&fields)));
+        }
+        self.write_record(inner, pairs);
+    }
+
+    fn write_record(&self, inner: &Inner, pairs: Vec<(&'static str, Value)>) {
+        let Some(trace) = &inner.trace else { return };
+        let value = Value::Object(
+            pairs
+                .into_iter()
+                .map(|(key, value)| (key.to_string(), value))
+                .collect(),
+        );
+        if let Ok(line) = serde_json::to_string(&value) {
+            let mut sink = lock(trace);
+            // Best-effort: a full disk must degrade the trace, not the run.
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.write_all(b"\n");
+        }
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).add(name, delta);
+        }
+    }
+
+    /// Records one observation into a named fixed-bucket histogram
+    /// (microsecond-scaled bounds).
+    pub fn observe(&self, name: &'static str, value_us: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).observe(name, value_us);
+        }
+    }
+
+    /// Log at `warn`: degradations and anomalies.
+    pub fn warn(&self, message: impl FnOnce() -> String) {
+        self.log(Level::Warn, message);
+    }
+
+    /// Log at `info`: phase progress.
+    pub fn info(&self, message: impl FnOnce() -> String) {
+        self.log(Level::Info, message);
+    }
+
+    /// Log at `debug`: per-wave detail.
+    pub fn debug(&self, message: impl FnOnce() -> String) {
+        self.log(Level::Debug, message);
+    }
+
+    fn log(&self, level: Level, message: impl FnOnce() -> String) {
+        let Some(inner) = &self.inner else { return };
+        if inner.level < level {
+            return;
+        }
+        let text = message();
+        eprintln!("[privacyscope {}] {text}", level.as_str());
+        if inner.trace.is_some() {
+            let t_us = inner.epoch.elapsed().as_micros() as u64;
+            let pairs = vec![
+                ("type", Value::String("log".to_string())),
+                ("t_us", Value::Number(serde::Number::U64(t_us))),
+                ("level", Value::String(level.as_str().to_string())),
+                ("message", Value::String(text)),
+            ];
+            self.write_record(inner, pairs);
+        }
+    }
+
+    /// Flushes the trace, writes the metrics summary, and prints the timing
+    /// table. Idempotent; later calls are no-ops. The `Drop` of the last
+    /// handle flushes the trace too, but only an explicit `finish` writes
+    /// `--metrics-out` and `--timings`.
+    pub fn finish(&self) -> io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.finished.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(trace) = &inner.trace {
+            lock(trace).flush()?;
+        }
+        if let Some(path) = &inner.metrics_out {
+            let summary = lock(&inner.metrics).to_value();
+            let text = serde_json::to_string_pretty(&summary)
+                .map_err(|error| io::Error::other(error.to_string()))?;
+            std::fs::write(path, text + "\n")?;
+        }
+        if inner.timings {
+            let phases = lock(&inner.phases);
+            let mut err = io::stderr().lock();
+            let _ = writeln!(err, "── timings ──────────────────────────────");
+            let _ = writeln!(err, "{:<16} {:>8} {:>14}", "phase", "calls", "total (ms)");
+            for timing in phases.iter() {
+                let _ = writeln!(
+                    err,
+                    "{:<16} {:>8} {:>14.3}",
+                    timing.name,
+                    timing.calls,
+                    timing.total_us as f64 / 1000.0
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of a counter's current value (testing/diagnostics).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => lock(&inner.metrics).counter_value(name),
+            None => 0,
+        }
+    }
+}
+
+fn fields_value(fields: &[(&'static str, FieldValue)]) -> Value {
+    Value::Object(
+        fields
+            .iter()
+            .map(|(key, value)| (key.to_string(), value.to_value()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("telemetry_test_{}_{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn level_parses_and_orders() {
+        assert_eq!("off".parse::<Level>(), Ok(Level::Off));
+        assert_eq!("warn".parse::<Level>(), Ok(Level::Warn));
+        assert_eq!("info".parse::<Level>(), Ok(Level::Info));
+        assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(
+            Level::Off < Level::Warn && Level::Warn < Level::Info && Level::Info < Level::Debug
+        );
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.is_enabled());
+        assert!(!telemetry.tracing());
+        assert!(telemetry.begin("x", None).is_none());
+        let mut guard = telemetry.span("x", None);
+        assert_eq!(guard.id(), None);
+        guard.field("k", 1u64);
+        guard.finish();
+        telemetry.counter("c", 1);
+        telemetry.event("e", None, |_| {});
+        assert_eq!(telemetry.counter_value("c"), 0);
+        assert!(telemetry.finish().is_ok());
+    }
+
+    #[test]
+    fn handles_compare_equal() {
+        let config = TelemetryConfig {
+            timings: true,
+            ..TelemetryConfig::default()
+        };
+        let live = config.build().expect("builds");
+        assert_eq!(live, Telemetry::disabled());
+    }
+
+    #[test]
+    fn trace_sink_writes_parseable_jsonl() {
+        let path = temp_path("sink");
+        let telemetry = TelemetryConfig {
+            trace_out: Some(path.clone()),
+            ..TelemetryConfig::default()
+        }
+        .build()
+        .expect("builds");
+        let mut root = telemetry.span("root", None);
+        root.field("answer", 42u64);
+        let root_id = root.id();
+        telemetry.event("ping", root_id, |fields| {
+            fields.push(("kind", FieldValue::from("test")));
+        });
+        let mut child = telemetry.begin("child", root_id).expect("tracing");
+        child.field("flag", true);
+        telemetry.emit(child);
+        root.finish();
+        telemetry.finish().expect("finishes");
+
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "event + child + root: {text}");
+        for line in &lines {
+            let value = serde_json::parse(line).expect("line parses");
+            assert!(matches!(value, Value::Object(_)));
+        }
+        // The root span closes last, after its children — by design.
+        assert!(lines[2].contains("\"name\": \"root\"") || lines[2].contains("\"name\":\"root\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_summary_is_written_on_finish() {
+        let path = temp_path("metrics");
+        let telemetry = TelemetryConfig {
+            metrics_out: Some(path.clone()),
+            ..TelemetryConfig::default()
+        }
+        .build()
+        .expect("builds");
+        telemetry.counter("engine.waves", 2);
+        telemetry.counter("engine.waves", 3);
+        telemetry.observe("engine.wave_us", 100);
+        assert_eq!(telemetry.counter_value("engine.waves"), 5);
+        telemetry.finish().expect("finishes");
+        telemetry.finish().expect("idempotent");
+
+        let text = std::fs::read_to_string(&path).expect("metrics written");
+        let value = serde_json::parse(&text).expect("metrics parse");
+        let waves = match &value["counters"]["engine.waves"] {
+            Value::Number(number) => number.as_u64(),
+            _ => None,
+        };
+        assert_eq!(waves, Some(5));
+        assert!(matches!(
+            value["histograms"]["engine.wave_us"],
+            Value::Object(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn phase_spans_record_without_trace_sink() {
+        let telemetry = TelemetryConfig {
+            timings: true,
+            ..TelemetryConfig::default()
+        }
+        .build()
+        .expect("builds");
+        assert!(!telemetry.tracing());
+        let phase = telemetry.phase("parse", None);
+        assert!(phase.id().is_some(), "phase spans record for --timings");
+        phase.finish();
+        // Plain spans stay off without a trace sink.
+        assert!(telemetry.span("wave", None).id().is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! The registry is deliberately simple: named monotonic counters and
+//! histograms with one fixed, power-of-four bucket layout (microsecond
+//! scale, ~1 µs to ~4 s). Fixed buckets keep `observe` allocation-free and
+//! make summaries from different runs directly comparable.
+
+use std::collections::BTreeMap;
+
+use serde::{Number, Value};
+
+/// Upper bounds (inclusive, microseconds) of the histogram buckets; one
+/// overflow bucket follows the last bound.
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+];
+
+/// A fixed-bucket histogram of microsecond observations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKET_BOUNDS_US.len() + 1],
+    total: u64,
+    sum_us: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value_us: u64) {
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|bound| value_us <= *bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(value_us);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations in microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "bounds_us".to_string(),
+                Value::Array(
+                    BUCKET_BOUNDS_US
+                        .iter()
+                        .map(|bound| Value::Number(Number::U64(*bound)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counts".to_string(),
+                Value::Array(
+                    self.counts
+                        .iter()
+                        .map(|count| Value::Number(Number::U64(*count)))
+                        .collect(),
+                ),
+            ),
+            ("count".to_string(), Value::Number(Number::U64(self.total))),
+            (
+                "sum_us".to_string(),
+                Value::Number(Number::U64(self.sum_us)),
+            ),
+        ])
+    }
+}
+
+/// Named counters and histograms. Names are static so hot paths never
+/// allocate; storage is ordered so the JSON summary is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&mut self, name: &'static str, value_us: u64) {
+        self.histograms.entry(name).or_default().record(value_us);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The end-of-run JSON summary written to `--metrics-out`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "counters".to_string(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(name, value)| (name.to_string(), Value::Number(Number::U64(*value))))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(name, histogram)| (name.to_string(), histogram.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let mut histogram = Histogram::new();
+        histogram.record(0); // bucket 0 (<= 1)
+        histogram.record(1); // bucket 0
+        histogram.record(2); // bucket 1 (<= 4)
+        histogram.record(1_000); // bucket 5 (<= 1024)
+        histogram.record(u64::MAX); // overflow bucket
+        assert_eq!(histogram.count(), 5);
+        assert_eq!(histogram.counts()[0], 2);
+        assert_eq!(histogram.counts()[1], 1);
+        assert_eq!(histogram.counts()[5], 1);
+        assert_eq!(histogram.counts()[BUCKET_BOUNDS_US.len()], 1);
+        assert_eq!(histogram.sum_us(), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn registry_summary_is_deterministic() {
+        let mut registry = Registry::new();
+        registry.add("z.second", 1);
+        registry.add("a.first", 2);
+        registry.observe("lat", 10);
+        let first = serde_json::to_string(&registry.to_value()).expect("serializes");
+        let second = serde_json::to_string(&registry.to_value()).expect("serializes");
+        assert_eq!(first, second);
+        // BTreeMap ordering: "a.first" precedes "z.second" in the dump.
+        let a = first.find("a.first").expect("present");
+        let z = first.find("z.second").expect("present");
+        assert!(a < z);
+        assert_eq!(registry.counter_value("a.first"), 2);
+        assert_eq!(registry.counter_value("missing"), 0);
+    }
+}

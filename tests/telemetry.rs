@@ -1,0 +1,257 @@
+//! Telemetry is purely observational: with tracing, metrics, and the
+//! leveled logger enabled, every analysis artifact — the report and every
+//! checkpoint byte — is identical to a telemetry-off run, at any worker
+//! count. The trace itself carries the full span taxonomy (analyzer
+//! phases, exploration waves, path tasks, checkpoint writes, enclave
+//! boundary crossings) with valid parent links.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mlcorpus::datasets;
+use privacyscope::{Analyzer, AnalyzerOptions, Report};
+use serde_json::Value;
+use sgx_sim::enclave::{EcallArg, Enclave};
+use sgx_sim::interp::Word;
+use telemetry::{Level, Telemetry, TelemetryConfig};
+
+fn tmp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "privacyscope_telemetry_{tag}_{}.{ext}",
+        std::process::id()
+    ))
+}
+
+fn live_telemetry(trace: Option<PathBuf>, metrics: Option<PathBuf>) -> Telemetry {
+    TelemetryConfig {
+        trace_out: trace,
+        metrics_out: metrics,
+        log_level: Level::Off,
+        timings: false,
+    }
+    .build()
+    .expect("telemetry sinks open")
+}
+
+/// Analyzes the recommender corpus module with the given handle, and —
+/// when `checkpoint` is set — snapshots at every wave boundary.
+fn analyze(telemetry: Telemetry, workers: usize, checkpoint: Option<PathBuf>) -> Report {
+    let module = mlcorpus::recommender::module();
+    let options = AnalyzerOptions {
+        max_paths: 32,
+        workers,
+        checkpoint_every: usize::from(checkpoint.is_some()),
+        checkpoint,
+        telemetry,
+        ..AnalyzerOptions::default()
+    };
+    Analyzer::from_sources(module.source, module.edl, options)
+        .expect("analyzer builds")
+        .analyze(module.entry)
+        .expect("analysis completes")
+}
+
+/// The report's exact JSON bytes with the only wall-clock field zeroed.
+fn normalized_json(mut report: Report) -> String {
+    report.stats.time = Duration::ZERO;
+    report.to_json()
+}
+
+#[test]
+fn reports_are_byte_identical_with_telemetry_on_or_off() {
+    for workers in [1, 4] {
+        let off = analyze(Telemetry::disabled(), workers, None);
+        let trace = tmp_path(&format!("report_w{workers}"), "jsonl");
+        let metrics = tmp_path(&format!("report_w{workers}"), "json");
+        let handle = live_telemetry(Some(trace.clone()), Some(metrics.clone()));
+        let on = analyze(handle.clone(), workers, None);
+        handle.finish().expect("telemetry flushes");
+        assert!(
+            on.stats.cache_hits + on.stats.cache_misses > 0,
+            "the exploration must exercise the feasibility cache"
+        );
+        assert_eq!(
+            normalized_json(off),
+            normalized_json(on),
+            "telemetry changed the report at workers={workers}"
+        );
+        assert!(metrics.exists(), "metrics summary was not written");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&metrics);
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_identical_with_telemetry_on_or_off() {
+    for workers in [1, 4] {
+        let off_path = tmp_path(&format!("ckpt_off_w{workers}"), "ckpt");
+        let on_path = tmp_path(&format!("ckpt_on_w{workers}"), "ckpt");
+        let trace = tmp_path(&format!("ckpt_w{workers}"), "jsonl");
+        analyze(Telemetry::disabled(), workers, Some(off_path.clone()));
+        let handle = live_telemetry(Some(trace.clone()), None);
+        analyze(handle.clone(), workers, Some(on_path.clone()));
+        handle.finish().expect("telemetry flushes");
+        let off_bytes = std::fs::read(&off_path).expect("telemetry-off snapshot exists");
+        let on_bytes = std::fs::read(&on_path).expect("telemetry-on snapshot exists");
+        assert_eq!(
+            off_bytes, on_bytes,
+            "telemetry changed checkpoint bytes at workers={workers}"
+        );
+        let _ = std::fs::remove_file(&off_path);
+        let _ = std::fs::remove_file(&on_path);
+        let _ = std::fs::remove_file(&trace);
+    }
+}
+
+fn string_field<'v>(value: &'v Value, key: &str) -> Option<&'v str> {
+    match &value[key] {
+        Value::String(text) => Some(text.as_str()),
+        _ => None,
+    }
+}
+
+fn u64_field(value: &Value, key: &str) -> Option<u64> {
+    match &value[key] {
+        Value::Number(number) => number.as_u64(),
+        _ => None,
+    }
+}
+
+/// Parses a JSONL trace into records (already validated as objects).
+fn read_trace(path: &PathBuf) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("trace is readable");
+    text.lines()
+        .map(|line| serde_json::parse(line).expect("trace line parses as JSON"))
+        .collect()
+}
+
+#[test]
+fn trace_carries_the_span_taxonomy_with_valid_parent_links() {
+    let trace = tmp_path("taxonomy", "jsonl");
+    let metrics = tmp_path("taxonomy", "json");
+    let ckpt = tmp_path("taxonomy", "ckpt");
+    let handle = live_telemetry(Some(trace.clone()), Some(metrics.clone()));
+    analyze(handle.clone(), 4, Some(ckpt.clone()));
+    handle.finish().expect("telemetry flushes");
+
+    let records = read_trace(&trace);
+    let mut span_ids = BTreeSet::new();
+    let mut span_names = BTreeSet::new();
+    let mut spans = Vec::new(); // (id, name, parent)
+    for record in &records {
+        if string_field(record, "type") == Some("span") {
+            let id = u64_field(record, "id").expect("span has an id");
+            let name = string_field(record, "name")
+                .expect("span has a name")
+                .to_string();
+            assert!(span_ids.insert(id), "duplicate span id {id}");
+            span_names.insert(name.clone());
+            spans.push((id, name, u64_field(record, "parent")));
+        }
+    }
+
+    for expected in [
+        "parse",
+        "sema",
+        "edl_ingest",
+        "analyze",
+        "explore",
+        "policy",
+        "report",
+        "wave",
+        "path_task",
+        "checkpoint_write",
+    ] {
+        assert!(span_names.contains(expected), "missing `{expected}` span");
+    }
+
+    let name_of = |id: u64| {
+        spans
+            .iter()
+            .find(|(sid, _, _)| *sid == id)
+            .map(|(_, name, _)| name.as_str())
+    };
+    for (id, name, parent) in &spans {
+        let Some(parent) = parent else { continue };
+        assert!(
+            span_ids.contains(parent),
+            "span {id} (`{name}`) has dangling parent {parent}"
+        );
+        match name.as_str() {
+            "path_task" => assert_eq!(name_of(*parent), Some("wave")),
+            "wave" => assert_eq!(name_of(*parent), Some("explore")),
+            "explore" | "policy" | "report" => assert_eq!(name_of(*parent), Some("analyze")),
+            _ => {}
+        }
+    }
+
+    let summary = serde_json::parse(&std::fs::read_to_string(&metrics).expect("metrics readable"))
+        .expect("metrics summary parses");
+    assert!(
+        u64_field(&summary["counters"], "engine.waves").is_some_and(|waves| waves > 0),
+        "engine.waves counter missing or zero"
+    );
+    assert!(
+        u64_field(&summary["counters"], "engine.path_tasks").is_some_and(|tasks| tasks > 0),
+        "engine.path_tasks counter missing or zero"
+    );
+    assert!(
+        !matches!(summary["histograms"]["engine.wave_us"], Value::Null),
+        "engine.wave_us histogram missing"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn enclave_boundary_crossings_emit_parented_spans() {
+    let trace = tmp_path("boundary", "jsonl");
+    let handle = live_telemetry(Some(trace.clone()), None);
+    let module = mlcorpus::recommender_vulnerable();
+    let enclave = Enclave::load(module.source, module.edl)
+        .expect("enclave loads")
+        .with_telemetry(handle.clone());
+    let ratings: Vec<Word> = datasets::ratings(3)
+        .iter()
+        .map(|v| Word::Float(*v))
+        .collect();
+    let result = enclave
+        .ecall(module.entry, &[EcallArg::In(ratings), EcallArg::Out(9)])
+        .expect("ecall runs");
+    assert_eq!(
+        result.ocalls.len(),
+        1,
+        "the vulnerable module logs one OCALL"
+    );
+    handle.finish().expect("telemetry flushes");
+
+    let records = read_trace(&trace);
+    let ecall = records
+        .iter()
+        .find(|r| {
+            string_field(r, "type") == Some("span") && string_field(r, "name") == Some("ecall")
+        })
+        .expect("an ecall span was emitted");
+    let ecall_id = u64_field(ecall, "id").expect("ecall span has an id");
+    assert_eq!(string_field(&ecall["fields"], "name"), Some(module.entry));
+    assert!(
+        u64_field(&ecall["fields"], "out_bytes").is_some_and(|bytes| bytes > 0),
+        "ecall span must report the [out]-copy byte count"
+    );
+    let ocall = records
+        .iter()
+        .find(|r| {
+            string_field(r, "type") == Some("span") && string_field(r, "name") == Some("ocall")
+        })
+        .expect("an ocall span was emitted");
+    assert_eq!(
+        u64_field(ocall, "parent"),
+        Some(ecall_id),
+        "the ocall span must parent to its enclosing ecall"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+}

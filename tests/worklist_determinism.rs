@@ -135,6 +135,47 @@ proptest! {
     }
 }
 
+/// The feasibility-cache hit/miss counters are part of the deterministic
+/// output: probes are classified against the canonical probe set at merge
+/// time (first sighting in merge order = miss, repeat = hit), so the split
+/// is invariant under worker count *and* live-cache capacity — it measures
+/// the workload's probe redundancy, not scheduling-dependent occupancy.
+#[test]
+fn cache_counters_are_worker_count_invariant() {
+    let sequential = explore_branchy(40, 1);
+    assert!(
+        sequential.stats.cache_hits + sequential.stats.cache_misses > 0,
+        "the branchy program must exercise the feasibility cache"
+    );
+    for workers in [2, 4] {
+        let parallel = explore_branchy(40, workers);
+        assert_eq!(
+            (sequential.stats.cache_hits, sequential.stats.cache_misses),
+            (parallel.stats.cache_hits, parallel.stats.cache_misses),
+            "workers={workers} changed the cache accounting"
+        );
+    }
+
+    // Capacity-independence: shrinking the live cache to nothing changes
+    // what `cache.check` memoizes, but not the deterministic accounting.
+    let unit = minic::parse(BRANCHY).expect("branchy program parses");
+    let config = EngineConfig {
+        max_paths: 40,
+        workers: 4,
+        feasibility_cache: 0,
+        ..EngineConfig::default()
+    };
+    let bindings = vec![ParamBinding::SecretScalar; 4];
+    let uncached = Engine::new(&unit, config)
+        .run("classify", &bindings)
+        .expect("branchy program explores");
+    assert_eq!(
+        (sequential.stats.cache_hits, sequential.stats.cache_misses),
+        (uncached.stats.cache_hits, uncached.stats.cache_misses),
+        "cache capacity changed the deterministic accounting"
+    );
+}
+
 /// The degradation ledger is part of the deterministic output: a
 /// budget-truncated exploration reports the same coalesced entries at
 /// every worker count, in the same order.
