@@ -251,18 +251,49 @@ impl ConstraintManager {
     }
 }
 
+/// One memoized probe: the full triple (for exact verification on a
+/// digest hit) and its result.
+#[derive(Debug)]
+struct CacheEntry {
+    cm: ConstraintManager,
+    cond: SVal,
+    truth: bool,
+    result: Feasibility,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Probes bucketed by their FNV probe-key digest (the same digest the
+    /// engine logs for deterministic hit/miss accounting). Digest
+    /// collisions are tolerated: a bucket holds every distinct triple that
+    /// hashed to it, and hits verify structurally.
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// Total entries across all buckets (capacity accounting).
+    len: usize,
+}
+
 /// Memoizes pure feasibility probes across path states and worker threads.
 ///
-/// Keyed on the full `(constraints, condition, truth)` triple — not a hash
-/// digest — so a hit can never alias two different probes. The engine only
-/// consults the cache for *speculative* checks (fork pre-probes, loop
-/// concreteness probes) whose constraint sets are discarded afterwards;
-/// committed `assume` calls still execute directly so their narrowing is
-/// recorded in the path state. Because `ConstraintManager::assume` is a pure
-/// function of the key, caching never changes results — only wall-clock.
+/// Probes are bucketed by their 64-bit probe-key digest
+/// ([`crate::checkpoint::probe_key`]) — the digest the engine has already
+/// computed for its deterministic hit/miss counters, so the common path
+/// hashes the constraint set exactly once. A digest hit is verified
+/// structurally against the stored `(constraints, condition, truth)`
+/// triple *by reference* — no clone is taken to look up — so a hit can
+/// never alias two different probes; the triple is cloned only when a miss
+/// inserts. The `RwLock`/`HashMap` pair (imported at the top of this file)
+/// exists solely for this cache: many engine workers probe concurrently
+/// under the read lock, and only misses briefly take the write lock.
+///
+/// The engine only consults the cache for *speculative* checks (fork
+/// pre-probes, loop concreteness probes) whose constraint sets are
+/// discarded afterwards; committed `assume` calls still execute directly
+/// so their narrowing is recorded in the path state. Because
+/// `ConstraintManager::assume` is a pure function of the key, caching
+/// never changes results — only wall-clock.
 #[derive(Debug)]
 pub struct FeasibilityCache {
-    entries: RwLock<HashMap<(ConstraintManager, SVal, bool), Feasibility>>,
+    entries: RwLock<CacheInner>,
     capacity: usize,
 }
 
@@ -271,29 +302,59 @@ impl FeasibilityCache {
     /// A capacity of 0 disables memoization entirely.
     pub fn new(capacity: usize) -> FeasibilityCache {
         FeasibilityCache {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(CacheInner::default()),
             capacity,
         }
     }
 
     /// Returns the feasibility of assuming `cond == truth` under `cm`,
     /// memoizing the (pure) computation.
+    ///
+    /// Computes the probe digest itself; callers that already hold it (the
+    /// engine logs one per probe) should use [`Self::check_keyed`].
     pub fn check(&self, cm: &ConstraintManager, cond: &SVal, truth: bool) -> Feasibility {
         if self.capacity == 0 {
             return cm.clone().assume(cond, truth);
         }
-        // Std HashMap cannot probe a composite key by borrowed parts, so
-        // the (cheap, structural) key is built once up front.
-        let key = (cm.clone(), cond.clone(), truth);
-        if let Ok(entries) = self.entries.read() {
-            if let Some(hit) = entries.get(&key) {
-                return *hit;
+        self.check_keyed(
+            crate::checkpoint::probe_key(cm, cond, truth),
+            cm,
+            cond,
+            truth,
+        )
+    }
+
+    /// [`Self::check`] with the probe digest supplied by the caller,
+    /// avoiding a second hash of the constraint set.
+    pub fn check_keyed(
+        &self,
+        digest: u64,
+        cm: &ConstraintManager,
+        cond: &SVal,
+        truth: bool,
+    ) -> Feasibility {
+        if self.capacity == 0 {
+            return cm.clone().assume(cond, truth);
+        }
+        if let Ok(inner) = self.entries.read() {
+            if let Some(bucket) = inner.buckets.get(&digest) {
+                for entry in bucket {
+                    if entry.truth == truth && entry.cond == *cond && entry.cm == *cm {
+                        return entry.result;
+                    }
+                }
             }
         }
-        let result = key.0.clone().assume(cond, truth);
-        if let Ok(mut entries) = self.entries.write() {
-            if entries.len() < self.capacity {
-                entries.insert(key, result);
+        let result = cm.clone().assume(cond, truth);
+        if let Ok(mut inner) = self.entries.write() {
+            if inner.len < self.capacity {
+                inner.len += 1;
+                inner.buckets.entry(digest).or_default().push(CacheEntry {
+                    cm: cm.clone(),
+                    cond: cond.clone(),
+                    truth,
+                    result,
+                });
             }
         }
         result
@@ -301,7 +362,7 @@ impl FeasibilityCache {
 
     /// Number of memoized probes currently held.
     pub fn len(&self) -> usize {
-        self.entries.read().map(|e| e.len()).unwrap_or(0)
+        self.entries.read().map(|e| e.len).unwrap_or(0)
     }
 
     /// Whether the cache holds no memoized probes.

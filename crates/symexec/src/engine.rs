@@ -32,6 +32,7 @@ use crate::checkpoint::{self, Frontier, Snapshot};
 use crate::constraints::{ConstraintManager, Feasibility, FeasibilityCache};
 use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor};
 use crate::error::EngineError;
+use crate::intern::HC;
 use crate::simplify::{fold_binary, fold_unary, simplify};
 use crate::state::{Channel, DeclassifyEvent, ExecState, Frame};
 use crate::trace::TraceStep;
@@ -273,7 +274,7 @@ pub struct Exploration {
 impl Exploration {
     /// Per-path traces (empty unless tracing was enabled).
     pub fn traces(&self) -> Vec<Vec<TraceStep>> {
-        self.paths.iter().map(|p| p.state.trace.clone()).collect()
+        self.paths.iter().map(|p| p.state.trace.to_vec()).collect()
     }
 }
 
@@ -1027,9 +1028,11 @@ impl<'u, 'c> Explorer<'u, 'c> {
     /// checkpoints, determinism tests) invariant under worker count and
     /// cache capacity.
     fn probe(&mut self, constraints: &ConstraintManager, cond: &SVal, taken: bool) -> Feasibility {
-        self.probe_log
-            .push(checkpoint::probe_key(constraints, cond, taken));
-        self.cache.check(constraints, cond, taken)
+        // One digest serves both the deterministic hit/miss log and the
+        // shared cache's bucket key.
+        let key = checkpoint::probe_key(constraints, cond, taken);
+        self.probe_log.push(key);
+        self.cache.check_keyed(key, constraints, cond, taken)
     }
 
     /// Classifies a drained probe log against the global seen-set. Must be
@@ -1098,10 +1101,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
             Init::List(items) => match ty {
                 Type::Array(elem, _) => {
                     for (i, item) in items.iter().enumerate() {
-                        let sub = Region::Element {
-                            base: Box::new(region.clone()),
-                            index: Box::new(SVal::Int(i as i64)),
-                        };
+                        let sub = Region::element(region.clone(), SVal::Int(i as i64));
                         self.bind_init(state, &sub, item, elem);
                     }
                 }
@@ -1113,10 +1113,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                             .map(|f| (f.name.clone(), f.ty.clone()))
                             .collect();
                         for (item, (fname, fty)) in items.iter().zip(fields) {
-                            let sub = Region::Field {
-                                base: Box::new(region.clone()),
-                                field: fname,
-                            };
+                            let sub = Region::field(region.clone(), fname);
                             self.bind_init(state, &sub, item, &fty);
                         }
                     }
@@ -1295,12 +1292,13 @@ impl<'u, 'c> Explorer<'u, 'c> {
         let adjusted = match region {
             Region::Element { base, index } => Region::Element {
                 base,
-                index: Box::new(simplify(&SVal::binary(BinOp::Add, *index, offset))),
+                index: HC::new(simplify(&SVal::binary(
+                    BinOp::Add,
+                    index.as_ref().clone(),
+                    offset,
+                ))),
             },
-            other => Region::Element {
-                base: Box::new(other),
-                index: Box::new(simplify(&offset)),
-            },
+            other => Region::element(other, simplify(&offset)),
         };
         SVal::Loc(adjusted)
     }
@@ -1472,7 +1470,11 @@ impl<'u, 'c> Explorer<'u, 'c> {
                             base: b2,
                             index: i2,
                         }),
-                    ) if b1 == b2 => simplify(&SVal::binary(BinOp::Sub, *i1, *i2)),
+                    ) if b1 == b2 => simplify(&SVal::binary(
+                        BinOp::Sub,
+                        i1.as_ref().clone(),
+                        i2.as_ref().clone(),
+                    )),
                     (Some(r1), Some(r2)) if r1 == r2 => SVal::Int(0),
                     _ => SVal::Unknown,
                 }
@@ -1567,10 +1569,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                 results
                     .into_iter()
                     .map(|(mut st, region)| {
-                        let region = region.map(|base| Region::Field {
-                            base: Box::new(base),
-                            field: field.clone(),
-                        });
+                        let region = region.map(|base| Region::field(base, field.clone()));
                         if let Some(region) = &region {
                             st.env.bind(expr.id, region.clone());
                         }
@@ -2004,10 +2003,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                             })
                             .unwrap_or_default();
                         for (item, (fname, fty)) in items.iter().zip(fields) {
-                            let sub = Region::Field {
-                                base: Box::new(region.clone()),
-                                field: fname,
-                            };
+                            let sub = Region::field(region.clone(), fname);
                             states = states
                                 .into_iter()
                                 .flat_map(|st| self.exec_decl_init(st, &sub, item, &fty))
@@ -2169,10 +2165,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
     /// unrolling stays sound for taint while guaranteeing termination.
     fn widen(&mut self, state: &mut ExecState, mark: usize) {
         self.ledger.record(Degradation::LoopWidened { count: 1 });
-        let written: BTreeSet<Region> = state.write_log[mark.min(state.write_log.len())..]
-            .iter()
-            .cloned()
-            .collect();
+        let written: BTreeSet<Region> = state.write_log.iter_from(mark).cloned().collect();
         for region in written {
             let hint = format!("widened({})", region_hint(&region));
             let sym = self.fresh_symbol(hint);
@@ -2196,10 +2189,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
 }
 
 fn element(base: &Region, index: i64) -> Region {
-    Region::Element {
-        base: Box::new(base.clone()),
-        index: Box::new(SVal::Int(index)),
-    }
+    Region::element(base.clone(), SVal::Int(index))
 }
 
 fn join_all(values: &[(SVal, TaintSet)]) -> TaintSet {
@@ -2491,8 +2481,9 @@ mod tests {
             .unwrap();
         let events = &ex.paths[0].state.events;
         assert_eq!(events.len(), 1);
-        assert!(matches!(events[0].channel, Channel::SinkCall { .. }));
-        assert!(events[0].taint.is_reversible());
+        let event = events.get(0).expect("one event");
+        assert!(matches!(event.channel, Channel::SinkCall { .. }));
+        assert!(event.taint.is_reversible());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod constraints;
 pub mod degrade;
 pub mod engine;
 pub mod error;
+pub mod intern;
 pub mod path;
 pub mod simplify;
 pub mod state;

@@ -1,10 +1,20 @@
 //! The per-path execution state: environment, store, path condition, taint.
+//!
+//! Forking a path clones the whole [`ExecState`]. To keep that cheap the
+//! bulk containers are *persistent* (structurally shared): the environment,
+//! store and taint map sit on `im::OrdMap` (O(1) clone, O(log n) update
+//! that shares all untouched tree nodes with the sibling path), and the
+//! append-mostly logs (`write_log`, `events`, `trace`) sit on
+//! `im::Vector` (frozen `Arc` chunks plus a small mutable tail). Both
+//! containers serialize and hash byte-identically to the `std` types they
+//! replaced, so reports and checkpoint files do not change.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use im::{OrdMap, Vector};
 use minic::ast::ExprId;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use taint::{TaintMap, TaintSet};
 
 use crate::constraints::ConstraintManager;
@@ -15,7 +25,7 @@ use crate::value::{Region, SVal};
 /// region they currently denote (§VI-B).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Environment {
-    bindings: BTreeMap<ExprId, Region>,
+    bindings: OrdMap<ExprId, Region>,
 }
 
 impl Environment {
@@ -48,12 +58,28 @@ impl Environment {
     pub fn iter(&self) -> impl Iterator<Item = (&ExprId, &Region)> {
         self.bindings.iter()
     }
+
+    /// Diagnostic: (shared-with-`other`, total) map-node counts.
+    pub fn sharing(&self, other: &Environment) -> (usize, usize) {
+        (
+            self.bindings.shared_node_count(&other.bindings),
+            self.bindings.node_count(),
+        )
+    }
 }
 
 /// The store σ: maps regions to symbolic values.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Store {
-    bindings: BTreeMap<Region, SVal>,
+    bindings: OrdMap<Region, SVal>,
+    /// Sticky flag: set when a subobject binding was ever created whose
+    /// immediate parent region was unbound at that moment (or a parent was
+    /// unbound out from under its children). The prefix-window walk of
+    /// [`Store::regions_within`] discovers descendants through chains of
+    /// *bound* intermediate regions, so such orphans force the slow
+    /// full-scan fallback. Conservative (never unset), purely a
+    /// performance hint — both paths return the same entries.
+    has_orphans: bool,
 }
 
 impl Store {
@@ -64,6 +90,13 @@ impl Store {
 
     /// Binds `region` to `value`, returning the previous binding.
     pub fn bind(&mut self, region: Region, value: SVal) -> Option<SVal> {
+        if !self.has_orphans {
+            if let Some(parent) = region.parent() {
+                if parent.parent().is_some() && !self.bindings.contains_key(parent) {
+                    self.has_orphans = true;
+                }
+            }
+        }
         self.bindings.insert(region, value)
     }
 
@@ -74,7 +107,12 @@ impl Store {
 
     /// Removes a binding.
     pub fn unbind(&mut self, region: &Region) -> Option<SVal> {
-        self.bindings.remove(region)
+        let old = self.bindings.remove(region);
+        if old.is_some() && !self.has_orphans && !self.children_of(region).is_empty() {
+            // Removing an intermediate region orphans its bound children.
+            self.has_orphans = true;
+        }
+        old
     }
 
     /// Iterates bindings in region order.
@@ -92,12 +130,102 @@ impl Store {
         self.bindings.is_empty()
     }
 
+    /// Bound regions whose *immediate* parent is `parent`, via two
+    /// O(log n + m) prefix-window queries (the derived [`Region`] ordering
+    /// keeps all `Element{parent, _}` keys contiguous, and likewise all
+    /// `Field{parent, _}` keys).
+    fn children_of<'a>(&'a self, parent: &Region) -> Vec<(&'a Region, &'a SVal)> {
+        use std::cmp::Ordering;
+        // Region variants order as Var < Global < Element < Field < Sym <
+        // Str; within Element (resp. Field) keys order by base first. Both
+        // comparators below are therefore monotone over the full key order.
+        let mut out = self.bindings.range_by(|key| match key {
+            Region::Var { .. } | Region::Global { .. } => Ordering::Less,
+            Region::Element { base, .. } => base.as_ref().cmp(parent),
+            Region::Field { .. } | Region::Sym { .. } | Region::Str { .. } => Ordering::Greater,
+        });
+        out.extend(self.bindings.range_by(|key| match key {
+            Region::Var { .. } | Region::Global { .. } | Region::Element { .. } => Ordering::Less,
+            Region::Field { base, .. } => base.as_ref().cmp(parent),
+            Region::Sym { .. } | Region::Str { .. } => Ordering::Greater,
+        }));
+        out
+    }
+
     /// All regions lying within `base` (itself included) that have bindings.
+    ///
+    /// Fast path: a worklist of prefix-window queries ([`Self::children_of`])
+    /// walking the subobject tree downward from `base`, O((log n + m) · d)
+    /// for m matches of maximum depth d — instead of scanning the whole
+    /// store. The walk only reaches descendants connected to `base` through
+    /// bound intermediates, so stores that ever held an orphaned subobject
+    /// fall back to the full filter.
     pub fn regions_within<'a>(
         &'a self,
         base: &'a Region,
     ) -> impl Iterator<Item = (&'a Region, &'a SVal)> {
-        self.bindings.iter().filter(|(r, _)| r.is_within(base))
+        let mut out: Vec<(&'a Region, &'a SVal)> = Vec::new();
+        if self.has_orphans {
+            out.extend(self.bindings.iter().filter(|(r, _)| r.is_within(base)));
+        } else {
+            if let Some(value) = self.bindings.get(base) {
+                out.push((base, value));
+            }
+            let mut frontier = vec![base];
+            while let Some(parent) = frontier.pop() {
+                for (child, value) in self.children_of(parent) {
+                    out.push((child, value));
+                    frontier.push(child);
+                }
+            }
+            // Deliver in global region order, exactly like the filter did.
+            out.sort_by_key(|(region, _)| *region);
+        }
+        out.into_iter()
+    }
+
+    /// Diagnostic: (shared-with-`other`, total) map-node counts.
+    pub fn sharing(&self, other: &Store) -> (usize, usize) {
+        (
+            self.bindings.shared_node_count(&other.bindings),
+            self.bindings.node_count(),
+        )
+    }
+}
+
+impl PartialEq for Store {
+    fn eq(&self, other: &Self) -> bool {
+        // `has_orphans` is a query-plan hint derived from binding history,
+        // not part of the store's meaning.
+        self.bindings == other.bindings
+    }
+}
+
+impl Serialize for Store {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Matches the derived shape `{"bindings": …}` — the orphan hint is
+        // recomputed on load so checkpoint bytes are unchanged.
+        serializer.serialize_value(serde::Value::Object(vec![(
+            String::from("bindings"),
+            serde::to_value(&self.bindings)?,
+        )]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Store {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut obj = serde::expect_object(deserializer.take_value()?, "Store")?;
+        let bindings: OrdMap<Region, SVal> =
+            serde::from_value(serde::take_field(&mut obj, "bindings", "Store")?)?;
+        let has_orphans = bindings.keys().any(|region| {
+            region
+                .parent()
+                .is_some_and(|p| p.parent().is_some() && !bindings.contains_key(p))
+        });
+        Ok(Store {
+            bindings,
+            has_orphans,
+        })
     }
 }
 
@@ -204,16 +332,19 @@ pub struct ExecState {
     pub taints: TaintMap<Region>,
     /// Taint of the path condition (τΔ\[π\] in the paper's semantics).
     pub pi_taint: TaintSet,
-    /// Declassification events recorded on this path so far.
-    pub events: Vec<DeclassifyEvent>,
+    /// Declassification events recorded on this path so far (persistent —
+    /// forked siblings share the common prefix).
+    pub events: Vector<DeclassifyEvent>,
     /// Every region written on this path, in order (drives loop widening).
-    pub write_log: Vec<Region>,
+    /// Persistent — forked siblings share the common prefix.
+    pub write_log: Vector<Region>,
     /// Statements interpreted so far (budget accounting).
     pub steps: usize,
     /// The call stack (frame 0 = entry function).
     pub frames: Vec<Frame>,
-    /// Recorded state snapshots (when tracing is enabled).
-    pub trace: Vec<crate::trace::TraceStep>,
+    /// Recorded state snapshots (when tracing is enabled). Persistent —
+    /// forked siblings share the common prefix.
+    pub trace: Vector<crate::trace::TraceStep>,
     /// Next frame id to hand out for an inlined call on this path.
     ///
     /// Per-state (not global) so frame numbering depends only on the path's
@@ -268,8 +399,44 @@ impl ExecState {
     }
 
     /// Whether `region` lies within any base marked secret on this path.
+    ///
+    /// Probes the region's base chain against the set directly —
+    /// O(depth · log n) instead of a linear scan over every secret base.
     pub fn is_secret_region(&self, region: &Region) -> bool {
-        self.secret_bases.iter().any(|base| region.is_within(base))
+        let mut current = region;
+        loop {
+            if self.secret_bases.contains(current) {
+                return true;
+            }
+            match current.parent() {
+                Some(parent) => current = parent,
+                None => return false,
+            }
+        }
+    }
+
+    /// Diagnostic: how much of this state's persistent structure is the
+    /// *same allocation* as `other`'s — `(shared, total)` counts over the
+    /// store, taint and environment tree nodes plus the frozen elements of
+    /// the event/write/trace logs. A fresh fork shares everything
+    /// (`shared == total`); each divergent write then unshares only an
+    /// O(log n) path. Drives the bytes-shared ratio in `bench_fork_cost`.
+    pub fn shared_allocations(&self, other: &ExecState) -> (usize, usize) {
+        let mut shared = 0;
+        let mut total = 0;
+        for (s, t) in [
+            self.store.sharing(&other.store),
+            self.taints.sharing(&other.taints),
+            self.env.sharing(&other.env),
+        ] {
+            shared += s;
+            total += t;
+        }
+        shared += self.events.shared_len(&other.events)
+            + self.write_log.shared_len(&other.write_log)
+            + self.trace.shared_len(&other.trace);
+        total += self.events.len() + self.write_log.len() + self.trace.len();
+        (shared, total)
     }
 }
 
@@ -310,10 +477,7 @@ mod tests {
         let base = Region::Sym {
             symbol: Symbol::new(0, "buf"),
         };
-        let elem0 = Region::Element {
-            base: Box::new(base.clone()),
-            index: Box::new(SVal::Int(0)),
-        };
+        let elem0 = Region::element(base.clone(), SVal::Int(0));
         let mut store = Store::new();
         store.bind(elem0.clone(), SVal::Int(9));
         store.bind(var("x"), SVal::Int(1));
@@ -327,7 +491,7 @@ mod tests {
         let mut state = ExecState::new();
         let ts = TaintSet::source(SourceId::new(1));
         state.write(var("h"), SVal::Int(5), ts.clone());
-        assert_eq!(state.write_log, vec![var("h")]);
+        assert_eq!(state.write_log.to_vec(), vec![var("h")]);
         assert_eq!(state.taint_of(&var("h")), ts);
         assert_eq!(state.store.lookup(&var("h")), Some(&SVal::Int(5)));
     }

@@ -12,6 +12,8 @@ use std::fmt;
 use minic::ast::{BinOp, UnOp};
 use serde::{Deserialize, Serialize};
 
+use crate::intern::HC;
+
 /// A total-ordered `f64` wrapper so symbolic values can key `BTreeMap`s.
 ///
 /// Ordering and equality follow [`f64::total_cmp`], so `NaN == NaN` here —
@@ -100,15 +102,15 @@ pub enum Region {
     },
     /// An array subobject `base[index]` (`ElementRegion`).
     Element {
-        /// The array (super) region.
-        base: Box<Region>,
-        /// Element index, possibly symbolic.
-        index: Box<SVal>,
+        /// The array (super) region (hash-consed, shared across states).
+        base: HC<Region>,
+        /// Element index, possibly symbolic (hash-consed).
+        index: HC<SVal>,
     },
     /// A struct subobject `base.field` (`FieldRegion`).
     Field {
-        /// The struct (super) region.
-        base: Box<Region>,
+        /// The struct (super) region (hash-consed, shared across states).
+        base: HC<Region>,
         /// Field name.
         field: String,
     },
@@ -125,6 +127,22 @@ pub enum Region {
 }
 
 impl Region {
+    /// Builds an [`Region::Element`] node, interning both edges.
+    pub fn element(base: Region, index: SVal) -> Region {
+        Region::Element {
+            base: HC::new(base),
+            index: HC::new(index),
+        }
+    }
+
+    /// Builds a [`Region::Field`] node, interning the base edge.
+    pub fn field(base: Region, field: impl Into<String>) -> Region {
+        Region::Field {
+            base: HC::new(base),
+            field: field.into(),
+        }
+    }
+
     /// The outermost base region (peeling `Element`/`Field` layers).
     pub fn base(&self) -> &Region {
         match self {
@@ -133,16 +151,54 @@ impl Region {
         }
     }
 
+    /// The immediate super-region, if this is a subobject region.
+    pub fn parent(&self) -> Option<&Region> {
+        match self {
+            Region::Element { base, .. } | Region::Field { base, .. } => Some(base),
+            _ => None,
+        }
+    }
+
     /// Rewrites every symbol id in the region through `f`.
+    ///
+    /// Nodes are hash-consed DAGs, so the rewrite rebuilds only the spine
+    /// that actually changes; untouched subtrees keep their shared
+    /// allocation.
     pub fn remap_symbols<F: Fn(u32) -> u32>(&mut self, f: &F) {
+        if let Some(remapped) = self.remapped(f) {
+            *self = remapped;
+        }
+    }
+
+    /// Returns the rewritten region, or `None` when nothing changed (the
+    /// caller keeps its existing shared node).
+    fn remapped<F: Fn(u32) -> u32>(&self, f: &F) -> Option<Region> {
         match self {
             Region::Element { base, index } => {
-                base.remap_symbols(f);
-                index.remap_symbols(f);
+                let b = base.remapped(f);
+                let i = index.remapped(f);
+                if b.is_none() && i.is_none() {
+                    return None;
+                }
+                Some(Region::Element {
+                    base: b.map(HC::new).unwrap_or_else(|| base.clone()),
+                    index: i.map(HC::new).unwrap_or_else(|| index.clone()),
+                })
             }
-            Region::Field { base, .. } => base.remap_symbols(f),
-            Region::Sym { symbol } => symbol.id = f(symbol.id),
-            Region::Var { .. } | Region::Global { .. } | Region::Str { .. } => {}
+            Region::Field { base, field } => base.remapped(f).map(|b| Region::Field {
+                base: HC::new(b),
+                field: field.clone(),
+            }),
+            Region::Sym { symbol } => {
+                let id = f(symbol.id);
+                (id != symbol.id).then(|| Region::Sym {
+                    symbol: Symbol {
+                        id,
+                        hint: symbol.hint.clone(),
+                    },
+                })
+            }
+            Region::Var { .. } | Region::Global { .. } | Region::Str { .. } => None,
         }
     }
 
@@ -192,17 +248,17 @@ pub enum SVal {
     Binary {
         /// The operator.
         op: BinOp,
-        /// Left operand.
-        lhs: Box<SVal>,
-        /// Right operand.
-        rhs: Box<SVal>,
+        /// Left operand (hash-consed, shared across states).
+        lhs: HC<SVal>,
+        /// Right operand (hash-consed, shared across states).
+        rhs: HC<SVal>,
     },
     /// A partially evaluated unary expression.
     Unary {
         /// The operator.
         op: UnOp,
-        /// The operand.
-        arg: Box<SVal>,
+        /// The operand (hash-consed, shared across states).
+        arg: HC<SVal>,
     },
     /// An uninterpreted function application, e.g. `sqrt(α₁)`.
     Call {
@@ -221,20 +277,22 @@ impl SVal {
         SVal::Float(OrderedF64(v))
     }
 
-    /// Builds a binary expression node (no simplification).
+    /// Builds a binary expression node (no simplification), interning both
+    /// operands.
     pub fn binary(op: BinOp, lhs: SVal, rhs: SVal) -> SVal {
         SVal::Binary {
             op,
-            lhs: Box::new(lhs),
-            rhs: Box::new(rhs),
+            lhs: HC::new(lhs),
+            rhs: HC::new(rhs),
         }
     }
 
-    /// Builds a unary expression node (no simplification).
+    /// Builds a unary expression node (no simplification), interning the
+    /// operand.
     pub fn unary(op: UnOp, arg: SVal) -> SVal {
         SVal::Unary {
             op,
-            arg: Box::new(arg),
+            arg: HC::new(arg),
         }
     }
 
@@ -303,22 +361,63 @@ impl SVal {
     /// Rewrites every symbol id in the expression through `f`.
     ///
     /// Used by the worklist engine's deterministic merge to translate
-    /// task-local symbol ids into the global numbering.
+    /// task-local symbol ids into the global numbering. Nodes are
+    /// hash-consed DAGs, so only the changed spine is rebuilt; untouched
+    /// subtrees keep their shared allocation.
     pub fn remap_symbols<F: Fn(u32) -> u32>(&mut self, f: &F) {
+        if let Some(remapped) = self.remapped(f) {
+            *self = remapped;
+        }
+    }
+
+    /// Returns the rewritten value, or `None` when nothing changed (the
+    /// caller keeps its existing shared node).
+    fn remapped<F: Fn(u32) -> u32>(&self, f: &F) -> Option<SVal> {
         match self {
-            SVal::Sym(sym) => sym.id = f(sym.id),
-            SVal::Loc(region) => region.remap_symbols(f),
-            SVal::Binary { lhs, rhs, .. } => {
-                lhs.remap_symbols(f);
-                rhs.remap_symbols(f);
+            SVal::Sym(sym) => {
+                let id = f(sym.id);
+                (id != sym.id).then(|| {
+                    SVal::Sym(Symbol {
+                        id,
+                        hint: sym.hint.clone(),
+                    })
+                })
             }
-            SVal::Unary { arg, .. } => arg.remap_symbols(f),
-            SVal::Call { args, .. } => {
-                for arg in args {
-                    arg.remap_symbols(f);
+            SVal::Loc(region) => region.remapped(f).map(SVal::Loc),
+            SVal::Binary { op, lhs, rhs } => {
+                let l = lhs.remapped(f);
+                let r = rhs.remapped(f);
+                if l.is_none() && r.is_none() {
+                    return None;
                 }
+                Some(SVal::Binary {
+                    op: *op,
+                    lhs: l.map(HC::new).unwrap_or_else(|| lhs.clone()),
+                    rhs: r.map(HC::new).unwrap_or_else(|| rhs.clone()),
+                })
             }
-            SVal::Int(_) | SVal::Float(_) | SVal::Unknown => {}
+            SVal::Unary { op, arg } => arg.remapped(f).map(|a| SVal::Unary {
+                op: *op,
+                arg: HC::new(a),
+            }),
+            SVal::Call { func, args } => {
+                let mut changed = false;
+                let args = args
+                    .iter()
+                    .map(|arg| match arg.remapped(f) {
+                        Some(new) => {
+                            changed = true;
+                            new
+                        }
+                        None => arg.clone(),
+                    })
+                    .collect();
+                changed.then(|| SVal::Call {
+                    func: func.clone(),
+                    args,
+                })
+            }
+            SVal::Int(_) | SVal::Float(_) | SVal::Unknown => None,
         }
     }
 
@@ -407,14 +506,8 @@ mod tests {
         let base = Region::Sym {
             symbol: sym(0, "secrets"),
         };
-        let elem = Region::Element {
-            base: Box::new(base.clone()),
-            index: Box::new(SVal::Int(1)),
-        };
-        let field = Region::Field {
-            base: Box::new(elem.clone()),
-            field: "w".into(),
-        };
+        let elem = Region::element(base.clone(), SVal::Int(1));
+        let field = Region::field(elem.clone(), "w");
         assert_eq!(field.base(), &base);
         assert!(field.is_within(&base));
         assert!(elem.is_within(&base));
@@ -427,10 +520,7 @@ mod tests {
         let base = Region::Sym {
             symbol: sym(0, "secrets"),
         };
-        let elem = Region::Element {
-            base: Box::new(base),
-            index: Box::new(SVal::Int(0)),
-        };
+        let elem = Region::element(base, SVal::Int(0));
         assert_eq!(elem.to_string(), "SymRegion(secrets)[0]");
         let v = SVal::binary(BinOp::Add, SVal::Sym(sym(1, "secrets[0]")), SVal::Int(100));
         assert_eq!(v.to_string(), "($secrets[0] + 100)");
@@ -441,16 +531,36 @@ mod tests {
         let v = SVal::binary(
             BinOp::Mul,
             SVal::Sym(sym(1, "a")),
-            SVal::Loc(Region::Element {
-                base: Box::new(Region::Sym {
+            SVal::Loc(Region::element(
+                Region::Sym {
                     symbol: sym(2, "p"),
-                }),
-                index: Box::new(SVal::Sym(sym(3, "i"))),
-            }),
+                },
+                SVal::Sym(sym(3, "i")),
+            )),
         );
         let mut ids = std::collections::BTreeSet::new();
         v.symbols(&mut ids);
         assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remap_preserves_sharing_when_identity() {
+        let mut v = SVal::binary(BinOp::Add, SVal::Sym(sym(7, "x")), SVal::Int(2));
+        let before = match &v {
+            SVal::Binary { lhs, .. } => lhs.clone(),
+            _ => unreachable!("binary"),
+        };
+        v.remap_symbols(&|id| id); // identity: no rebuild
+        let after = match &v {
+            SVal::Binary { lhs, .. } => lhs.clone(),
+            _ => unreachable!("binary"),
+        };
+        assert!(HC::ptr_eq(&before, &after));
+
+        v.remap_symbols(&|id| id + 100);
+        let mut ids = std::collections::BTreeSet::new();
+        v.symbols(&mut ids);
+        assert_eq!(ids.into_iter().collect::<Vec<_>>(), vec![107]);
     }
 
     #[test]

@@ -120,12 +120,24 @@ impl IdRemap {
 
         state.pi_taint = self.taint(&state.pi_taint);
 
-        for event in &mut state.events {
-            self.remap_event(event);
-        }
-        for region in &mut state.write_log {
-            region.remap_symbols(&sym);
-        }
+        state.events = state
+            .events
+            .iter()
+            .map(|event| {
+                let mut event = event.clone();
+                self.remap_event(&mut event);
+                event
+            })
+            .collect();
+        state.write_log = state
+            .write_log
+            .iter()
+            .map(|region| {
+                let mut region = region.clone();
+                region.remap_symbols(&sym);
+                region
+            })
+            .collect();
         state.secret_bases = std::mem::take(&mut state.secret_bases)
             .into_iter()
             .map(|mut region| {
@@ -239,12 +251,12 @@ mod tests {
             source_base: 200,
         };
         let local_sym = Symbol::new(LOCAL_ID_BASE, "fresh");
-        let region = Region::Element {
-            base: Box::new(Region::Sym {
+        let region = Region::element(
+            Region::Sym {
                 symbol: local_sym.clone(),
-            }),
-            index: Box::new(SVal::Sym(local_sym.clone())),
-        };
+            },
+            SVal::Sym(local_sym.clone()),
+        );
         let mut state = ExecState::new();
         state.write(
             region.clone(),
@@ -258,12 +270,12 @@ mod tests {
         remap.remap_state(&mut state);
 
         let expected = Symbol::new(100, "fresh");
-        let expected_region = Region::Element {
-            base: Box::new(Region::Sym {
+        let expected_region = Region::element(
+            Region::Sym {
                 symbol: expected.clone(),
-            }),
-            index: Box::new(SVal::Sym(expected.clone())),
-        };
+            },
+            SVal::Sym(expected.clone()),
+        );
         assert_eq!(
             state.store.lookup(&expected_region),
             Some(&SVal::Sym(expected.clone()))
@@ -276,7 +288,7 @@ mod tests {
             vec![SourceId::new(200)]
         );
         assert_eq!(state.path.assumptions()[0].cond, SVal::Sym(expected));
-        assert_eq!(state.write_log, vec![expected_region.clone()]);
+        assert_eq!(state.write_log.to_vec(), vec![expected_region.clone()]);
         assert!(state.is_secret_region(&expected_region));
         // The remapped constraint key must now answer for the global id.
         assert_eq!(state.constraints.known_value(100), None);

@@ -1,8 +1,8 @@
 //! The `τΔ` taint environment: a mapping from program entities to taint.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
+use im::OrdMap;
 use serde::{Deserialize, Serialize};
 
 use crate::lattice::TaintSet;
@@ -13,6 +13,11 @@ use crate::lattice::TaintSet;
 /// Lookups of unbound keys yield ⊥, matching the paper's convention that
 /// everything starts untainted. Keys iterate in a deterministic (sorted)
 /// order so that analysis traces are reproducible.
+///
+/// Entries live in a persistent ordered map: cloning the environment (as
+/// the symbolic engine does on every path fork) is O(1), and updates share
+/// all untouched tree nodes with the original — which is why the key type
+/// carries a `Clone` bound.
 ///
 /// # Examples
 ///
@@ -25,24 +30,22 @@ use crate::lattice::TaintSet;
 /// assert!(tau.get(&"x".to_string()).is_empty()); // unbound ⇒ ⊥
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TaintMap<K: Ord> {
-    entries: BTreeMap<K, TaintSet>,
+pub struct TaintMap<K: Ord + Clone> {
+    entries: OrdMap<K, TaintSet>,
 }
 
-impl<K: Ord> Default for TaintMap<K> {
+impl<K: Ord + Clone> Default for TaintMap<K> {
     fn default() -> Self {
         TaintMap {
-            entries: BTreeMap::new(),
+            entries: OrdMap::new(),
         }
     }
 }
 
-impl<K: Ord> TaintMap<K> {
+impl<K: Ord + Clone> TaintMap<K> {
     /// Creates an empty taint environment (everything ⊥).
     pub fn new() -> Self {
-        TaintMap {
-            entries: BTreeMap::new(),
-        }
+        TaintMap::default()
     }
 
     /// Returns the taint of `key`, ⊥ if unbound.
@@ -67,14 +70,15 @@ impl<K: Ord> TaintMap<K> {
         if taint.is_empty() {
             return;
         }
-        self.entries.entry(key).or_default().join_assign(taint);
+        // Persistent maps have no in-place entry API: read, join, rebind
+        // (the rebind path-copies O(log n) nodes).
+        let mut joined = self.entries.get(&key).cloned().unwrap_or_default();
+        joined.join_assign(taint);
+        self.entries.insert(key, joined);
     }
 
     /// Pointwise join with another map (used when merging paths).
-    pub fn join_map(&mut self, other: &TaintMap<K>)
-    where
-        K: Clone,
-    {
+    pub fn join_map(&mut self, other: &TaintMap<K>) {
         for (k, v) in &other.entries {
             self.join_into(k.clone(), v);
         }
@@ -99,9 +103,17 @@ impl<K: Ord> TaintMap<K> {
     pub fn remove(&mut self, key: &K) -> Option<TaintSet> {
         self.entries.remove(key)
     }
+
+    /// Diagnostic: (shared-with-`other`, total) map-node counts.
+    pub fn sharing(&self, other: &TaintMap<K>) -> (usize, usize) {
+        (
+            self.entries.shared_node_count(&other.entries),
+            self.entries.node_count(),
+        )
+    }
 }
 
-impl<K: Ord + fmt::Display> fmt::Display for TaintMap<K> {
+impl<K: Ord + Clone + fmt::Display> fmt::Display for TaintMap<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         for (i, (k, v)) in self.entries.iter().enumerate() {
@@ -114,7 +126,7 @@ impl<K: Ord + fmt::Display> fmt::Display for TaintMap<K> {
     }
 }
 
-impl<K: Ord> FromIterator<(K, TaintSet)> for TaintMap<K> {
+impl<K: Ord + Clone> FromIterator<(K, TaintSet)> for TaintMap<K> {
     fn from_iter<I: IntoIterator<Item = (K, TaintSet)>>(iter: I) -> Self {
         let mut map = TaintMap::new();
         for (k, v) in iter {
@@ -124,7 +136,7 @@ impl<K: Ord> FromIterator<(K, TaintSet)> for TaintMap<K> {
     }
 }
 
-impl<K: Ord> Extend<(K, TaintSet)> for TaintMap<K> {
+impl<K: Ord + Clone> Extend<(K, TaintSet)> for TaintMap<K> {
     fn extend<I: IntoIterator<Item = (K, TaintSet)>>(&mut self, iter: I) {
         for (k, v) in iter {
             self.set(k, v);

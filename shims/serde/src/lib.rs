@@ -586,7 +586,10 @@ tuple_impls! {
 /// Serializes a map: string-renderable keys become an object (matching
 /// serde_json's convention, including integer keys), anything else becomes
 /// an array of `[key, value]` pairs.
-fn serialize_map_entries<'a, K, V, S, I>(entries: I, serializer: S) -> Result<S::Ok, S::Error>
+///
+/// Public so map-like containers outside this crate (e.g. the persistent
+/// `im` shim) can serialize with exactly the same shape as `BTreeMap`.
+pub fn serialize_map_entries<'a, K, V, S, I>(entries: I, serializer: S) -> Result<S::Ok, S::Error>
 where
     K: Serialize + 'a,
     V: Serialize + 'a,
@@ -628,7 +631,9 @@ fn render_number(n: Number) -> String {
     }
 }
 
-fn deserialize_map_entries<K, V, E>(value: Value) -> Result<Vec<(K, V)>, E>
+/// Inverse of [`serialize_map_entries`]: accepts both the object and the
+/// `[key, value]`-pair-array encodings. Public for the same reason.
+pub fn deserialize_map_entries<K, V, E>(value: Value) -> Result<Vec<(K, V)>, E>
 where
     K: DeserializeOwned,
     V: DeserializeOwned,
