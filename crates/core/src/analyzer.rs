@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use edl::{AnalysisConfig, EdlFile, Prototype};
 use minic::ast::TranslationUnit;
-use symexec::degrade::CancelToken;
+use symexec::degrade::{CancelToken, YieldToken};
 use symexec::engine::{region_hint, Engine, EngineConfig, ParamBinding};
 use symexec::state::Channel;
 use taint::SourceId;
@@ -66,6 +66,12 @@ pub struct AnalyzerOptions {
     pub deadline_ms: Option<u64>,
     /// Cooperative cancellation handle shared with the engine.
     pub cancel: CancelToken,
+    /// Cooperative suspension handle shared with the engine (see
+    /// [`EngineConfig::yield_hook`]): requesting a yield parks the
+    /// exploration at the next wave boundary into the checkpoint, from
+    /// which a later run resumes byte-identically. The analysis service
+    /// uses this for job migration under load.
+    pub yield_hook: YieldToken,
     /// Test hook: panic when this function is called (exercises the
     /// engine's panic isolation end to end).
     pub inject_panic_on_call: Option<String>,
@@ -105,6 +111,7 @@ impl Default for AnalyzerOptions {
             workers: 0,
             deadline_ms: None,
             cancel: CancelToken::new(),
+            yield_hook: YieldToken::new(),
             inject_panic_on_call: None,
             checkpoint: None,
             checkpoint_every: 0,
@@ -244,6 +251,7 @@ impl Analyzer {
             workers: self.options.workers,
             deadline: self.options.deadline_ms.map(Duration::from_millis),
             cancel: self.options.cancel.clone(),
+            yield_hook: self.options.yield_hook.clone(),
             inject_panic_on_call: self.options.inject_panic_on_call.clone(),
             checkpoint: self.options.checkpoint.clone(),
             checkpoint_every: self.options.checkpoint_every,

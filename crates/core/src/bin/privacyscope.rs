@@ -27,6 +27,15 @@
 //!                           (counters + fixed-bucket histograms)
 //!     --log-level <level>   stderr logger: off|warn|info|debug (default off)
 //!     --timings             print a per-phase timing table on stderr
+//!     --daemon <addr>       submit the job to a running `privacyscoped`
+//!                           (`host:port` or `unix:/path`) instead of
+//!                           analyzing in-process; the rendered report and
+//!                           exit code are byte-identical to a local run.
+//!                           `--trace-out` then receives the daemon's
+//!                           streamed progress records; local-only flags
+//!                           (--baseline, --trace, --checkpoint*, --resume,
+//!                           --metrics-out, --timings, --log-level) are
+//!                           rejected
 //!
 //! Telemetry is purely observational: reports and checkpoints are
 //! byte-identical with it on or off, at any worker count.
@@ -97,6 +106,7 @@ usage:
                        [--workers <n>] [--deadline-ms <n>] [--checkpoint <file>]
                        [--checkpoint-every <n>] [--resume <file>] [--trace-out <file>]
                        [--metrics-out <file>] [--log-level off|warn|info|debug] [--timings]
+                       [--daemon <host:port | unix:/path>]
   privacyscope priml <program.priml>
 
 exit codes: 0 secure and complete, 1 violations found, 2 usage/input error,
@@ -114,6 +124,11 @@ fn parse_cli(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Resu
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if flags.iter().any(|(n, _)| n == name) {
+                return Err(format!(
+                    "duplicate `--{name}`: pass each option at most once"
+                ));
+            }
             if value_flags.contains(&name) {
                 let value = iter
                     .next()
@@ -152,6 +167,22 @@ impl Cli {
         }
     }
 
+    /// Like [`Cli::usize_value`], but an explicit `0` is rejected with the
+    /// given hint — for flags where zero silently meant something else
+    /// entirely (all cores, never snapshot) instead of what it says.
+    fn positive_usize_value(
+        &self,
+        name: &str,
+        default: usize,
+        zero_hint: &str,
+    ) -> Result<usize, String> {
+        let value = self.usize_value(name, default)?;
+        if self.value(name).is_some() && value == 0 {
+            return Err(format!("--{name} 0 {zero_hint}"));
+        }
+        Ok(value)
+    }
+
     fn u64_opt_value(&self, name: &str) -> Result<Option<u64>, String> {
         match self.value(name) {
             None => Ok(None),
@@ -183,6 +214,7 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
             "trace-out",
             "metrics-out",
             "log-level",
+            "daemon",
         ],
         &["json", "trace", "baseline", "timings"],
     )?;
@@ -194,8 +226,16 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
     let source = read(source_path)?;
     let edl_text = read(edl_path)?;
 
+    if let Some(addr) = cli.value("daemon") {
+        return daemon_submit(&cli, addr, &source, &edl_text);
+    }
+
     let checkpoint = cli.value("checkpoint").map(std::path::PathBuf::from);
-    let checkpoint_every = cli.usize_value("checkpoint-every", 0)?;
+    let checkpoint_every = cli.positive_usize_value(
+        "checkpoint-every",
+        0,
+        "would never snapshot: omit the flag, or pass a positive wave interval",
+    )?;
     let resume = cli.value("resume").map(std::path::PathBuf::from);
     if checkpoint_every > 0 && checkpoint.is_none() {
         return Err("--checkpoint-every needs --checkpoint <file>".into());
@@ -216,11 +256,20 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
     }
     .build()
     .map_err(|e| format!("cannot open telemetry sink: {e}"))?;
+    // Flush the sinks on *every* exit path — usage errors (`?` returns
+    // below) and panics included — so `--trace-out`/`--metrics-out` are
+    // never left buffered or truncated. `finish` is idempotent, so the
+    // explicit success-path call below still reports write errors.
+    let _telemetry_flush = telemetry.flush_guard();
 
     let options = AnalyzerOptions {
         max_paths: cli.usize_value("max-paths", 4096)?,
         loop_bound: cli.usize_value("loop-bound", 4)?,
-        workers: cli.usize_value("workers", 0)?,
+        workers: cli.positive_usize_value(
+            "workers",
+            0,
+            "is ambiguous: omit the flag to use every core, or pass a positive thread count",
+        )?,
         deadline_ms: cli.u64_opt_value("deadline-ms")?,
         checkpoint,
         checkpoint_every,
@@ -291,6 +340,127 @@ fn emit(report: &privacyscope::Report, json: bool) {
         println!("{report}");
     }
 }
+
+/// `--daemon <addr>` client mode: submit the job to a running
+/// `privacyscoped` and render exactly what a local run would have printed
+/// (the daemon ships reports pre-rendered in both forms).
+fn daemon_submit(cli: &Cli, addr: &str, source: &str, edl_text: &str) -> Result<Verdict, String> {
+    use privacyscope::protocol::{self, ClientFrame, ServerFrame};
+    use std::io::{BufRead, BufReader, Write};
+
+    for flag in [
+        "baseline",
+        "trace",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "metrics-out",
+        "timings",
+        "log-level",
+    ] {
+        if cli.has(flag) {
+            return Err(format!(
+                "--{flag} runs locally and does not apply with --daemon \
+                 (the daemon owns checkpoints and metrics)"
+            ));
+        }
+    }
+
+    let config = match cli.value("config") {
+        Some(path) => read(path)?,
+        None => String::new(),
+    };
+    let progress_out = cli.value("trace-out");
+    let submit = ClientFrame::Submit {
+        source: source.to_string(),
+        edl: edl_text.to_string(),
+        config,
+        function: cli.value("function").unwrap_or("").to_string(),
+        max_paths: cli.usize_value("max-paths", 4096)? as u64,
+        loop_bound: cli.usize_value("loop-bound", 4)? as u64,
+        workers: cli.positive_usize_value(
+            "workers",
+            0,
+            "is ambiguous: omit the flag to use every core, or pass a positive thread count",
+        )? as u64,
+        deadline_ms: cli.u64_opt_value("deadline-ms")?.unwrap_or(0),
+        progress: progress_out.is_some(),
+    };
+
+    let mut stream: Box<dyn ReadWriteStream> = if let Some(path) = addr.strip_prefix("unix:") {
+        Box::new(
+            std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("cannot connect to daemon at `unix:{path}`: {e}"))?,
+        )
+    } else {
+        Box::new(
+            std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("cannot connect to daemon at `{addr}`: {e}"))?,
+        )
+    };
+    let line = protocol::encode(&submit)?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot submit job: {e}"))?;
+
+    let mut progress_file = match progress_out {
+        Some(path) => Some(
+            std::fs::File::create(path)
+                .map_err(|e| format!("cannot open trace output `{path}`: {e}"))?,
+        ),
+        None => None,
+    };
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("lost the daemon connection: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::decode::<ServerFrame>(&line)? {
+            ServerFrame::Accepted { .. } | ServerFrame::State { .. } | ServerFrame::Pong => {}
+            ServerFrame::Progress { record, .. } => {
+                if let Some(file) = &mut progress_file {
+                    writeln!(file, "{record}")
+                        .map_err(|e| format!("cannot write trace output: {e}"))?;
+                }
+            }
+            ServerFrame::Error { message, .. } => return Err(message),
+            ServerFrame::Done {
+                exit,
+                reports,
+                rendered,
+                ..
+            } => {
+                let json = cli.has("json");
+                let pick = if json { &reports } else { &rendered };
+                for text in pick {
+                    println!("{text}");
+                }
+                return match exit {
+                    0 => Ok(Verdict::clean()),
+                    1 => Ok(Verdict {
+                        secure: false,
+                        degraded: false,
+                    }),
+                    3 => Ok(Verdict {
+                        secure: true,
+                        degraded: true,
+                    }),
+                    other => Err(format!("daemon reported unexpected exit code {other}")),
+                };
+            }
+        }
+    }
+    Err("daemon closed the connection before the job finished".into())
+}
+
+/// The two local stream flavours a `--daemon` address can name.
+trait ReadWriteStream: std::io::Read + std::io::Write {}
+impl ReadWriteStream for std::net::TcpStream {}
+impl ReadWriteStream for std::os::unix::net::UnixStream {}
 
 fn priml_mode(args: &[String]) -> Result<Verdict, String> {
     let cli = parse_cli(args, &[], &[])?;

@@ -1,0 +1,335 @@
+//! `privacyscoped` — the PrivacyScope analysis daemon.
+//!
+//! ```text
+//! privacyscoped [options]
+//!     --listen <addr>    TCP loopback address (`host:port`, default
+//!                        127.0.0.1:0 = kernel-assigned port) or a Unix
+//!                        socket as `unix:<path>`
+//!     --pool <n>         analysis worker threads (default 2)
+//!     --slice-ms <n>     fair-share time slice: a job running longer than
+//!                        this while others wait is suspended into a
+//!                        checkpoint and requeued (default 0 = off)
+//!     --spool <dir>      suspension checkpoint directory (default: a
+//!                        per-process directory under the system temp dir)
+//! ```
+//!
+//! On startup the daemon prints exactly one line to stdout —
+//! `privacyscoped: listening on <addr>` — so scripts binding port 0 can
+//! discover the actual endpoint. Clients speak the NDJSON protocol of
+//! `privacyscope::protocol`; the stock client is `privacyscope analyze
+//! --daemon <addr>`.
+//!
+//! Exit codes: 0 after a clean `Shutdown` frame, 2 on usage/bind errors.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use privacyscope::protocol::{self, ClientFrame, ServerFrame};
+use privacyscope::service::{AnalysisService, JobSpec, ProgressFn, ServiceConfig};
+
+const USAGE: &str = "\
+usage:
+  privacyscoped [--listen <host:port | unix:/path>] [--pool <n>]
+                [--slice-ms <n>] [--spool <dir>]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("privacyscoped: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// A bidirectional local stream (TCP or Unix), cloneable so one half can
+/// be read by the connection loop while workers write frames to the other.
+trait Stream: std::io::Read + Write + Send {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn Stream>>;
+}
+
+impl Stream for std::net::TcpStream {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn Stream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Stream for UnixStream {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn Stream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn bind(addr: &str) -> Result<(Listener, String), String> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)
+                .map_err(|e| format!("cannot bind unix socket `{path}`: {e}"))?;
+            Ok((Listener::Unix(listener), format!("unix:{path}")))
+        } else {
+            let listener =
+                TcpListener::bind(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("cannot read bound address: {e}"))?;
+            Ok((Listener::Tcp(listener), local.to_string()))
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Box<dyn Stream>> {
+        match self {
+            Listener::Tcp(listener) => {
+                let (stream, _) = listener.accept()?;
+                Ok(Box::new(stream))
+            }
+            Listener::Unix(listener) => {
+                let (stream, _) = listener.accept()?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(String, usize, u64, Option<PathBuf>), String> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut pool = 2usize;
+    let mut slice_ms = 0u64;
+    let mut spool = None;
+    let mut seen: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let name = match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => other
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument `{other}`\n{USAGE}"))?,
+        };
+        let known = ["listen", "pool", "slice-ms", "spool"];
+        if !known.contains(&name) {
+            return Err(format!("unknown option `--{name}`\n{USAGE}"));
+        }
+        if seen.iter().any(|s| s == name) {
+            return Err(format!("duplicate `--{name}`: pass each option once"));
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        match name {
+            "listen" => listen = value.clone(),
+            "pool" => {
+                pool = value
+                    .parse()
+                    .map_err(|_| format!("--pool expects a number, got `{value}`"))?;
+                if pool == 0 {
+                    return Err("--pool 0 would run no workers; use 1 or more".into());
+                }
+            }
+            "slice-ms" => {
+                slice_ms = value
+                    .parse()
+                    .map_err(|_| format!("--slice-ms expects a number, got `{value}`"))?;
+            }
+            "spool" => spool = Some(PathBuf::from(value)),
+            _ => unreachable!("filtered above"),
+        }
+        seen.push(name.to_string());
+    }
+    Ok((listen, pool, slice_ms, spool))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (listen, pool, slice_ms, spool) = parse_args(args)?;
+    let spool = spool.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("privacyscoped-spool-{}", std::process::id()))
+    });
+    let service = Arc::new(
+        AnalysisService::start(ServiceConfig {
+            pool,
+            slice: (slice_ms > 0).then(|| Duration::from_millis(slice_ms)),
+            spool,
+        })
+        .map_err(|e| format!("cannot start the analysis pool: {e}"))?,
+    );
+
+    let (listener, bound) = Listener::bind(&listen)?;
+    println!("privacyscoped: listening on {bound}");
+    let _ = std::io::stdout().flush();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    loop {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(error) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                eprintln!("privacyscoped: accept failed: {error}");
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        let conn_shutdown = Arc::clone(&shutdown);
+        let spawned = std::thread::Builder::new()
+            .name("privacyscoped-conn".to_string())
+            .spawn(move || {
+                if let Err(error) = serve_connection(&service, stream, &conn_shutdown) {
+                    eprintln!("privacyscoped: connection error: {error}");
+                }
+            });
+        if let Err(error) = spawned {
+            eprintln!("privacyscoped: cannot spawn connection thread: {error}");
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            // A client asked us to exit; stop accepting and let in-flight
+            // connection threads finish writing.
+            return Ok(());
+        }
+    }
+}
+
+/// Serializes a frame and writes it as one NDJSON line under the lock.
+fn send(writer: &Mutex<Box<dyn Stream>>, frame: &ServerFrame) {
+    let Ok(line) = protocol::encode(frame) else {
+        return;
+    };
+    let mut guard = match writer.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+fn serve_connection(
+    service: &Arc<AnalysisService>,
+    stream: Box<dyn Stream>,
+    shutdown: &Arc<AtomicBool>,
+) -> Result<(), String> {
+    let write_half = stream
+        .try_clone_box()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    let writer = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame: ClientFrame = match protocol::decode(&line) {
+            Ok(frame) => frame,
+            Err(message) => {
+                send(&writer, &ServerFrame::Error { job: 0, message });
+                continue;
+            }
+        };
+        match frame {
+            ClientFrame::Ping => send(&writer, &ServerFrame::Pong),
+            ClientFrame::Shutdown => {
+                send(&writer, &ServerFrame::Pong);
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so the daemon can exit: poke our
+                // own listener with a throwaway connection? Simpler and
+                // robust across TCP/Unix: exit the process once the write
+                // above is flushed. In-flight jobs are abandoned (the CI
+                // resume path exists precisely to pick such work back up).
+                std::process::exit(0);
+            }
+            ClientFrame::Status { job } => {
+                let state = match service.status(job) {
+                    Some(state) => state.to_string(),
+                    None => "unknown".to_string(),
+                };
+                send(&writer, &ServerFrame::State { job, state });
+            }
+            ClientFrame::Submit {
+                source,
+                edl,
+                config,
+                function,
+                max_paths,
+                loop_bound,
+                workers,
+                deadline_ms,
+                progress,
+            } => {
+                let spec = JobSpec {
+                    source,
+                    edl,
+                    config_xml: (!config.is_empty()).then_some(config),
+                    function: (!function.is_empty()).then_some(function),
+                    max_paths: usize::try_from(max_paths).unwrap_or(usize::MAX),
+                    loop_bound: usize::try_from(loop_bound).unwrap_or(usize::MAX),
+                    workers: usize::try_from(workers).unwrap_or(usize::MAX),
+                    deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+                };
+                let id = if progress {
+                    let progress_writer = Arc::clone(&writer);
+                    let forward: ProgressFn = Arc::new(move |job, record: &str| {
+                        send(
+                            &progress_writer,
+                            &ServerFrame::Progress {
+                                job,
+                                record: record.to_string(),
+                            },
+                        );
+                    });
+                    service.submit_with_progress(spec, forward)
+                } else {
+                    service.submit(spec)
+                };
+                send(&writer, &ServerFrame::Accepted { job: id });
+
+                // Completion is delivered asynchronously so the connection
+                // can keep submitting/polling while jobs run.
+                let waiter_service = Arc::clone(service);
+                let waiter_writer = Arc::clone(&writer);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("privacyscoped-wait-{id}"))
+                    .spawn(move || {
+                        let Some(outcome) = waiter_service.wait(id) else {
+                            return;
+                        };
+                        let frame = match outcome.error {
+                            Some(message) => ServerFrame::Error { job: id, message },
+                            None => ServerFrame::Done {
+                                job: id,
+                                exit: u64::from(outcome.exit),
+                                reports: outcome.reports.iter().map(|r| r.to_json()).collect(),
+                                rendered: outcome.reports.iter().map(|r| r.to_string()).collect(),
+                            },
+                        };
+                        send(&waiter_writer, &frame);
+                    });
+                if let Err(error) = spawned {
+                    send(
+                        &writer,
+                        &ServerFrame::Error {
+                            job: id,
+                            message: format!("cannot spawn waiter: {error}"),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}

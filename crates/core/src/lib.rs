@@ -53,9 +53,12 @@ pub mod baseline;
 pub mod error;
 pub mod invert;
 pub mod nonrev;
+pub mod protocol;
 pub mod report;
+pub mod service;
 
 pub use analyzer::{Analyzer, AnalyzerOptions};
 pub use error::Error;
 pub use nonrev::Property;
 pub use report::{Finding, FindingKind, Report};
+pub use service::{AnalysisService, JobOutcome, JobSpec, JobState, ServiceConfig};

@@ -1,0 +1,149 @@
+//! The `privacyscoped` wire protocol: newline-delimited JSON frames over a
+//! local stream (TCP on loopback or a Unix socket).
+//!
+//! One JSON value per line, externally tagged by variant name. Every field
+//! is always present (the vendored serde shim requires complete structs),
+//! which also keeps the protocol trivially greppable. The daemon never
+//! reorders frames within a job: a client sees `Accepted`, then any number
+//! of `Progress` frames, then exactly one `Done` or `Error`.
+//!
+//! Reports travel pre-rendered (`reports` = pretty JSON, `rendered` = the
+//! human Box-1 text) so a client prints byte-for-byte what a local CLI run
+//! would have printed, without needing to re-serialize.
+
+use serde::{Deserialize, Serialize};
+
+/// Frames a client sends to the daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Submit an analysis job. Empty `config`/`function` mean "none";
+    /// `deadline_ms` of 0 means unbounded. With `progress` set, the daemon
+    /// streams the job's JSONL telemetry records as `Progress` frames.
+    Submit {
+        source: String,
+        edl: String,
+        config: String,
+        function: String,
+        max_paths: u64,
+        loop_bound: u64,
+        workers: u64,
+        deadline_ms: u64,
+        progress: bool,
+    },
+    /// Ask for a job's lifecycle state.
+    Status { job: u64 },
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to exit once the connection closes.
+    Shutdown,
+}
+
+/// Frames the daemon sends back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// The job was admitted to the queue.
+    Accepted { job: u64 },
+    /// Lifecycle state answer (`queued`, `running`, `suspended`, `done`,
+    /// `failed`, or `unknown`).
+    State { job: u64, state: String },
+    /// One JSONL telemetry record from the running exploration.
+    Progress { job: u64, record: String },
+    /// Terminal success: `exit` follows the CLI convention (0 secure and
+    /// complete, 1 violations, 3 secure but degraded); one entry per
+    /// analyzed target in `reports` (pretty JSON) and `rendered` (text).
+    Done {
+        job: u64,
+        exit: u64,
+        reports: Vec<String>,
+        rendered: Vec<String>,
+    },
+    /// Terminal failure (exit 2): the inputs were rejected.
+    Error { job: u64, message: String },
+    /// Answer to `Ping` (and acknowledgement of `Shutdown`).
+    Pong,
+}
+
+/// Encodes a frame as one NDJSON line (no trailing newline).
+///
+/// # Errors
+///
+/// Propagates the serializer error (practically unreachable for these
+/// types).
+pub fn encode<T: Serialize>(frame: &T) -> Result<String, String> {
+    serde_json::to_string(frame).map_err(|e| e.to_string())
+}
+
+/// Decodes one NDJSON line into a frame.
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn decode<T: serde::DeserializeOwned>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("malformed frame: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            ClientFrame::Submit {
+                source: "int f() { return 0; }".into(),
+                edl: "enclave { trusted { public int f(); }; };".into(),
+                config: String::new(),
+                function: "f".into(),
+                max_paths: 4096,
+                loop_bound: 4,
+                workers: 1,
+                deadline_ms: 0,
+                progress: true,
+            },
+            ClientFrame::Status { job: 7 },
+            ClientFrame::Ping,
+            ClientFrame::Shutdown,
+        ];
+        for frame in frames {
+            let line = encode(&frame).unwrap();
+            assert!(!line.contains('\n'), "{line}");
+            let back: ClientFrame = decode(&line).unwrap();
+            assert_eq!(frame, back);
+        }
+
+        let frames = vec![
+            ServerFrame::Accepted { job: 1 },
+            ServerFrame::State {
+                job: 1,
+                state: "running".into(),
+            },
+            ServerFrame::Progress {
+                job: 1,
+                record: "{\"kind\":\"span\"}".into(),
+            },
+            ServerFrame::Done {
+                job: 1,
+                exit: 0,
+                reports: vec!["{}".into()],
+                rendered: vec!["=== report ===".into()],
+            },
+            ServerFrame::Error {
+                job: 2,
+                message: "parse error".into(),
+            },
+            ServerFrame::Pong,
+        ];
+        for frame in frames {
+            let line = encode(&frame).unwrap();
+            assert!(!line.contains('\n'), "{line}");
+            let back: ServerFrame = decode(&line).unwrap();
+            assert_eq!(frame, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode::<ClientFrame>("not json").is_err());
+        assert!(decode::<ServerFrame>("{\"Nope\":{}}").is_err());
+    }
+}

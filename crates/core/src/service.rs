@@ -1,0 +1,721 @@
+//! Analysis as a service: a shared, long-lived [`AnalysisService`] that
+//! runs many analysis jobs concurrently on a fixed worker pool.
+//!
+//! This is the in-process engine behind the `privacyscoped` daemon, but it
+//! is a plain library type: embedders submit [`JobSpec`]s, get back opaque
+//! job ids, and wait for [`JobOutcome`]s. The service owns:
+//!
+//! * a FIFO **run queue** drained by `pool` worker threads — admission
+//!   order is service order, so no job starves behind later arrivals;
+//! * the **job lifecycle** `queued → running → suspended → done/failed`.
+//!   A suspended job parked its exploration into a PR 3 checkpoint at a
+//!   wave boundary and re-entered the queue at the tail; when it reaches
+//!   the front again the next worker resumes it from the snapshot —
+//!   possibly a *different* worker thread (job migration). The checkpoint
+//!   invariant guarantees the final report is byte-identical to an
+//!   uninterrupted run;
+//! * **fair round-robin scheduling**: with a time slice configured, a
+//!   background scheduler arms the [`YieldToken`] of any running job that
+//!   has held a worker past its slice while other jobs wait, converting
+//!   pool monopolisation into suspension + requeue;
+//! * **per-job deadlines**: a job's wall-clock budget is fixed at first
+//!   start and each slice runs with the *remaining* budget, so suspension
+//!   cannot be used to outlive a deadline;
+//! * **progress streaming**: a job submitted with a progress callback gets
+//!   a private telemetry handle whose JSONL trace records are forwarded,
+//!   line by line, as they happen (the daemon relays them to the client).
+//!
+//! Telemetry is observational and the yield/cancel tokens are excluded
+//! from checkpoint fingerprints, so none of this machinery perturbs
+//! analysis results: the same [`JobSpec`] yields the same reports whether
+//! it ran via the CLI, on a 1-worker pool, on an 8-worker pool, or across
+//! a suspend/resume migration.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use symexec::degrade::{CancelToken, Degradation, YieldToken};
+
+use crate::analyzer::{Analyzer, AnalyzerOptions};
+use crate::report::Report;
+
+/// Locks a mutex, riding through poisoning: a worker that panicked while
+/// holding the scheduler lock must not wedge the whole service (the state
+/// it guards is a queue + status map, always structurally valid).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Everything needed to run one analysis job: the enclave inputs plus the
+/// per-job engine options the CLI would have taken from flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Mini-C enclave source.
+    pub source: String,
+    /// EDL interface text.
+    pub edl: String,
+    /// Optional XML analysis configuration (§V-C).
+    pub config_xml: Option<String>,
+    /// Analyze one ECALL (`None` = every target).
+    pub function: Option<String>,
+    /// Path budget (see [`AnalyzerOptions::max_paths`]).
+    pub max_paths: usize,
+    /// Symbolic loop bound (see [`AnalyzerOptions::loop_bound`]).
+    pub loop_bound: usize,
+    /// Engine exploration threads *within* the job (0 = all cores). This is
+    /// orthogonal to the service pool size; reports are byte-identical at
+    /// any setting.
+    pub workers: usize,
+    /// Wall-clock budget for the whole job, across suspensions.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            source: String::new(),
+            edl: String::new(),
+            config_xml: None,
+            function: None,
+            max_paths: 4096,
+            loop_bound: 4,
+            workers: 0,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the run queue (first submission, or requeued after a
+    /// suspension — [`JobState::Suspended`] is reported until it requeues).
+    Queued,
+    /// A pool worker is exploring it right now.
+    Running,
+    /// Parked in a checkpoint at a wave boundary; back in the queue tail.
+    Suspended,
+    /// Finished; the outcome carries the reports.
+    Done,
+    /// The analyzer rejected the inputs (parse/sema/EDL/config error).
+    Failed,
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Suspended => "suspended",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        })
+    }
+}
+
+/// Terminal result of a job, with the CLI's exit-code convention: 0 secure
+/// and complete, 1 violations found, 2 input error, 3 secure but paths
+/// were lost (the verdict is a lower bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// One report per analyzed target, in target order. Empty on failure.
+    pub reports: Vec<Report>,
+    /// CLI-convention exit code for this job.
+    pub exit: u8,
+    /// The input error, when `exit == 2`.
+    pub error: Option<String>,
+    /// How many times the job was suspended and migrated before finishing.
+    pub suspensions: u32,
+    /// Queue wait before the first slice started.
+    pub queued_for: Duration,
+    /// Submission-to-completion wall time.
+    pub total: Duration,
+}
+
+/// Progress callback: receives the job id and each JSONL telemetry record
+/// (no trailing newline) emitted while the job runs. The id is passed so a
+/// consumer registered at submission time can frame records without racing
+/// the pool (a worker may start the job before `submit` returns).
+pub type ProgressFn = Arc<dyn Fn(u64, &str) + Send + Sync>;
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pool worker threads (clamped to at least 1).
+    pub pool: usize,
+    /// Fair-share time slice: a running job past this age is suspended
+    /// whenever other jobs are waiting. `None` disables preemption (jobs
+    /// still round-robin through the FIFO queue).
+    pub slice: Option<Duration>,
+    /// Directory for suspension checkpoints (created if missing).
+    pub spool: PathBuf,
+}
+
+struct Job {
+    spec: JobSpec,
+    progress: Option<ProgressFn>,
+    state: JobState,
+    /// Cooperative suspension handle, shared with the engine while running.
+    yield_hook: YieldToken,
+    cancel: CancelToken,
+    /// Checkpoint to resume from (set while suspended).
+    resume_from: Option<PathBuf>,
+    /// Absolute deadline, fixed when the first slice starts.
+    deadline_at: Option<Instant>,
+    submitted: Instant,
+    first_started: Option<Instant>,
+    /// When the current slice started (running jobs only).
+    slice_start: Option<Instant>,
+    /// Whether the current slice can honour a yield request (single-target
+    /// explorations only — multi-target jobs run to completion).
+    suspendable: bool,
+    suspensions: u32,
+    outcome: Option<JobOutcome>,
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes pool workers when the queue grows or shutdown begins.
+    work_cv: Condvar,
+    /// Wakes `wait()`ers when any job reaches a terminal state.
+    done_cv: Condvar,
+    spool: PathBuf,
+    slice: Option<Duration>,
+}
+
+/// The analysis service. `Send + Sync`: share it behind an `Arc` and
+/// submit from any thread.
+pub struct AnalysisService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for AnalysisService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisService")
+            .field("pool", &self.workers.len())
+            .field("slice", &self.shared.slice)
+            .field("spool", &self.shared.spool)
+            .finish()
+    }
+}
+
+impl AnalysisService {
+    /// Starts the worker pool (and the preemption scheduler, when a slice
+    /// is configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the spool directory cannot be created.
+    pub fn start(config: ServiceConfig) -> io::Result<AnalysisService> {
+        std::fs::create_dir_all(&config.spool)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            spool: config.spool,
+            slice: config.slice,
+        });
+        let pool = config.pool.max(1);
+        let workers = (0..pool)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("analysis-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let scheduler = match config.slice {
+            Some(slice) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("analysis-scheduler".to_string())
+                        .spawn(move || scheduler_loop(&shared, slice))?,
+                )
+            }
+            None => None,
+        };
+        Ok(AnalysisService {
+            shared,
+            workers,
+            scheduler,
+        })
+    }
+
+    /// Enqueues a job; returns its id immediately.
+    pub fn submit(&self, spec: JobSpec) -> u64 {
+        self.submit_inner(spec, None)
+    }
+
+    /// Enqueues a job with a progress callback: every JSONL telemetry
+    /// record the exploration emits is forwarded as it happens.
+    pub fn submit_with_progress(&self, spec: JobSpec, progress: ProgressFn) -> u64 {
+        self.submit_inner(spec, Some(progress))
+    }
+
+    fn submit_inner(&self, spec: JobSpec, progress: Option<ProgressFn>) -> u64 {
+        let mut state = lock(&self.shared.state);
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            Job {
+                spec,
+                progress,
+                state: JobState::Queued,
+                yield_hook: YieldToken::new(),
+                cancel: CancelToken::new(),
+                resume_from: None,
+                deadline_at: None,
+                submitted: Instant::now(),
+                first_started: None,
+                slice_start: None,
+                suspendable: false,
+                suspensions: 0,
+                outcome: None,
+            },
+        );
+        state.queue.push_back(id);
+        drop(state);
+        self.shared.work_cv.notify_one();
+        id
+    }
+
+    /// Current lifecycle state, or `None` for an unknown id.
+    pub fn status(&self, id: u64) -> Option<JobState> {
+        lock(&self.shared.state).jobs.get(&id).map(|job| job.state)
+    }
+
+    /// Requests cooperative suspension: the job parks into a checkpoint at
+    /// its next wave boundary and re-enters the queue tail. Works on a
+    /// queued job too (it then suspends at wave 0 of its first slice —
+    /// a full migration through the checkpoint format). Returns `false`
+    /// for unknown or already-terminal jobs.
+    pub fn suspend(&self, id: u64) -> bool {
+        let state = lock(&self.shared.state);
+        match state.jobs.get(&id) {
+            Some(job) if !matches!(job.state, JobState::Done | JobState::Failed) => {
+                job.yield_hook.request();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cancels a job: a running exploration is cut at the next boundary
+    /// (terminal, with a `Cancelled` degradation in its report).
+    pub fn cancel(&self, id: u64) -> bool {
+        let state = lock(&self.shared.state);
+        match state.jobs.get(&id) {
+            Some(job) if !matches!(job.state, JobState::Done | JobState::Failed) => {
+                job.cancel.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state; returns its outcome
+    /// (`None` for an unknown id).
+    pub fn wait(&self, id: u64) -> Option<JobOutcome> {
+        let mut state = lock(&self.shared.state);
+        loop {
+            match state.jobs.get(&id) {
+                None => return None,
+                Some(job) => {
+                    if let Some(outcome) = &job.outcome {
+                        return Some(outcome.clone());
+                    }
+                }
+            }
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Stops accepting work and joins the pool. Running slices finish (or
+    /// suspend, under a slice); queued jobs stay queued forever — callers
+    /// that need drain semantics should `wait()` first.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AnalysisService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Arms the yield token of every over-slice running job whenever other
+/// jobs are waiting for a worker. Sleeps a fraction of the slice so the
+/// overshoot past the nominal slice stays small.
+///
+/// A mid-wave suspension reruns the interrupted wave on resume (the PR 3
+/// snapshot parks whole waves), so a job whose single wave outlasts the
+/// slice would otherwise be preempted forever without progressing. Each
+/// suspension therefore doubles that job's effective slice: total wasted
+/// re-execution stays within a constant factor of useful work, and every
+/// job eventually gets a slice long enough to clear its longest wave.
+fn scheduler_loop(shared: &Shared, slice: Duration) {
+    let tick = (slice / 4)
+        .min(Duration::from_millis(50))
+        .max(Duration::from_millis(1));
+    loop {
+        std::thread::sleep(tick);
+        let state = lock(&shared.state);
+        if state.shutdown {
+            return;
+        }
+        if state.queue.is_empty() {
+            continue;
+        }
+        let now = Instant::now();
+        for job in state.jobs.values() {
+            if job.state != JobState::Running || !job.suspendable {
+                continue;
+            }
+            let effective = slice.saturating_mul(1 << job.suspensions.min(16));
+            if let Some(started) = job.slice_start {
+                if now.duration_since(started) >= effective {
+                    if std::env::var_os("SERVICE_DEBUG").is_some() && !job.yield_hook.is_requested()
+                    {
+                        eprintln!(
+                            "[svc] arm yield (slice {:?} elapsed {:?})",
+                            effective,
+                            now.duration_since(started)
+                        );
+                    }
+                    job.yield_hook.request();
+                }
+            }
+        }
+    }
+}
+
+/// What a worker copies out of the scheduler lock to run one slice.
+struct SliceWork {
+    id: u64,
+    spec: JobSpec,
+    progress: Option<ProgressFn>,
+    yield_hook: YieldToken,
+    cancel: CancelToken,
+    resume_from: Option<PathBuf>,
+    deadline_ms: Option<u64>,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let work = {
+            let mut state = lock(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    if let Some(work) = begin_slice(&mut state, id) {
+                        break work;
+                    }
+                    continue; // cancelled-while-queued edge: next item
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        run_slice(shared, work);
+    }
+}
+
+/// Transitions a dequeued job to `Running` and snapshots what the slice
+/// needs. The per-job deadline is pinned at first start; later slices get
+/// only the remaining budget.
+fn begin_slice(state: &mut State, id: u64) -> Option<SliceWork> {
+    let job = state.jobs.get_mut(&id)?;
+    if matches!(job.state, JobState::Done | JobState::Failed) {
+        return None;
+    }
+    let now = Instant::now();
+    if job.first_started.is_none() {
+        job.first_started = Some(now);
+        job.deadline_at = job
+            .spec
+            .deadline_ms
+            .map(|ms| now + Duration::from_millis(ms));
+    }
+    job.state = JobState::Running;
+    job.slice_start = Some(now);
+    if std::env::var_os("SERVICE_DEBUG").is_some() {
+        eprintln!(
+            "[svc] begin job {id} resume={:?} suspensions={}",
+            job.resume_from, job.suspensions
+        );
+    }
+    let deadline_ms = job
+        .deadline_at
+        .map(|at| u64::try_from(at.saturating_duration_since(now).as_millis()).unwrap_or(u64::MAX));
+    Some(SliceWork {
+        id,
+        spec: job.spec.clone(),
+        progress: job.progress.clone(),
+        yield_hook: job.yield_hook.clone(),
+        cancel: job.cancel.clone(),
+        resume_from: job.resume_from.take(),
+        deadline_ms,
+    })
+}
+
+/// Forwards complete trace lines to the job's progress callback. Partial
+/// lines are buffered; the telemetry layer writes record-at-a-time so a
+/// flush between records never splits one.
+struct ProgressWriter {
+    job: u64,
+    buffer: Vec<u8>,
+    progress: ProgressFn,
+}
+
+impl io::Write for ProgressWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buffer.extend_from_slice(data);
+        while let Some(end) = self.buffer.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buffer.drain(..=end).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            (self.progress)(self.job, &text);
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn run_slice(shared: &Shared, work: SliceWork) {
+    let telemetry = match &work.progress {
+        Some(progress) => {
+            let writer = ProgressWriter {
+                job: work.id,
+                buffer: Vec::new(),
+                progress: Arc::clone(progress),
+            };
+            telemetry::TelemetryConfig::default()
+                .build_streaming(Box::new(writer))
+                .unwrap_or_else(|_| telemetry::Telemetry::disabled())
+        }
+        None => telemetry::Telemetry::disabled(),
+    };
+
+    // A suspendable slice snapshots into the spool; multi-target jobs run
+    // to completion (a checkpoint snapshots exactly one exploration), so
+    // they get a detached yield token the scheduler never arms.
+    let spool_path = shared.spool.join(format!("job-{}.ckpt", work.id));
+    let base = AnalyzerOptions {
+        max_paths: work.spec.max_paths,
+        loop_bound: work.spec.loop_bound,
+        workers: work.spec.workers,
+        deadline_ms: work.deadline_ms,
+        cancel: work.cancel.clone(),
+        telemetry: telemetry.clone(),
+        ..AnalyzerOptions::default()
+    };
+    let suspendable_options = AnalyzerOptions {
+        yield_hook: work.yield_hook.clone(),
+        checkpoint: Some(spool_path.clone()),
+        resume: work.resume_from.clone(),
+        ..base.clone()
+    };
+
+    let built = match &work.spec.config_xml {
+        Some(xml) => {
+            Analyzer::with_config(&work.spec.source, &work.spec.edl, xml, suspendable_options)
+        }
+        None => Analyzer::from_sources(&work.spec.source, &work.spec.edl, suspendable_options),
+    };
+    let analyzer = match built {
+        Ok(analyzer) => analyzer,
+        Err(error) => {
+            finish_job(shared, work.id, Vec::new(), Some(error.to_string()));
+            return;
+        }
+    };
+    let targets = match &work.spec.function {
+        Some(name) => vec![name.clone()],
+        None => analyzer.targets(),
+    };
+    if targets.is_empty() {
+        finish_job(
+            shared,
+            work.id,
+            Vec::new(),
+            Some("no public ECALLs to analyze (and no function given)".to_string()),
+        );
+        return;
+    }
+
+    let single_target = targets.len() == 1;
+    let analyzer = if single_target {
+        analyzer
+    } else {
+        // Rebuild without suspension plumbing; mark the job unsuspendable
+        // so the preemption scheduler leaves it alone.
+        let detached = AnalyzerOptions {
+            yield_hook: YieldToken::new(),
+            checkpoint: None,
+            resume: None,
+            ..base
+        };
+        let rebuilt = match &work.spec.config_xml {
+            Some(xml) => Analyzer::with_config(&work.spec.source, &work.spec.edl, xml, detached),
+            None => Analyzer::from_sources(&work.spec.source, &work.spec.edl, detached),
+        };
+        match rebuilt {
+            Ok(analyzer) => analyzer,
+            Err(error) => {
+                finish_job(shared, work.id, Vec::new(), Some(error.to_string()));
+                return;
+            }
+        }
+    };
+    {
+        let mut state = lock(&shared.state);
+        if let Some(job) = state.jobs.get_mut(&work.id) {
+            job.suspendable = single_target;
+        }
+    }
+
+    let mut reports = Vec::with_capacity(targets.len());
+    for target in &targets {
+        match analyzer.analyze(target) {
+            Ok(report) => {
+                let suspended = report
+                    .degradations
+                    .iter()
+                    .any(|d| matches!(d, Degradation::Suspended { .. }));
+                if suspended && single_target {
+                    suspend_job(shared, work.id, &report, &spool_path);
+                    return;
+                }
+                reports.push(report);
+            }
+            Err(error) => {
+                finish_job(shared, work.id, Vec::new(), Some(error.to_string()));
+                return;
+            }
+        }
+    }
+    finish_job(shared, work.id, reports, None);
+}
+
+/// Parks a suspended job: records the snapshot to resume from, clears the
+/// (consumed) yield request, and requeues at the tail.
+fn suspend_job(shared: &Shared, id: u64, report: &Report, spool_path: &std::path::Path) {
+    let mut state = lock(&shared.state);
+    let Some(job) = state.jobs.get_mut(&id) else {
+        return;
+    };
+    job.resume_from = Some(
+        report
+            .checkpoint
+            .as_ref()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| spool_path.to_path_buf()),
+    );
+    job.state = JobState::Suspended;
+    job.slice_start = None;
+    job.suspensions += 1;
+    if std::env::var_os("SERVICE_DEBUG").is_some() {
+        eprintln!(
+            "[svc] suspend job {id} -> {:?} (#{})",
+            job.resume_from, job.suspensions
+        );
+    }
+    job.yield_hook.clear();
+    state.queue.push_back(id);
+    drop(state);
+    shared.work_cv.notify_one();
+}
+
+fn finish_job(shared: &Shared, id: u64, reports: Vec<Report>, error: Option<String>) {
+    let spool_path = shared.spool.join(format!("job-{id}.ckpt"));
+    let _ = std::fs::remove_file(spool_path);
+    let mut state = lock(&shared.state);
+    let Some(job) = state.jobs.get_mut(&id) else {
+        return;
+    };
+    let now = Instant::now();
+    let exit = match &error {
+        Some(_) => 2,
+        None => {
+            let secure = reports.iter().all(Report::is_secure);
+            let degraded = reports.iter().any(Report::is_degraded);
+            if !secure {
+                1
+            } else if degraded {
+                3
+            } else {
+                0
+            }
+        }
+    };
+    if std::env::var_os("SERVICE_DEBUG").is_some() {
+        eprintln!("[svc] finish job {id} exit={exit} err={:?}", error);
+    }
+    job.state = if error.is_some() {
+        JobState::Failed
+    } else {
+        JobState::Done
+    };
+    job.slice_start = None;
+    job.outcome = Some(JobOutcome {
+        reports,
+        exit,
+        error,
+        suspensions: job.suspensions,
+        queued_for: job
+            .first_started
+            .unwrap_or(now)
+            .duration_since(job.submitted),
+        total: now.duration_since(job.submitted),
+    });
+    drop(state);
+    shared.done_cv.notify_all();
+}

@@ -11,7 +11,7 @@ use telemetry::{PendingSpan, Telemetry};
 use crate::attest::{self, PlatformKey, Quote};
 use crate::crypto::{self, Key};
 use crate::error::SgxError;
-use crate::fault::{Fault, FaultPlan, FaultState, RetryPolicy};
+use crate::fault::{Fault, FaultPlan, FaultState, RetryPolicy, Supervision};
 use crate::interp::{Interp, Value, Word};
 use crate::seal::{self, SealedBlob};
 
@@ -207,22 +207,31 @@ impl Enclave {
 
         // Fault hooks: an injected delay fires before the body runs, the
         // ECALL index keys copy-out truncations below.
-        let ecall_index = match interp.faults.as_mut() {
+        let (ecall_index, delay) = match interp.faults.as_mut() {
             Some(faults) => {
                 let (index, delay) = faults.begin_ecall();
-                if let Some(latency) = delay {
-                    self.telemetry.counter("sgx.faults", 1);
-                    self.telemetry
-                        .event("fault", interp.current_ecall, |fields| {
-                            fields.push(("kind", "delay_ecall".into()));
-                            fields.push(("delay_us", (latency.as_micros() as u64).into()));
-                        });
-                    std::thread::sleep(latency);
-                }
-                Some(index)
+                (Some(index), delay)
             }
-            None => None,
+            None => (None, None),
         };
+        if let Some(latency) = delay {
+            // Injected latency is still subject to the session's deadline/
+            // cancel supervision — a fault plan must not sleep a supervised
+            // job past its budget.
+            let curtailed = interp.supervision.bounded_sleep(latency);
+            self.telemetry.counter("sgx.faults", 1);
+            self.telemetry
+                .event("fault", interp.current_ecall, |fields| {
+                    fields.push(("kind", "delay_ecall".into()));
+                    fields.push(("delay_us", (latency.as_micros() as u64).into()));
+                    fields.push(("curtailed", curtailed.into()));
+                });
+            if curtailed {
+                interp
+                    .ledger
+                    .record(symexec::Degradation::RetryCurtailed { count: 1 });
+            }
+        }
 
         let mut values = Vec::with_capacity(args.len());
         let mut out_ptrs: Vec<(String, usize, usize)> = Vec::new(); // (param, addr, len)
@@ -413,6 +422,23 @@ impl<'e> Session<'e> {
         self
     }
 
+    /// Bounds the session's untrusted-side sleeps (retry backoff, injected
+    /// delays) by a deadline and/or cancel token. Callers running the
+    /// session on behalf of a supervised analysis pass the engine's budget
+    /// here so a retrying ECALL can never sleep past it; curtailed sleeps
+    /// land in [`Session::degradations`].
+    pub fn with_supervision(mut self, supervision: Supervision) -> Session<'e> {
+        self.interp.supervision = supervision;
+        self
+    }
+
+    /// Degradations the untrusted runtime absorbed so far — currently
+    /// [`Degradation::RetryCurtailed`](symexec::Degradation::RetryCurtailed)
+    /// entries for sleeps cut short by [`Session::with_supervision`].
+    pub fn degradations(&self) -> &[symexec::Degradation] {
+        self.interp.ledger.entries()
+    }
+
     /// Dispatches an ECALL against the session's persistent state.
     ///
     /// Transient failures ([`SgxError::is_transient`], i.e. injected OCALL
@@ -441,9 +467,25 @@ impl<'e> Session<'e> {
                         fields.push(("attempt", (attempt as u64 + 1).into()));
                         fields.push(("error", error.to_string().into()));
                     });
+                    // A supervised session never sleeps past its budget:
+                    // with the budget already spent the transient error
+                    // surfaces now instead of after a doomed retry, and a
+                    // truncated backoff is recorded the same way.
+                    if self.interp.supervision.exhausted() {
+                        self.interp
+                            .ledger
+                            .record(symexec::Degradation::RetryCurtailed { count: 1 });
+                        telemetry.event("retry_curtailed", None, |fields| {
+                            fields.push(("ecall", name.into()));
+                            fields.push(("attempt", (attempt as u64 + 1).into()));
+                        });
+                        return Err(error);
+                    }
                     let backoff = self.retry.backoff * 2u32.saturating_pow(attempt as u32);
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
+                    if self.interp.supervision.bounded_sleep(backoff) {
+                        self.interp
+                            .ledger
+                            .record(symexec::Degradation::RetryCurtailed { count: 1 });
                     }
                     attempt += 1;
                     self.retries += 1;

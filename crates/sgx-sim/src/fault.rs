@@ -13,7 +13,9 @@
 //!   trigger, so an injected OCALL failure is naturally transient and a
 //!   bounded [`RetryPolicy`] can absorb it.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use symexec::CancelToken;
 
 /// One injectable boundary failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +146,76 @@ impl RetryPolicy {
             max_retries,
             backoff: Duration::from_millis(1),
         }
+    }
+}
+
+/// Deadline/cancel supervision for the *untrusted-side* sleeps of a
+/// session: retry backoff and injected [`Fault::DelayEcall`] latency.
+///
+/// Without it, a retrying job could sleep well past the engine's deadline —
+/// the retry loop and the fault plan knew nothing about the supervision the
+/// exploration itself honours. A supervised session truncates every sleep
+/// to the remaining budget and records a
+/// [`Degradation::RetryCurtailed`](symexec::Degradation::RetryCurtailed)
+/// entry when one is cut short (readable via
+/// [`Session::degradations`](crate::enclave::Session::degradations)).
+#[derive(Debug, Clone, Default)]
+pub struct Supervision {
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+}
+
+impl Supervision {
+    /// Unbounded supervision: sleeps run to completion (the legacy
+    /// behaviour of an unsupervised session).
+    pub fn new() -> Supervision {
+        Supervision::default()
+    }
+
+    /// Bounds all session sleeps by an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Supervision {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds all session sleeps by a budget from now (convenience for
+    /// callers holding the engine's relative `deadline_ms`).
+    pub fn with_budget(self, budget: Duration) -> Supervision {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Cuts sleeps (and further retries) as soon as `cancel` fires.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Supervision {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The remaining sleep budget: `None` when unbounded, `Some(ZERO)`
+    /// when the deadline has passed or the cancel token fired.
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.cancel.is_cancelled() {
+            return Some(Duration::ZERO);
+        }
+        self.deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the budget is spent (never true for unbounded supervision).
+    pub fn exhausted(&self) -> bool {
+        self.remaining().is_some_and(|left| left.is_zero())
+    }
+
+    /// Sleeps for `requested`, truncated to the remaining budget. Returns
+    /// `true` when the sleep was shortened (or skipped entirely).
+    pub(crate) fn bounded_sleep(&self, requested: Duration) -> bool {
+        let actual = match self.remaining() {
+            None => requested,
+            Some(budget) => requested.min(budget),
+        };
+        if !actual.is_zero() {
+            std::thread::sleep(actual);
+        }
+        actual < requested
     }
 }
 

@@ -108,6 +108,12 @@ pub struct Interp<'u> {
     pub crypto_key: Key,
     /// Active fault-injection schedule, when the session runs under one.
     pub(crate) faults: Option<crate::fault::FaultState>,
+    /// Deadline/cancel supervision bounding untrusted-side sleeps (retry
+    /// backoff, injected delays). Unbounded by default.
+    pub(crate) supervision: crate::fault::Supervision,
+    /// Degradations the untrusted runtime absorbed (curtailed sleeps);
+    /// surfaced via `Session::degradations`.
+    pub(crate) ledger: symexec::Ledger,
     /// Telemetry handle for OCALL boundary spans (disabled by default;
     /// [`crate::Enclave::with_telemetry`] threads a live one through).
     pub(crate) telemetry: telemetry::Telemetry,
@@ -134,6 +140,8 @@ impl<'u> Interp<'u> {
             fuel: 50_000_000,
             crypto_key: *b"sgx-sim-demo-key",
             faults: None,
+            supervision: crate::fault::Supervision::new(),
+            ledger: symexec::Ledger::new(),
             telemetry: telemetry::Telemetry::disabled(),
             current_ecall: None,
         };

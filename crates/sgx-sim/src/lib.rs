@@ -33,4 +33,4 @@ pub mod seal;
 
 pub use enclave::{EcallArg, EcallResult, Enclave};
 pub use error::SgxError;
-pub use fault::{Fault, FaultPlan, RetryPolicy};
+pub use fault::{Fault, FaultPlan, RetryPolicy, Supervision};

@@ -80,6 +80,25 @@ pub enum Degradation {
         /// The rendered [`crate::CheckpointError`].
         message: String,
     },
+    /// The cooperative yield hook fired: exploration was suspended at a
+    /// wave boundary into a resumable snapshot (job migration). The entry
+    /// is honest about the *suspended* report — its in-flight paths were
+    /// not explored — but a later [`Engine::resume`](crate::Engine::resume)
+    /// of the snapshot reconstructs the full, undegraded result.
+    Suspended {
+        /// The 0-based wave index at which exploration was suspended.
+        wave: usize,
+        /// In-flight path states parked in the snapshot.
+        dropped: usize,
+    },
+    /// An untrusted-runtime retry loop was cut short (or its backoff sleep
+    /// truncated) by the supervision deadline or cancel token. The
+    /// exploration result is unaffected — the transient error simply
+    /// surfaces earlier than the retry policy alone would have allowed.
+    RetryCurtailed {
+        /// Retry sleeps truncated or abandoned.
+        count: usize,
+    },
 }
 
 impl Degradation {
@@ -93,6 +112,7 @@ impl Degradation {
                 | Degradation::DeadlineExceeded { .. }
                 | Degradation::Cancelled { .. }
                 | Degradation::PathPanicked { .. }
+                | Degradation::Suspended { .. }
         )
     }
 
@@ -147,6 +167,18 @@ impl fmt::Display for Degradation {
             Degradation::CheckpointFailed { message } => {
                 write!(f, "checkpoint write failed (run not resumable): {message}")
             }
+            Degradation::Suspended { wave, dropped } => {
+                write!(
+                    f,
+                    "suspended at wave {wave}: {dropped} in-flight path(s) parked in the snapshot"
+                )
+            }
+            Degradation::RetryCurtailed { count } => {
+                write!(
+                    f,
+                    "{count} retry sleep(s) curtailed by the deadline/cancel supervision"
+                )
+            }
         }
     }
 }
@@ -187,6 +219,10 @@ impl Ledger {
                     return;
                 }
                 (LoopWidened { count }, LoopWidened { count: more }) => {
+                    *count += more;
+                    return;
+                }
+                (RetryCurtailed { count }, RetryCurtailed { count: more }) => {
                     *count += more;
                     return;
                 }
@@ -277,42 +313,98 @@ impl PartialEq for CancelToken {
 
 impl Eq for CancelToken {}
 
+/// A cooperative suspension handle: clone it into a config, keep one copy,
+/// and [`YieldToken::request`] parks the exploration at the next wave
+/// boundary — the frontier is written to the configured checkpoint and the
+/// cut is recorded as [`Degradation::Suspended`]. Unlike cancellation a
+/// yield is re-armable: [`YieldToken::clear`] resets the token so the same
+/// handle can drive the resumed run's next suspension.
+#[derive(Debug, Clone, Default)]
+pub struct YieldToken(Arc<AtomicBool>);
+
+impl YieldToken {
+    /// A fresh, un-requested token.
+    pub fn new() -> YieldToken {
+        YieldToken::default()
+    }
+
+    /// Requests suspension at the next wave boundary. Idempotent; safe
+    /// from any thread.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether suspension has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the token for the next run (a resumed job keeps its handle).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Like [`CancelToken`]: a control handle, not configuration — all tokens
+/// compare equal so `EngineConfig: PartialEq` stays meaningful and the
+/// checkpoint fingerprint is unaffected by token wiring.
+impl PartialEq for YieldToken {
+    fn eq(&self, _other: &YieldToken) -> bool {
+        true
+    }
+}
+
+impl Eq for YieldToken {}
+
 /// Why the supervisor stopped an exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StopKind {
     Deadline,
     Cancelled,
+    Suspended,
 }
 
-/// The per-run supervisor: one wall-clock start, an optional deadline and
-/// the cancellation token. Checked at every wave boundary and (cheaply)
-/// every few interpreted statements.
+/// The per-run supervisor: one wall-clock start, an optional deadline, the
+/// cancellation token and the cooperative yield hook. Checked at every
+/// wave boundary and (cheaply) every few interpreted statements.
 #[derive(Debug)]
 pub(crate) struct Supervisor {
     start: Instant,
     deadline: Option<Duration>,
     cancel: CancelToken,
+    yield_hook: YieldToken,
 }
 
 impl Supervisor {
-    pub(crate) fn new(deadline: Option<Duration>, cancel: CancelToken) -> Supervisor {
+    pub(crate) fn new(
+        deadline: Option<Duration>,
+        cancel: CancelToken,
+        yield_hook: YieldToken,
+    ) -> Supervisor {
         Supervisor {
             start: Instant::now(),
             deadline,
             cancel,
+            yield_hook,
         }
     }
 
     /// Whether the run must stop, and why. Cancellation wins over the
-    /// deadline when both hold.
+    /// deadline, and both terminal stops win over a suspension request —
+    /// there is no point parking a job that is already out of budget.
     pub(crate) fn stop(&self) -> Option<StopKind> {
         if self.cancel.is_cancelled() {
             return Some(StopKind::Cancelled);
         }
-        match self.deadline {
-            Some(limit) if self.start.elapsed() >= limit => Some(StopKind::Deadline),
-            _ => None,
+        if let Some(limit) = self.deadline {
+            if self.start.elapsed() >= limit {
+                return Some(StopKind::Deadline);
+            }
         }
+        if self.yield_hook.is_requested() {
+            return Some(StopKind::Suspended);
+        }
+        None
     }
 }
 
@@ -400,14 +492,51 @@ mod tests {
 
     #[test]
     fn supervisor_deadline_and_cancel() {
-        let sup = Supervisor::new(None, CancelToken::new());
+        let sup = Supervisor::new(None, CancelToken::new(), YieldToken::new());
         assert_eq!(sup.stop(), None);
-        let sup = Supervisor::new(Some(Duration::ZERO), CancelToken::new());
+        let sup = Supervisor::new(Some(Duration::ZERO), CancelToken::new(), YieldToken::new());
         assert_eq!(sup.stop(), Some(StopKind::Deadline));
         let token = CancelToken::new();
         token.cancel();
-        let sup = Supervisor::new(Some(Duration::ZERO), token);
+        let sup = Supervisor::new(Some(Duration::ZERO), token, YieldToken::new());
         assert_eq!(sup.stop(), Some(StopKind::Cancelled));
+    }
+
+    #[test]
+    fn supervisor_yield_is_rearmable_and_loses_to_terminal_stops() {
+        let hook = YieldToken::new();
+        let sup = Supervisor::new(None, CancelToken::new(), hook.clone());
+        assert_eq!(sup.stop(), None);
+        hook.request();
+        assert_eq!(sup.stop(), Some(StopKind::Suspended));
+        hook.clear();
+        assert_eq!(sup.stop(), None);
+        // A terminal stop always outranks a pending suspension request.
+        hook.request();
+        let sup = Supervisor::new(Some(Duration::ZERO), CancelToken::new(), hook.clone());
+        assert_eq!(sup.stop(), Some(StopKind::Deadline));
+        // Tokens are control handles, not configuration.
+        assert_eq!(hook, YieldToken::new());
+    }
+
+    #[test]
+    fn suspension_and_retry_classification() {
+        assert!(Degradation::Suspended {
+            wave: 2,
+            dropped: 3
+        }
+        .loses_paths());
+        let curtailed = Degradation::RetryCurtailed { count: 1 };
+        assert!(!curtailed.loses_paths());
+        assert!(!curtailed.loses_precision());
+        let mut ledger = Ledger::new();
+        ledger.record(Degradation::RetryCurtailed { count: 1 });
+        ledger.record(Degradation::RetryCurtailed { count: 2 });
+        assert_eq!(
+            ledger.entries(),
+            &[Degradation::RetryCurtailed { count: 3 }]
+        );
+        assert!(ledger.is_complete());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use telemetry::{FieldValue, PendingSpan, Telemetry};
 
 use crate::checkpoint::{self, Frontier, Snapshot};
 use crate::constraints::{ConstraintManager, Feasibility, FeasibilityCache};
-use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor};
+use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor, YieldToken};
 use crate::error::EngineError;
 use crate::intern::HC;
 use crate::simplify::{fold_binary, fold_unary, simplify};
@@ -109,6 +109,15 @@ pub struct EngineConfig {
     /// [`CancelToken::cancel`] to stop the run at the next wave boundary
     /// (recorded as [`Degradation::Cancelled`]).
     pub cancel: CancelToken,
+    /// Cooperative suspension: keep a clone of this token and call
+    /// [`YieldToken::request`] to park the run at the next wave boundary.
+    /// The frontier is snapshotted to [`EngineConfig::checkpoint`] and the
+    /// cut is recorded as [`Degradation::Suspended`]; resuming the snapshot
+    /// later reconstructs the byte-identical uninterrupted result (job
+    /// migration). Like the cancel token this is control plumbing, not
+    /// configuration: all handles compare equal and the checkpoint
+    /// fingerprint ignores it.
+    pub yield_hook: YieldToken,
     /// Test/fault-injection hook: panic on entry to calls of this function,
     /// exercising the per-task panic isolation. `None` in production.
     pub inject_panic_on_call: Option<String>,
@@ -152,6 +161,7 @@ impl Default for EngineConfig {
             feasibility_cache: 1 << 16,
             deadline: None,
             cancel: CancelToken::new(),
+            yield_hook: YieldToken::new(),
             inject_panic_on_call: None,
             checkpoint: None,
             checkpoint_every: 0,
@@ -365,7 +375,11 @@ impl<'u> Engine<'u> {
             .then(|| checkpoint::fingerprint(self.unit, entry, bindings, &self.config));
 
         let cache = FeasibilityCache::new(self.config.feasibility_cache);
-        let supervisor = Supervisor::new(self.config.deadline, self.config.cancel.clone());
+        let supervisor = Supervisor::new(
+            self.config.deadline,
+            self.config.cancel.clone(),
+            self.config.yield_hook.clone(),
+        );
         let mut explorer = Explorer {
             unit: self.unit,
             config: &self.config,
@@ -764,6 +778,7 @@ fn cut_exploration(explorer: &mut Explorer<'_, '_>, kind: StopKind, wave: usize,
     let kind_name = match &kind {
         StopKind::Deadline => "deadline",
         StopKind::Cancelled => "cancelled",
+        StopKind::Suspended => "suspended",
     };
     let telemetry = &explorer.config.telemetry;
     telemetry.event(
@@ -784,6 +799,7 @@ fn cut_exploration(explorer: &mut Explorer<'_, '_>, kind: StopKind, wave: usize,
     let degradation = match kind {
         StopKind::Deadline => Degradation::DeadlineExceeded { wave, dropped },
         StopKind::Cancelled => Degradation::Cancelled { wave, dropped },
+        StopKind::Suspended => Degradation::Suspended { wave, dropped },
     };
     explorer.ledger.record(degradation);
     explorer.stats.dropped_deadline += dropped;
@@ -2935,6 +2951,68 @@ mod tests {
             assert_eq!(
                 resumed, uninterrupted,
                 "resume diverged from the uninterrupted run at workers={workers}"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn yield_hook_suspends_into_a_resumable_snapshot() {
+        let unit = minic::parse(BRANCHY).unwrap();
+        for workers in [1, 4] {
+            let path = tmp_snapshot_path(&format!("yield_w{workers}"));
+            let hook = YieldToken::new();
+            hook.request();
+            let suspended = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    yield_hook: hook.clone(),
+                    checkpoint: Some(path.clone()),
+                    ..EngineConfig::default()
+                },
+            )
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+            // The suspended run is honestly partial (its paths were parked,
+            // not explored) and points at the snapshot to resume from.
+            assert!(suspended.paths.is_empty());
+            assert!(matches!(
+                suspended.ledger.entries(),
+                [Degradation::Suspended {
+                    wave: 0,
+                    dropped: 1
+                }]
+            ));
+            assert!(!suspended.ledger.is_complete());
+            assert_eq!(suspended.checkpoint.as_deref(), Some(path.as_path()));
+
+            // Migration: clear the token, resume elsewhere — the result is
+            // byte-identical to a run that was never suspended.
+            hook.clear();
+            let snapshot = Snapshot::load(&path).expect("snapshot loads");
+            let resumed = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    yield_hook: hook,
+                    ..EngineConfig::default()
+                },
+            )
+            .resume("f", &[ParamBinding::Scalar], snapshot)
+            .unwrap();
+            let uninterrupted = Engine::new(
+                &unit,
+                EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                },
+            )
+            .run("f", &[ParamBinding::Scalar])
+            .unwrap();
+            assert_eq!(
+                resumed, uninterrupted,
+                "suspend/resume diverged from the uninterrupted run at workers={workers}"
             );
             let _ = std::fs::remove_file(&path);
         }

@@ -56,7 +56,7 @@ mod worklist;
 
 pub use checkpoint::{CheckpointError, Snapshot};
 pub use constraints::FeasibilityCache;
-pub use degrade::{CancelToken, Degradation, Ledger};
+pub use degrade::{CancelToken, Degradation, Ledger, YieldToken};
 pub use engine::{Engine, EngineConfig, Exploration, ParamBinding, PathOutcome};
 pub use error::EngineError;
 pub use value::{Region, SVal, Symbol};

@@ -281,9 +281,26 @@ impl TelemetryConfig {
             return Ok(Telemetry::disabled());
         }
         let trace = match &self.trace_out {
-            Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+            Some(path) => {
+                let file: Box<dyn Write + Send> = Box::new(BufWriter::new(File::create(path)?));
+                Some(Mutex::new(TraceSink(file)))
+            }
             None => None,
         };
+        self.build_inner(trace)
+    }
+
+    /// Opens the sinks with the trace stream routed to `writer` instead of
+    /// a file — the daemon uses this to forward span/event/log records to a
+    /// connected client as they happen. `writer` receives exactly the bytes
+    /// a `--trace-out` file would (one JSON record per line) and is *not*
+    /// wrapped in a buffer: a streaming writer does its own line framing.
+    /// [`TelemetryConfig::trace_out`] is ignored on this path.
+    pub fn build_streaming(self, writer: Box<dyn Write + Send>) -> io::Result<Telemetry> {
+        self.build_inner(Some(Mutex::new(TraceSink(writer))))
+    }
+
+    fn build_inner(self, trace: Option<Mutex<TraceSink>>) -> io::Result<Telemetry> {
         Ok(Telemetry {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
@@ -307,13 +324,24 @@ struct PhaseTiming {
     total_us: u64,
 }
 
+/// The trace destination: a buffered file for `--trace-out`, or any other
+/// `Write + Send` (e.g. a daemon connection forwarder) via
+/// [`TelemetryConfig::build_streaming`].
+struct TraceSink(Box<dyn Write + Send>);
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     epoch: Instant,
     level: Level,
     timings: bool,
     next_id: AtomicU64,
-    trace: Option<Mutex<BufWriter<File>>>,
+    trace: Option<Mutex<TraceSink>>,
     metrics: Mutex<Registry>,
     metrics_out: Option<PathBuf>,
     phases: Mutex<Vec<PhaseTiming>>,
@@ -503,8 +531,8 @@ impl Telemetry {
         if let Ok(line) = serde_json::to_string(&value) {
             let mut sink = lock(trace);
             // Best-effort: a full disk must degrade the trace, not the run.
-            let _ = sink.write_all(line.as_bytes());
-            let _ = sink.write_all(b"\n");
+            let _ = sink.0.write_all(line.as_bytes());
+            let _ = sink.0.write_all(b"\n");
         }
     }
 
@@ -569,7 +597,7 @@ impl Telemetry {
             return Ok(());
         }
         if let Some(trace) = &inner.trace {
-            lock(trace).flush()?;
+            lock(trace).0.flush()?;
         }
         if let Some(path) = &inner.metrics_out {
             let summary = lock(&inner.metrics).to_value();
@@ -601,6 +629,32 @@ impl Telemetry {
             Some(inner) => lock(&inner.metrics).counter_value(name),
             None => 0,
         }
+    }
+
+    /// A scope guard that runs [`Telemetry::finish`] when dropped — on
+    /// *every* exit path, including early `?` returns and unwinding panics.
+    /// Drivers install one right after building the handle so a usage error
+    /// (exit 2) or a crash still leaves a flushed, parseable trace and a
+    /// written metrics summary. `finish` is idempotent, so the guard
+    /// composes with an explicit success-path call.
+    pub fn flush_guard(&self) -> FlushGuard {
+        FlushGuard {
+            telemetry: self.clone(),
+        }
+    }
+}
+
+/// See [`Telemetry::flush_guard`].
+#[derive(Debug)]
+pub struct FlushGuard {
+    telemetry: Telemetry,
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        // Best-effort by design: there is no way to report a flush failure
+        // from a drop on an already-failing exit path.
+        let _ = self.telemetry.finish();
     }
 }
 
@@ -720,6 +774,58 @@ mod tests {
             Value::Object(_)
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_guard_finishes_on_drop_and_unwind() {
+        let path = temp_path("guard_metrics");
+        let telemetry = TelemetryConfig {
+            metrics_out: Some(path.clone()),
+            ..TelemetryConfig::default()
+        }
+        .build()
+        .expect("builds");
+        telemetry.counter("guarded", 7);
+        let inner = telemetry.clone();
+        let panicked = std::panic::catch_unwind(move || {
+            let _guard = inner.flush_guard();
+            panic!("simulated driver crash");
+        });
+        assert!(panicked.is_err());
+        let text = std::fs::read_to_string(&path).expect("metrics written despite panic");
+        let value = serde_json::parse(&text).expect("metrics parse");
+        assert!(matches!(value["counters"]["guarded"], Value::Number(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_sink_receives_trace_lines() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                lock(&self.0).extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Shared::default();
+        let telemetry = TelemetryConfig::default()
+            .build_streaming(Box::new(shared.clone()))
+            .expect("builds");
+        assert!(telemetry.tracing());
+        telemetry.event("ping", None, |fields| {
+            fields.push(("kind", FieldValue::from("stream")));
+        });
+        telemetry.finish().expect("finishes");
+        let bytes = lock(&shared.0).clone();
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let line = text.lines().next().expect("one record");
+        let value = serde_json::parse(line).expect("record parses");
+        assert!(matches!(value, Value::Object(_)));
+        assert!(line.contains("ping"));
     }
 
     #[test]

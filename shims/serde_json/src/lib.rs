@@ -321,12 +321,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole unescaped run in one step. The two
+                    // delimiters are ASCII, so stopping on them can never
+                    // split a multi-byte character, and validating the run
+                    // once (instead of revalidating the remaining input per
+                    // character) keeps parsing linear in the document size.
+                    let start = self.pos;
+                    while matches!(self.bytes.get(self.pos), Some(&b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -417,6 +423,32 @@ mod tests {
         let obj = json!({"a": 1, "b": [true, null]});
         assert_eq!(obj["a"], Value::Number(Number::I64(1)));
         assert_eq!(obj["b"][1], Value::Null);
+    }
+
+    #[test]
+    fn string_runs_preserve_escapes_and_utf8() {
+        // The reader consumes unescaped runs chunk-wise; escapes and
+        // multi-byte characters at chunk boundaries must survive intact.
+        let text = r#""preé∀\\mid\"post∞""#;
+        assert_eq!(
+            parse(text).unwrap(),
+            Value::String("preé∀\\mid\"post∞".to_string())
+        );
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // Checkpoint payloads reach several megabytes of mostly string
+        // content. The old reader revalidated the remaining input once per
+        // character (quadratic — minutes at this size); the run-based
+        // reader finishes in milliseconds, so a plain parse doubles as the
+        // regression guard.
+        let big = "x".repeat(4 << 20);
+        let doc = format!("{{\"blob\": \"{big}\", \"n\": 7}}");
+        let v = parse(&doc).unwrap();
+        assert_eq!(v["n"], Value::Number(Number::I64(7)));
+        assert!(matches!(&v["blob"], Value::String(s) if s.len() == big.len()));
     }
 
     #[test]

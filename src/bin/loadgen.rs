@@ -1,0 +1,357 @@
+//! `loadgen` — seeded, reproducible load generation for the analysis
+//! service, plus the PR 6 throughput/latency bench.
+//!
+//! ```text
+//! loadgen [--jobs <n>] [--seed <s>] [--pool <n>] [--slice-ms <n>]
+//!         [--addr <host:port | unix:/path>]
+//!     smoke mode: submit the whole job mix at once (saturating the queue)
+//!     and wait for every job; exits 1 if any job fails or never finishes.
+//!     With --addr the jobs go to a running `privacyscoped` over the wire;
+//!     otherwise an in-process pool of `--pool` workers runs them.
+//!
+//! loadgen --bench [--out <file>] [--jobs <n>] [--seed <s>]
+//!     bench mode: run the same seeded mix on in-process pools of 1, 4 and
+//!     8 workers; write jobs/sec and p50/p99 latency as JSON (BENCH_6).
+//! ```
+//!
+//! The job mix is a deterministic function of `--seed`: an LCG draws from
+//! the mlcorpus modules (the three clean Table V modules plus the
+//! vulnerable Recommender), so two runs with the same seed submit
+//! byte-identical job streams — the foundation of the no-starvation smoke
+//! test and of comparable bench numbers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use privacyscope::protocol::{self, ClientFrame, ServerFrame};
+use privacyscope::service::{AnalysisService, JobSpec, ServiceConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  loadgen [--jobs <n>] [--seed <s>] [--pool <n>] [--slice-ms <n>] [--addr <addr>]
+  loadgen --bench [--out <file>] [--jobs <n>] [--seed <s>]
+";
+
+struct Options {
+    jobs: usize,
+    seed: u64,
+    pool: usize,
+    slice_ms: u64,
+    addr: Option<String>,
+    bench: bool,
+    out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        jobs: 16,
+        seed: 42,
+        pool: 2,
+        slice_ms: 0,
+        addr: None,
+        bench: false,
+        out: None,
+    };
+    let mut seen: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let name = match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Err("".into());
+            }
+            other => other
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument `{other}`\n{USAGE}"))?,
+        };
+        if seen.iter().any(|s| s == name) {
+            return Err(format!("duplicate `--{name}`: pass each option once"));
+        }
+        seen.push(name.to_string());
+        if name == "bench" {
+            options.bench = true;
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let number = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("--{name} expects a number, got `{value}`"))
+        };
+        match name {
+            "jobs" => options.jobs = usize::try_from(number()?).unwrap_or(usize::MAX),
+            "seed" => options.seed = number()?,
+            "pool" => {
+                options.pool = usize::try_from(number()?).unwrap_or(usize::MAX);
+                if options.pool == 0 {
+                    return Err("--pool 0 would run no workers; use 1 or more".into());
+                }
+            }
+            "slice-ms" => options.slice_ms = number()?,
+            "addr" => options.addr = Some(value.clone()),
+            "out" => options.out = Some(value.clone()),
+            other => return Err(format!("unknown option `--{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Deterministic linear congruential generator (Knuth MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The seeded job mix: a reproducible stream of corpus-module analyses.
+fn job_mix(jobs: usize, seed: u64) -> Vec<JobSpec> {
+    let mut corpus = mlcorpus::modules();
+    corpus.push(mlcorpus::recommender_vulnerable());
+    let mut lcg = Lcg(seed);
+    (0..jobs)
+        .map(|_| {
+            let module = &corpus[usize::try_from(lcg.next()).unwrap_or(0) % corpus.len()];
+            // Budgets follow the repo's corpus tests (max_paths 16–40,
+            // loop bound 2): the ML modules' nested loops make larger
+            // bounds explode combinatorially, which would bench the
+            // engine, not the service.
+            JobSpec {
+                source: module.source.to_string(),
+                edl: module.edl.to_string(),
+                function: Some(module.entry.to_string()),
+                max_paths: 12 + usize::try_from(lcg.next() % 4).unwrap_or(0) * 4,
+                loop_bound: 2,
+                workers: 1,
+                ..JobSpec::default()
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let options = parse(args)?;
+    if options.bench {
+        return bench(&options);
+    }
+    match &options.addr {
+        Some(addr) => smoke_remote(&options, addr),
+        None => smoke_local(&options),
+    }
+}
+
+/// One measured run against a fresh in-process pool: returns per-job
+/// latencies (ms, submission → terminal) and the wall-clock seconds.
+fn drive_local(
+    specs: &[JobSpec],
+    pool: usize,
+    slice_ms: u64,
+) -> Result<(Vec<f64>, f64, u32, usize), String> {
+    let spool = std::env::temp_dir().join(format!("loadgen-spool-{}-{pool}", std::process::id()));
+    let service = AnalysisService::start(ServiceConfig {
+        pool,
+        slice: (slice_ms > 0).then(|| Duration::from_millis(slice_ms)),
+        spool,
+    })
+    .map_err(|e| format!("cannot start service: {e}"))?;
+    let service = Arc::new(service);
+
+    let started = Instant::now();
+    let ids: Vec<u64> = specs.iter().map(|s| service.submit(s.clone())).collect();
+    let mut latencies = Vec::with_capacity(ids.len());
+    let mut suspensions = 0u32;
+    let mut failures = 0usize;
+    for id in ids {
+        let Some(outcome) = service.wait(id) else {
+            failures += 1;
+            continue;
+        };
+        if outcome.error.is_some() {
+            failures += 1;
+        }
+        suspensions += outcome.suspensions;
+        latencies.push(outcome.total.as_secs_f64() * 1000.0);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    Ok((latencies, wall, suspensions, failures))
+}
+
+fn smoke_local(options: &Options) -> Result<bool, String> {
+    let specs = job_mix(options.jobs, options.seed);
+    let (mut latencies, wall, suspensions, failures) =
+        drive_local(&specs, options.pool, options.slice_ms)?;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "loadgen: {} jobs on a {}-worker pool in {:.2}s ({:.1} jobs/s), \
+         p50 {:.1} ms, p99 {:.1} ms, {} suspension(s), {} failure(s)",
+        specs.len(),
+        options.pool,
+        wall,
+        specs.len() as f64 / wall.max(1e-9),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+        suspensions,
+        failures,
+    );
+    if latencies.len() != specs.len() {
+        eprintln!(
+            "loadgen: starvation: only {}/{} jobs reached a terminal state",
+            latencies.len(),
+            specs.len()
+        );
+        return Ok(false);
+    }
+    Ok(failures == 0)
+}
+
+/// Smoke over the wire: one connection, all submissions up front, then
+/// count terminal frames — any missing completion is starvation.
+fn smoke_remote(options: &Options, addr: &str) -> Result<bool, String> {
+    let mut stream: Box<dyn ReadWriteStream> = if let Some(path) = addr.strip_prefix("unix:") {
+        Box::new(
+            std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("cannot connect to `unix:{path}`: {e}"))?,
+        )
+    } else {
+        Box::new(
+            std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?,
+        )
+    };
+
+    let specs = job_mix(options.jobs, options.seed);
+    let started = Instant::now();
+    for spec in &specs {
+        let frame = ClientFrame::Submit {
+            source: spec.source.clone(),
+            edl: spec.edl.clone(),
+            config: spec.config_xml.clone().unwrap_or_default(),
+            function: spec.function.clone().unwrap_or_default(),
+            max_paths: spec.max_paths as u64,
+            loop_bound: spec.loop_bound as u64,
+            workers: spec.workers as u64,
+            deadline_ms: spec.deadline_ms.unwrap_or(0),
+            progress: false,
+        };
+        let line = protocol::encode(&frame)?;
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| format!("submit failed: {e}"))?;
+    }
+    stream.flush().map_err(|e| format!("submit failed: {e}"))?;
+
+    let mut accepted = 0usize;
+    let mut done = 0usize;
+    let mut failed = 0usize;
+    let mut latencies = Vec::with_capacity(specs.len());
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("lost the daemon connection: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::decode::<ServerFrame>(&line)? {
+            ServerFrame::Accepted { .. } => accepted += 1,
+            ServerFrame::Done { .. } => {
+                done += 1;
+                latencies.push(started.elapsed().as_secs_f64() * 1000.0);
+            }
+            ServerFrame::Error { message, .. } => {
+                eprintln!("loadgen: job failed: {message}");
+                failed += 1;
+            }
+            _ => {}
+        }
+        if done + failed == specs.len() {
+            break;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "loadgen: {} accepted, {done} done, {failed} failed over `{addr}` \
+         in {wall:.2}s ({:.1} jobs/s), p50 {:.1} ms, p99 {:.1} ms",
+        accepted,
+        specs.len() as f64 / wall.max(1e-9),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+    );
+    Ok(done == specs.len() && failed == 0)
+}
+
+/// The PR 6 bench: the same seeded mix on pools of 1, 4 and 8 workers.
+fn bench(options: &Options) -> Result<bool, String> {
+    let specs = job_mix(options.jobs, options.seed);
+    let mut rows = Vec::new();
+    for pool in [1usize, 4, 8] {
+        let (mut latencies, wall, suspensions, failures) = drive_local(&specs, pool, 0)?;
+        if failures > 0 || latencies.len() != specs.len() {
+            return Err(format!("bench run on pool {pool} lost {failures} job(s)"));
+        }
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let row = format!(
+            "    {{\n      \"pool\": {pool},\n      \"jobs_per_sec\": {:.2},\n      \
+             \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \"suspensions\": {suspensions}\n    }}",
+            specs.len() as f64 / wall.max(1e-9),
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 99.0),
+        );
+        eprintln!(
+            "bench: pool {pool}: {:.1} jobs/s, p50 {:.1} ms, p99 {:.1} ms",
+            specs.len() as f64 / wall.max(1e-9),
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 99.0),
+        );
+        rows.push(row);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"analysis_service_throughput\",\n  \"jobs\": {},\n  \
+         \"seed\": {},\n  \"job_mix\": \"mlcorpus modules + vulnerable recommender\",\n  \
+         \"concurrency\": [\n{}\n  ]\n}}\n",
+        specs.len(),
+        options.seed,
+        rows.join(",\n"),
+    );
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?
+        }
+        None => print!("{json}"),
+    }
+    Ok(true)
+}
+
+/// The two local stream flavours an `--addr` can name.
+trait ReadWriteStream: std::io::Read + std::io::Write {}
+impl ReadWriteStream for std::net::TcpStream {}
+impl ReadWriteStream for std::os::unix::net::UnixStream {}

@@ -6,7 +6,7 @@
 use privacyscope::{Analyzer, AnalyzerOptions};
 use sgx_sim::enclave::{EcallArg, Enclave};
 use sgx_sim::interp::Word;
-use sgx_sim::{Fault, FaultPlan, RetryPolicy, SgxError};
+use sgx_sim::{Fault, FaultPlan, RetryPolicy, SgxError, Supervision};
 use symexec::Degradation;
 
 const GOOD_EDL: &str = "enclave { trusted { public int f([in] char *s, [out] char *out); }; };";
@@ -401,6 +401,106 @@ fn fault_beyond_the_retry_budget_still_fails_typed() {
         .expect_err("budget exhausted");
     assert!(err.is_transient());
     assert_eq!(session.retries(), 1);
+}
+
+#[test]
+fn supervised_retry_backoff_cannot_sleep_past_the_deadline() {
+    use std::time::{Duration, Instant};
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    // Every OCALL attempt fails, the policy would sleep 50ms + 100ms +
+    // 200ms + ... — but the supervision budget is 20ms, so the whole call
+    // must return well before the unsupervised backoff schedule.
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(
+            FaultPlan::new()
+                .fail_ocall(0)
+                .fail_ocall(1)
+                .fail_ocall(2)
+                .fail_ocall(3),
+        )
+        .with_retry(RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(50),
+        })
+        .with_supervision(Supervision::new().with_budget(Duration::from_millis(20)));
+    let started = Instant::now();
+    let err = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(3)]), EcallArg::Out(1)])
+        .expect_err("the fault still surfaces");
+    assert!(err.is_transient(), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_millis(150),
+        "supervised retries slept past the budget: {:?}",
+        started.elapsed()
+    );
+    assert!(
+        session
+            .degradations()
+            .iter()
+            .any(|d| matches!(d, Degradation::RetryCurtailed { .. })),
+        "curtailed retries must be on the ledger: {:?}",
+        session.degradations()
+    );
+}
+
+#[test]
+fn cancelled_session_stops_retrying_without_sleeping() {
+    use std::time::{Duration, Instant};
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    let cancel = symexec::CancelToken::new();
+    cancel.cancel();
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().fail_ocall(0).fail_ocall(1))
+        .with_retry(RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(200),
+        })
+        .with_supervision(Supervision::new().with_cancel(cancel));
+    let started = Instant::now();
+    let err = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(3)]), EcallArg::Out(1)])
+        .expect_err("cancelled before any retry could succeed");
+    assert!(err.is_transient(), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_millis(100),
+        "a cancelled session must not sleep: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(
+        session.degradations(),
+        &[Degradation::RetryCurtailed { count: 1 }]
+    );
+    // No retry actually ran: the budget was spent before the first sleep.
+    assert_eq!(session.retries(), 0);
+}
+
+#[test]
+fn injected_delay_is_bounded_by_the_supervision_budget() {
+    use std::time::{Duration, Instant};
+    let enclave = Enclave::load(OCALL_SOURCE, OCALL_EDL).expect("loads");
+    let mut session = enclave
+        .session()
+        .expect("opens")
+        .with_faults(FaultPlan::new().delay_ecall(0, 500))
+        .with_supervision(Supervision::new().with_budget(Duration::from_millis(10)));
+    let started = Instant::now();
+    let result = session
+        .ecall("f", &[EcallArg::In(vec![Word::Int(9)]), EcallArg::Out(1)])
+        .expect("a truncated delay is not a failure");
+    assert!(
+        started.elapsed() < Duration::from_millis(400),
+        "the injected delay slept past the budget: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(result.outs["out"], vec![Word::Int(10)]);
+    assert_eq!(
+        session.degradations(),
+        &[Degradation::RetryCurtailed { count: 1 }]
+    );
 }
 
 #[test]

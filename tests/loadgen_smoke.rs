@@ -1,0 +1,52 @@
+//! Loadgen smoke: a seeded job mix dumped onto a single-worker pool with
+//! a short fair-share slice must drain completely — every job reaches a
+//! terminal state (no starvation) and none fails. Seed 4 draws a light
+//! mix (two Recommenders and a Kmeans, no LinearRegression) so the test
+//! stays fast in debug builds.
+
+use std::process::Command;
+
+#[test]
+fn saturated_mix_drains_without_starvation_or_failures() {
+    let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--jobs",
+            "3",
+            "--seed",
+            "4",
+            "--pool",
+            "1",
+            "--slice-ms",
+            "100",
+        ])
+        .output()
+        .expect("run loadgen");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "loadgen reported starvation or failures\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("3 jobs") && stdout.contains("0 failure(s)"),
+        "summary line should report a fully drained mix: {stdout}"
+    );
+    assert!(
+        !stderr.contains("starvation"),
+        "no job may be starved: {stderr}"
+    );
+}
+
+#[test]
+fn duplicate_options_are_rejected() {
+    let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(["--jobs", "2", "--jobs", "4"])
+        .output()
+        .expect("run loadgen");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("duplicate `--jobs`"),
+        "stderr should name the duplicated option: {stderr}"
+    );
+}
