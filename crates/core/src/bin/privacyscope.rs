@@ -428,6 +428,10 @@ fn daemon_submit(cli: &Cli, addr: &str, source: &str, edl_text: &str) -> Result<
                 }
             }
             ServerFrame::Error { message, .. } => return Err(message),
+            ServerFrame::Rejected { code, reason, .. } => {
+                return Err(format!("daemon rejected the submission ({code}): {reason}"));
+            }
+            ServerFrame::Recovery { .. } => {}
             ServerFrame::Done {
                 exit,
                 reports,

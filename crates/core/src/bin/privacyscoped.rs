@@ -2,26 +2,54 @@
 //!
 //! ```text
 //! privacyscoped [options]
-//!     --listen <addr>    TCP loopback address (`host:port`, default
-//!                        127.0.0.1:0 = kernel-assigned port) or a Unix
-//!                        socket as `unix:<path>`
-//!     --pool <n>         analysis worker threads (default 2)
-//!     --slice-ms <n>     fair-share time slice: a job running longer than
-//!                        this while others wait is suspended into a
-//!                        checkpoint and requeued (default 0 = off)
-//!     --spool <dir>      suspension checkpoint directory (default: a
-//!                        per-process directory under the system temp dir)
+//!     --listen <addr>          TCP loopback address (`host:port`, default
+//!                              127.0.0.1:0 = kernel-assigned port) or a
+//!                              Unix socket as `unix:<path>`
+//!     --pool <n>               analysis worker threads (default 2)
+//!     --slice-ms <n>           fair-share time slice: a job running longer
+//!                              than this while others wait is suspended
+//!                              into a checkpoint and requeued (default 0)
+//!     --spool <dir>            journal + checkpoint directory (default: a
+//!                              per-process directory under the system
+//!                              temp dir — recovery needs a stable --spool)
+//!     --max-queue <n>          admission bound on queued jobs; further
+//!                              submissions get a `Rejected` frame
+//!                              (default 64 × pool, 0 = unbounded)
+//!     --max-job-paths <n>      reject submissions asking for more than
+//!                              this many paths (default 0 = uncapped)
+//!     --max-frame-bytes <n>    bound on one NDJSON request line; an
+//!                              oversized line gets a typed `Error` frame
+//!                              and the connection is closed
+//!                              (default 16777216 = 16 MB, 0 = default)
+//!     --idle-timeout-ms <n>    close a connection that sends no frame for
+//!                              this long (default 0 = never)
+//!     --on-disconnect <mode>   what happens to a client's unfinished jobs
+//!                              when its connection ends: `cancel` (default)
+//!                              or `park` (suspend into the journaled spool
+//!                              for later recovery / `Fetch`)
+//!     --drain-timeout-ms <n>   how long SIGTERM / `Shutdown` waits for
+//!                              running jobs to park (default 30000)
+//!     --trace-out <file>       JSONL span/event trace sink
+//!     --metrics-out <file>     end-of-run metrics summary sink
+//!     --log-level <level>      stderr logger: off|warn|info|debug
 //! ```
 //!
-//! On startup the daemon prints exactly one line to stdout —
-//! `privacyscoped: listening on <addr>` — so scripts binding port 0 can
-//! discover the actual endpoint. Clients speak the NDJSON protocol of
-//! `privacyscope::protocol`; the stock client is `privacyscope analyze
-//! --daemon <addr>`.
+//! On startup the daemon replays the spool journal (crash recovery: queued
+//! jobs re-enqueue, suspended jobs resume from their checkpoints, orphaned
+//! spool files are removed), logs a one-line recovery summary to stderr,
+//! and prints exactly one line to stdout — `privacyscoped: listening on
+//! <addr>` — so scripts binding port 0 can discover the actual endpoint.
+//! Clients speak the NDJSON protocol of `privacyscope::protocol`; the
+//! stock client is `privacyscope analyze --daemon <addr>`.
 //!
-//! Exit codes: 0 after a clean `Shutdown` frame, 2 on usage/bind errors.
+//! SIGTERM and the `Shutdown` frame both drain gracefully: admission stops
+//! (`Rejected { code: "draining" }`), running jobs park at their next wave
+//! boundary into the journaled spool, and the daemon exits 0. A subsequent
+//! start with the same `--spool` recovers and finishes the parked work.
+//!
+//! Exit codes: 0 after a clean drain, 2 on usage/bind errors.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::TcpListener;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -30,13 +58,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use privacyscope::protocol::{self, ClientFrame, ServerFrame};
-use privacyscope::service::{AnalysisService, JobSpec, ProgressFn, ServiceConfig};
+use privacyscope::protocol::{self, ClientFrame, FrameError, FrameReader, ServerFrame};
+use privacyscope::service::{AnalysisService, JobSpec, JobState, ProgressFn, ServiceConfig};
 
 const USAGE: &str = "\
 usage:
   privacyscoped [--listen <host:port | unix:/path>] [--pool <n>]
-                [--slice-ms <n>] [--spool <dir>]
+                [--slice-ms <n>] [--spool <dir>] [--max-queue <n>]
+                [--max-job-paths <n>] [--max-frame-bytes <n>]
+                [--idle-timeout-ms <n>] [--on-disconnect cancel|park]
+                [--drain-timeout-ms <n>] [--trace-out <file>]
+                [--metrics-out <file>] [--log-level off|warn|info|debug]
 ";
 
 fn main() -> ExitCode {
@@ -54,17 +86,24 @@ fn main() -> ExitCode {
 /// be read by the connection loop while workers write frames to the other.
 trait Stream: std::io::Read + Write + Send {
     fn try_clone_box(&self) -> std::io::Result<Box<dyn Stream>>;
+    fn set_read_timeout_box(&self, timeout: Option<Duration>) -> std::io::Result<()>;
 }
 
 impl Stream for std::net::TcpStream {
     fn try_clone_box(&self) -> std::io::Result<Box<dyn Stream>> {
         Ok(Box::new(self.try_clone()?))
     }
+    fn set_read_timeout_box(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
 }
 
 impl Stream for UnixStream {
     fn try_clone_box(&self) -> std::io::Result<Box<dyn Stream>> {
         Ok(Box::new(self.try_clone()?))
+    }
+    fn set_read_timeout_box(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
     }
 }
 
@@ -104,11 +143,54 @@ impl Listener {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<(String, usize, u64, Option<PathBuf>), String> {
-    let mut listen = "127.0.0.1:0".to_string();
-    let mut pool = 2usize;
-    let mut slice_ms = 0u64;
-    let mut spool = None;
+/// What to do with a client's unfinished jobs when its connection ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DisconnectPolicy {
+    /// Cancel them: abandoned work never occupies the pool.
+    Cancel,
+    /// Park them into the journaled spool; a later connection (or daemon
+    /// restart) can `Fetch` the result.
+    Park,
+}
+
+struct Options {
+    listen: String,
+    pool: usize,
+    slice_ms: u64,
+    spool: Option<PathBuf>,
+    max_queue: Option<usize>,
+    max_job_paths: usize,
+    max_frame_bytes: usize,
+    idle_timeout_ms: u64,
+    on_disconnect: DisconnectPolicy,
+    drain_timeout_ms: u64,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    log_level: telemetry::Level,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            listen: "127.0.0.1:0".to_string(),
+            pool: 2,
+            slice_ms: 0,
+            spool: None,
+            max_queue: None,
+            max_job_paths: 0,
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+            idle_timeout_ms: 0,
+            on_disconnect: DisconnectPolicy::Cancel,
+            drain_timeout_ms: 30_000,
+            trace_out: None,
+            metrics_out: None,
+            log_level: telemetry::Level::Off,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
     let mut seen: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -121,7 +203,21 @@ fn parse_args(args: &[String]) -> Result<(String, usize, u64, Option<PathBuf>), 
                 .strip_prefix("--")
                 .ok_or_else(|| format!("unexpected argument `{other}`\n{USAGE}"))?,
         };
-        let known = ["listen", "pool", "slice-ms", "spool"];
+        let known = [
+            "listen",
+            "pool",
+            "slice-ms",
+            "spool",
+            "max-queue",
+            "max-job-paths",
+            "max-frame-bytes",
+            "idle-timeout-ms",
+            "on-disconnect",
+            "drain-timeout-ms",
+            "trace-out",
+            "metrics-out",
+            "log-level",
+        ];
         if !known.contains(&name) {
             return Err(format!("unknown option `--{name}`\n{USAGE}"));
         }
@@ -131,75 +227,185 @@ fn parse_args(args: &[String]) -> Result<(String, usize, u64, Option<PathBuf>), 
         let value = iter
             .next()
             .ok_or_else(|| format!("--{name} needs a value"))?;
+        let number = |what: &str| -> Result<u64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("--{what} expects a number, got `{value}`"))
+        };
         match name {
-            "listen" => listen = value.clone(),
+            "listen" => opts.listen = value.clone(),
             "pool" => {
-                pool = value
-                    .parse()
-                    .map_err(|_| format!("--pool expects a number, got `{value}`"))?;
-                if pool == 0 {
+                opts.pool = usize::try_from(number("pool")?).unwrap_or(usize::MAX);
+                if opts.pool == 0 {
                     return Err("--pool 0 would run no workers; use 1 or more".into());
                 }
             }
-            "slice-ms" => {
-                slice_ms = value
-                    .parse()
-                    .map_err(|_| format!("--slice-ms expects a number, got `{value}`"))?;
+            "slice-ms" => opts.slice_ms = number("slice-ms")?,
+            "spool" => opts.spool = Some(PathBuf::from(value)),
+            "max-queue" => {
+                opts.max_queue = Some(usize::try_from(number("max-queue")?).unwrap_or(usize::MAX));
             }
-            "spool" => spool = Some(PathBuf::from(value)),
+            "max-job-paths" => {
+                opts.max_job_paths =
+                    usize::try_from(number("max-job-paths")?).unwrap_or(usize::MAX);
+            }
+            "max-frame-bytes" => {
+                opts.max_frame_bytes =
+                    usize::try_from(number("max-frame-bytes")?).unwrap_or(usize::MAX);
+            }
+            "idle-timeout-ms" => opts.idle_timeout_ms = number("idle-timeout-ms")?,
+            "on-disconnect" => {
+                opts.on_disconnect = match value.as_str() {
+                    "cancel" => DisconnectPolicy::Cancel,
+                    "park" => DisconnectPolicy::Park,
+                    other => {
+                        return Err(format!(
+                            "--on-disconnect expects `cancel` or `park`, got `{other}`"
+                        ));
+                    }
+                };
+            }
+            "drain-timeout-ms" => opts.drain_timeout_ms = number("drain-timeout-ms")?,
+            "trace-out" => opts.trace_out = Some(PathBuf::from(value)),
+            "metrics-out" => opts.metrics_out = Some(PathBuf::from(value)),
+            "log-level" => {
+                opts.log_level = value.parse().map_err(|e| format!("{e}"))?;
+            }
             _ => unreachable!("filtered above"),
         }
         seen.push(name.to_string());
     }
-    Ok((listen, pool, slice_ms, spool))
+    Ok(opts)
+}
+
+/// Everything one connection thread needs: the pool, the run options, and
+/// the telemetry handle for disconnect/overload counters.
+struct Daemon {
+    service: AnalysisService,
+    telemetry: telemetry::Telemetry,
+    max_frame_bytes: usize,
+    idle_timeout: Option<Duration>,
+    on_disconnect: DisconnectPolicy,
+    drain_timeout: Duration,
+}
+
+impl Daemon {
+    /// Graceful shutdown: stop admitting, park running jobs at their next
+    /// wave boundary (journaled for the next start to recover), flush
+    /// telemetry, exit 0. Never returns.
+    fn drain_and_exit(&self) -> ! {
+        let drained = self.service.drain(self.drain_timeout);
+        if drained {
+            eprintln!("privacyscoped: drained cleanly; exiting");
+        } else {
+            eprintln!(
+                "privacyscoped: drain timed out after {:?} with jobs still running; exiting",
+                self.drain_timeout
+            );
+        }
+        if let Err(error) = self.telemetry.finish() {
+            eprintln!("privacyscoped: telemetry flush failed: {error}");
+        }
+        std::process::exit(0);
+    }
+}
+
+/// Set by the raw SIGTERM handler; polled by the drain watcher thread.
+/// A signal handler may only do async-signal-safe work, so the handler
+/// just flips this flag and the watcher performs the actual drain.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler via the libc `signal(2)` symbol directly —
+/// the build is offline, so no `libc` crate; the two-argument ANSI
+/// `signal` ABI is stable on every platform this daemon targets.
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let (listen, pool, slice_ms, spool) = parse_args(args)?;
-    let spool = spool.unwrap_or_else(|| {
+    let opts = parse_args(args)?;
+    let spool = opts.spool.clone().unwrap_or_else(|| {
         std::env::temp_dir().join(format!("privacyscoped-spool-{}", std::process::id()))
     });
-    let service = Arc::new(
-        AnalysisService::start(ServiceConfig {
-            pool,
-            slice: (slice_ms > 0).then(|| Duration::from_millis(slice_ms)),
-            spool,
-        })
-        .map_err(|e| format!("cannot start the analysis pool: {e}"))?,
-    );
+    let telemetry = telemetry::TelemetryConfig {
+        trace_out: opts.trace_out.clone(),
+        metrics_out: opts.metrics_out.clone(),
+        log_level: opts.log_level,
+        timings: false,
+    }
+    .build()
+    .map_err(|e| format!("cannot open telemetry sink: {e}"))?;
 
-    let (listener, bound) = Listener::bind(&listen)?;
+    let service = AnalysisService::start(ServiceConfig {
+        pool: opts.pool,
+        slice: (opts.slice_ms > 0).then(|| Duration::from_millis(opts.slice_ms)),
+        spool,
+        max_queue: opts.max_queue.unwrap_or(opts.pool.saturating_mul(64)),
+        max_job_paths: opts.max_job_paths,
+        telemetry: telemetry.clone(),
+    })
+    .map_err(|e| format!("cannot start the analysis pool: {e}"))?;
+    eprintln!("privacyscoped: recovery: {}", service.recovery().render());
+
+    let daemon = Arc::new(Daemon {
+        service,
+        telemetry,
+        max_frame_bytes: opts.max_frame_bytes,
+        idle_timeout: (opts.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(opts.idle_timeout_ms)),
+        on_disconnect: opts.on_disconnect,
+        drain_timeout: Duration::from_millis(opts.drain_timeout_ms),
+    });
+
+    install_sigterm_handler();
+    {
+        let daemon = Arc::clone(&daemon);
+        let spawned = std::thread::Builder::new()
+            .name("privacyscoped-sigterm".to_string())
+            .spawn(move || loop {
+                if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+                    eprintln!("privacyscoped: SIGTERM received; draining");
+                    daemon.drain_and_exit();
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            });
+        if let Err(error) = spawned {
+            eprintln!("privacyscoped: cannot spawn SIGTERM watcher: {error}");
+        }
+    }
+
+    let (listener, bound) = Listener::bind(&opts.listen)?;
     println!("privacyscoped: listening on {bound}");
     let _ = std::io::stdout().flush();
 
-    let shutdown = Arc::new(AtomicBool::new(false));
     loop {
         let stream = match listener.accept() {
             Ok(stream) => stream,
             Err(error) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
                 eprintln!("privacyscoped: accept failed: {error}");
                 continue;
             }
         };
-        let service = Arc::clone(&service);
-        let conn_shutdown = Arc::clone(&shutdown);
+        let daemon = Arc::clone(&daemon);
         let spawned = std::thread::Builder::new()
             .name("privacyscoped-conn".to_string())
             .spawn(move || {
-                if let Err(error) = serve_connection(&service, stream, &conn_shutdown) {
+                if let Err(error) = serve_connection(&daemon, stream) {
                     eprintln!("privacyscoped: connection error: {error}");
                 }
             });
         if let Err(error) = spawned {
             eprintln!("privacyscoped: cannot spawn connection thread: {error}");
-        }
-        if shutdown.load(Ordering::SeqCst) {
-            // A client asked us to exit; stop accepting and let in-flight
-            // connection threads finish writing.
-            return Ok(());
         }
     }
 }
@@ -218,25 +424,76 @@ fn send(writer: &Mutex<Box<dyn Stream>>, frame: &ServerFrame) {
     let _ = guard.flush();
 }
 
-fn serve_connection(
-    service: &Arc<AnalysisService>,
-    stream: Box<dyn Stream>,
-    shutdown: &Arc<AtomicBool>,
-) -> Result<(), String> {
+/// Done/Error frame for a terminal outcome — shared by the submit waiter
+/// and the `Fetch` re-attach path so both render results identically.
+fn outcome_frame(job: u64, outcome: &privacyscope::JobOutcome) -> ServerFrame {
+    match &outcome.error {
+        Some(message) => ServerFrame::Error {
+            job,
+            message: message.clone(),
+        },
+        None => ServerFrame::Done {
+            job,
+            exit: u64::from(outcome.exit),
+            reports: outcome.reports.iter().map(|r| r.to_json()).collect(),
+            rendered: outcome.reports.iter().map(|r| r.to_string()).collect(),
+        },
+    }
+}
+
+fn serve_connection(daemon: &Arc<Daemon>, stream: Box<dyn Stream>) -> Result<(), String> {
+    if let Some(timeout) = daemon.idle_timeout {
+        stream
+            .set_read_timeout_box(Some(timeout))
+            .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    }
     let write_half = stream
         .try_clone_box()
         .map_err(|e| format!("cannot clone stream: {e}"))?;
     let writer = Arc::new(Mutex::new(write_half));
-    let reader = BufReader::new(stream);
+    let mut frames = FrameReader::new(BufReader::new(stream), daemon.max_frame_bytes);
 
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("read failed: {e}"))?;
+    // Jobs this connection submitted; on disconnect the unfinished ones
+    // get the configured policy (cancel or park) so the pool never burns
+    // slices on work nobody is waiting for — unless asked to keep it.
+    let mut session_jobs: Vec<u64> = Vec::new();
+    let result = loop {
+        let line = match frames.next_line() {
+            Ok(Some(line)) => line,
+            // Clean EOF: the client closed its half of the connection.
+            Ok(None) => break Ok(()),
+            Err(error @ FrameError::Oversized { .. }) => {
+                daemon.telemetry.counter("daemon.frame_oversized", 1);
+                send(
+                    &writer,
+                    &ServerFrame::Error {
+                        job: 0,
+                        message: format!("{error} (--max-frame-bytes); closing connection"),
+                    },
+                );
+                break Ok(());
+            }
+            Err(FrameError::TimedOut) => {
+                daemon.telemetry.counter("daemon.idle_timeout", 1);
+                send(
+                    &writer,
+                    &ServerFrame::Error {
+                        job: 0,
+                        message: "idle timeout: no frame received in time; closing connection"
+                            .to_string(),
+                    },
+                );
+                break Ok(());
+            }
+            Err(FrameError::Io { message }) => break Err(format!("read failed: {message}")),
+        };
         if line.trim().is_empty() {
             continue;
         }
         let frame: ClientFrame = match protocol::decode(&line) {
             Ok(frame) => frame,
             Err(message) => {
+                daemon.telemetry.counter("daemon.frame_malformed", 1);
                 send(&writer, &ServerFrame::Error { job: 0, message });
                 continue;
             }
@@ -245,20 +502,41 @@ fn serve_connection(
             ClientFrame::Ping => send(&writer, &ServerFrame::Pong),
             ClientFrame::Shutdown => {
                 send(&writer, &ServerFrame::Pong);
-                shutdown.store(true, Ordering::SeqCst);
-                // Unblock the accept loop so the daemon can exit: poke our
-                // own listener with a throwaway connection? Simpler and
-                // robust across TCP/Unix: exit the process once the write
-                // above is flushed. In-flight jobs are abandoned (the CI
-                // resume path exists precisely to pick such work back up).
-                std::process::exit(0);
+                eprintln!("privacyscoped: Shutdown frame received; draining");
+                daemon.drain_and_exit();
             }
             ClientFrame::Status { job } => {
-                let state = match service.status(job) {
+                let state = match daemon.service.status(job) {
                     Some(state) => state.to_string(),
                     None => "unknown".to_string(),
                 };
                 send(&writer, &ServerFrame::State { job, state });
+            }
+            ClientFrame::Fetch { job } => {
+                let frame = match daemon.service.outcome(job) {
+                    Some(outcome) => outcome_frame(job, &outcome),
+                    None => ServerFrame::State {
+                        job,
+                        state: match daemon.service.status(job) {
+                            Some(state) => state.to_string(),
+                            None => "unknown".to_string(),
+                        },
+                    },
+                };
+                send(&writer, &frame);
+            }
+            ClientFrame::Recovery => {
+                let summary = daemon.service.recovery();
+                send(
+                    &writer,
+                    &ServerFrame::Recovery {
+                        requeued: summary.requeued,
+                        resumed: summary.resumed,
+                        discarded: summary.discarded,
+                        orphans_removed: summary.orphans_removed,
+                        errors: summary.errors.iter().map(|e| e.to_string()).collect(),
+                    },
+                );
             }
             ClientFrame::Submit {
                 source,
@@ -281,7 +559,7 @@ fn serve_connection(
                     workers: usize::try_from(workers).unwrap_or(usize::MAX),
                     deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
                 };
-                let id = if progress {
+                let submitted = if progress {
                     let progress_writer = Arc::clone(&writer);
                     let forward: ProgressFn = Arc::new(move |job, record: &str| {
                         send(
@@ -292,32 +570,38 @@ fn serve_connection(
                             },
                         );
                     });
-                    service.submit_with_progress(spec, forward)
+                    daemon.service.submit_with_progress(spec, forward)
                 } else {
-                    service.submit(spec)
+                    daemon.service.submit(spec)
                 };
+                let id = match submitted {
+                    Ok(id) => id,
+                    Err(reason) => {
+                        send(
+                            &writer,
+                            &ServerFrame::Rejected {
+                                job: 0,
+                                code: reason.code().to_string(),
+                                reason: reason.to_string(),
+                            },
+                        );
+                        continue;
+                    }
+                };
+                session_jobs.push(id);
                 send(&writer, &ServerFrame::Accepted { job: id });
 
                 // Completion is delivered asynchronously so the connection
                 // can keep submitting/polling while jobs run.
-                let waiter_service = Arc::clone(service);
+                let waiter_daemon = Arc::clone(daemon);
                 let waiter_writer = Arc::clone(&writer);
                 let spawned = std::thread::Builder::new()
                     .name(format!("privacyscoped-wait-{id}"))
                     .spawn(move || {
-                        let Some(outcome) = waiter_service.wait(id) else {
+                        let Some(outcome) = waiter_daemon.service.wait(id) else {
                             return;
                         };
-                        let frame = match outcome.error {
-                            Some(message) => ServerFrame::Error { job: id, message },
-                            None => ServerFrame::Done {
-                                job: id,
-                                exit: u64::from(outcome.exit),
-                                reports: outcome.reports.iter().map(|r| r.to_json()).collect(),
-                                rendered: outcome.reports.iter().map(|r| r.to_string()).collect(),
-                            },
-                        };
-                        send(&waiter_writer, &frame);
+                        send(&waiter_writer, &outcome_frame(id, &outcome));
                     });
                 if let Err(error) = spawned {
                     send(
@@ -330,6 +614,26 @@ fn serve_connection(
                 }
             }
         }
+    };
+
+    // Disconnect handling: whatever ended the loop, this client is gone.
+    // Apply the configured policy to its still-live jobs.
+    for id in session_jobs {
+        match daemon.service.status(id) {
+            None | Some(JobState::Done | JobState::Failed) => {}
+            Some(_) => match daemon.on_disconnect {
+                DisconnectPolicy::Cancel => {
+                    if daemon.service.cancel(id) {
+                        daemon.telemetry.counter("daemon.disconnect_cancelled", 1);
+                    }
+                }
+                DisconnectPolicy::Park => {
+                    if daemon.service.park(id) {
+                        daemon.telemetry.counter("daemon.disconnect_parked", 1);
+                    }
+                }
+            },
+        }
     }
-    Ok(())
+    result
 }

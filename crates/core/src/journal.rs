@@ -1,0 +1,748 @@
+//! Durable job journal: the crash-recovery backbone of the analysis
+//! service.
+//!
+//! The journal is an append-only write-ahead log (`jobs.journal` in the
+//! spool directory) recording every job lifecycle transition the service
+//! would need to reconstruct its queue after a crash:
+//!
+//! ```text
+//! privacyscope-journal v1
+//! <checksum:016x> <len> <json>
+//! <checksum:016x> <len> <json>
+//! ...
+//! ```
+//!
+//! One [`JournalRecord`] per line. `checksum` is the FNV-1a-64 hash of the
+//! JSON bytes (the same function the PR 3 checkpoint header uses) and
+//! `len` their byte length, so replay can distinguish a *torn* final
+//! record (crash mid-append: shorter than promised, or no trailing
+//! newline) from *corruption* (full length, wrong hash). Appends write
+//! the whole line in one call and fsync before returning: a record is
+//! either durably on disk or recovery never sees it — there is no state
+//! in between that parses.
+//!
+//! The recovery pass ([`replay`]) is total: every malformed byte becomes
+//! a typed [`RecoveryError`] in the summary, never a panic or an abort.
+//! Interior damage skips the one bad record (records are self-delimiting
+//! by newline); damage on the final line is the expected crash artifact
+//! and is reported as [`RecoveryError::TornRecord`]. After replay the
+//! caller compacts the journal ([`compact`]): the live jobs are rewritten
+//! atomically (temp + fsync + rename) as fresh `Submitted`/`Suspended`
+//! records, which bounds journal growth and makes recovery idempotent —
+//! recovering twice from the same spool yields the same job set.
+//!
+//! A `Suspended` record carries both the checkpoint path and the
+//! compatibility fingerprint read from the snapshot header when the job
+//! parked. Recovery re-reads the header ([`Snapshot::peek_fingerprint`])
+//! and refuses to resume a stale or swapped snapshot
+//! ([`RecoveryError::StaleCheckpoint`]); the job is re-enqueued from
+//! scratch instead — deterministic re-execution makes that merely slower,
+//! never wrong.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use symexec::checkpoint::fnv1a;
+use symexec::Snapshot;
+
+use crate::service::JobSpec;
+
+/// Journal file name inside the spool directory.
+pub const JOURNAL_FILE: &str = "jobs.journal";
+
+const MAGIC: &str = "privacyscope-journal";
+const VERSION: u32 = 1;
+
+/// One durably journaled lifecycle transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// The job was admitted to the queue (written *before* the job is
+    /// visible to workers — WAL discipline).
+    Submitted { id: u64, spec: JobSpec },
+    /// A worker began (or resumed) a slice of the job.
+    Started { id: u64 },
+    /// The job parked into a spool checkpoint at a wave boundary.
+    /// `fingerprint` is the snapshot header's compatibility fingerprint,
+    /// re-checked at recovery so a stale file is never resumed.
+    Suspended {
+        id: u64,
+        ckpt: String,
+        fingerprint: u64,
+    },
+    /// The job finished with the CLI-convention exit code.
+    Done { id: u64, exit: u64 },
+    /// The analyzer rejected the job's inputs.
+    Failed { id: u64, error: String },
+    /// The job was cancelled (client request or disconnect policy).
+    Cancelled { id: u64 },
+}
+
+impl JournalRecord {
+    fn id(&self) -> u64 {
+        match self {
+            JournalRecord::Submitted { id, .. }
+            | JournalRecord::Started { id }
+            | JournalRecord::Suspended { id, .. }
+            | JournalRecord::Done { id, .. }
+            | JournalRecord::Failed { id, .. }
+            | JournalRecord::Cancelled { id } => *id,
+        }
+    }
+}
+
+/// A typed, recoverable problem found while replaying the journal or
+/// validating the spool. None of these abort recovery: each is recorded
+/// in the [`RecoverySummary`] and the pass continues.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The journal's first line is not a supported header (wrong magic or
+    /// version). The file is treated as empty and rotated aside.
+    BadHeader { detail: String },
+    /// The final record was cut mid-append by a crash: shorter than its
+    /// declared length, missing its trailing newline, or missing its
+    /// framing fields entirely. The record is dropped.
+    TornRecord { line: usize },
+    /// An interior record's bytes do not hash to its declared checksum
+    /// (bit rot or concurrent modification). The record is skipped.
+    ChecksumMismatch {
+        line: usize,
+        expected: u64,
+        found: u64,
+    },
+    /// A record's JSON does not decode into a [`JournalRecord`].
+    Malformed { line: usize, detail: String },
+    /// A suspended job's checkpoint file is gone; the job restarts from
+    /// scratch.
+    MissingCheckpoint { job: u64, path: String },
+    /// A suspended job's checkpoint no longer matches the fingerprint
+    /// journaled when it parked (stale, swapped, or unreadable); the job
+    /// restarts from scratch and the file is garbage-collected.
+    StaleCheckpoint { job: u64, detail: String },
+    /// A filesystem operation failed during recovery (the affected file
+    /// is left in place).
+    Io { path: String, message: String },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::BadHeader { detail } => {
+                write!(f, "journal header unreadable: {detail}")
+            }
+            RecoveryError::TornRecord { line } => {
+                write!(f, "journal record at line {line} torn mid-append; dropped")
+            }
+            RecoveryError::ChecksumMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal record at line {line} corrupt: checksum {found:016x} != {expected:016x}; skipped"
+            ),
+            RecoveryError::Malformed { line, detail } => {
+                write!(f, "journal record at line {line} malformed: {detail}; skipped")
+            }
+            RecoveryError::MissingCheckpoint { job, path } => {
+                write!(f, "job {job}: checkpoint `{path}` missing; restarting from scratch")
+            }
+            RecoveryError::StaleCheckpoint { job, detail } => {
+                write!(f, "job {job}: stale checkpoint ({detail}); restarting from scratch")
+            }
+            RecoveryError::Io { path, message } => {
+                write!(f, "recovery I/O on `{path}`: {message}")
+            }
+        }
+    }
+}
+
+/// A live (non-terminal) job reconstructed from the journal, ready to
+/// re-enter the service queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    pub id: u64,
+    pub spec: JobSpec,
+    /// Validated checkpoint to resume from (`None` = run from scratch).
+    pub resume_from: Option<PathBuf>,
+    /// Fingerprint journaled with the checkpoint, re-recorded on compact.
+    pub fingerprint: Option<u64>,
+}
+
+/// What a recovery pass did, reported through the daemon log and the
+/// `Recovery` protocol frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoverySummary {
+    /// Jobs re-enqueued to run from scratch.
+    pub requeued: u64,
+    /// Jobs re-enqueued to resume from a validated spool checkpoint.
+    pub resumed: u64,
+    /// Terminal jobs dropped from the journal.
+    pub discarded: u64,
+    /// Orphaned or stale spool files removed.
+    pub orphans_removed: u64,
+    /// Every typed problem encountered (empty on a clean recovery).
+    pub errors: Vec<RecoveryError>,
+}
+
+impl RecoverySummary {
+    /// One-line operator summary, logged at daemon start.
+    pub fn render(&self) -> String {
+        format!(
+            "recovery: {} requeued, {} resumed, {} discarded, {} orphan(s) removed, {} error(s)",
+            self.requeued,
+            self.resumed,
+            self.discarded,
+            self.orphans_removed,
+            self.errors.len()
+        )
+    }
+}
+
+/// Result of replaying a journal: the live job set plus the summary so
+/// far (checkpoint validation and parse errors; orphan GC counts are
+/// added by [`gc_orphans`]).
+#[derive(Debug)]
+pub struct Replay {
+    pub live: Vec<RecoveredJob>,
+    /// First id the service may allocate without colliding.
+    pub next_id: u64,
+    pub summary: RecoverySummary,
+}
+
+/// Append handle over the journal file. Every append is one `write` call
+/// followed by `sync_data`, so a record is durable before the caller
+/// proceeds.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if necessary) the journal for appending. A new or
+    /// empty file gets the header line first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(spool: &Path) -> io::Result<Journal> {
+        let path = spool.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if file.metadata()?.len() == 0 {
+            file.write_all(format!("{MAGIC} v{VERSION}\n").as_bytes())?;
+            file.sync_data()?;
+        }
+        Ok(Journal { file })
+    }
+
+    /// Durably appends one record: serialize, frame with checksum and
+    /// length, single write, fsync.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization errors (practically unreachable) and
+    /// filesystem errors. The service treats a failed append as a
+    /// degradation (the job still runs; only crash durability is lost).
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let line = format!("{:016x} {} {json}\n", fnv1a(json.as_bytes()), json.len());
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// Parses one framed record line (no trailing newline). `Ok(None)` means
+/// the line is blank and should be ignored.
+fn parse_record(
+    line: &str,
+    number: usize,
+    torn_ok: bool,
+) -> Result<Option<JournalRecord>, RecoveryError> {
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let torn = |_: &str| {
+        if torn_ok {
+            RecoveryError::TornRecord { line: number }
+        } else {
+            RecoveryError::Malformed {
+                line: number,
+                detail: "record lacks `checksum len json` framing".into(),
+            }
+        }
+    };
+    let (checksum_raw, rest) = line.split_once(' ').ok_or_else(|| torn(line))?;
+    let (len_raw, json) = rest.split_once(' ').ok_or_else(|| torn(rest))?;
+    let expected = u64::from_str_radix(checksum_raw, 16).map_err(|_| torn(line))?;
+    let declared: usize = len_raw.parse().map_err(|_| torn(line))?;
+    if json.len() < declared {
+        // Shorter than promised: the classic torn append (the final line
+        // of a crashed process), regardless of position.
+        return Err(RecoveryError::TornRecord { line: number });
+    }
+    if json.len() > declared {
+        return Err(RecoveryError::Malformed {
+            line: number,
+            detail: format!("record longer than declared ({} > {declared})", json.len()),
+        });
+    }
+    let found = fnv1a(json.as_bytes());
+    if found != expected {
+        return Err(RecoveryError::ChecksumMismatch {
+            line: number,
+            expected,
+            found,
+        });
+    }
+    serde_json::from_str::<JournalRecord>(json)
+        .map(Some)
+        .map_err(|e| RecoveryError::Malformed {
+            line: number,
+            detail: e.to_string(),
+        })
+}
+
+/// Per-job state accumulated during replay.
+struct JobTrace {
+    spec: Option<JobSpec>,
+    ckpt: Option<(String, u64)>,
+    terminal: bool,
+}
+
+/// Replays the journal in `spool`, reconstructing the live job set. Never
+/// fails: a missing journal is an empty one; every defect becomes a typed
+/// entry in the summary. Checkpoints referenced by suspended jobs are
+/// validated (existence + header fingerprint) before being trusted.
+pub fn replay(spool: &Path) -> Replay {
+    let mut summary = RecoverySummary::default();
+    let path = spool.join(JOURNAL_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) if error.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(error) => {
+            summary.errors.push(RecoveryError::Io {
+                path: path.display().to_string(),
+                message: error.to_string(),
+            });
+            String::new()
+        }
+    };
+
+    let mut jobs: Vec<(u64, JobTrace)> = Vec::new();
+    let mut next_id = 1u64;
+    if !text.is_empty() {
+        // Header line first; anything else means the file is not ours (or
+        // predates the format) — report and treat as empty.
+        let (header, body) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+        let header_ok = {
+            let mut tokens = header.split(' ');
+            tokens.next() == Some(MAGIC)
+                && tokens
+                    .next()
+                    .and_then(|t| t.strip_prefix('v'))
+                    .and_then(|v| v.parse::<u32>().ok())
+                    == Some(VERSION)
+        };
+        if !header_ok {
+            summary.errors.push(RecoveryError::BadHeader {
+                detail: format!("first line is `{}`", truncate_for_log(header)),
+            });
+        } else {
+            let complete_final = body.ends_with('\n');
+            let lines: Vec<&str> = body.split('\n').collect();
+            // split leaves one trailing "" when the body ends in \n.
+            let count = lines.len();
+            for (index, line) in lines.into_iter().enumerate() {
+                let number = index + 2; // 1-based, after the header
+                                        // A final line with no trailing newline is the signature
+                                        // of a crash mid-append: framing damage there is a torn
+                                        // record, not corruption.
+                let torn_frame_ok = index + 1 == count && !complete_final;
+                match parse_record(line, number, torn_frame_ok) {
+                    Ok(Some(record)) => {
+                        let id = record.id();
+                        next_id = next_id.max(id + 1);
+                        let trace = match jobs.iter_mut().find(|(existing, _)| *existing == id) {
+                            Some((_, trace)) => trace,
+                            None => {
+                                jobs.push((
+                                    id,
+                                    JobTrace {
+                                        spec: None,
+                                        ckpt: None,
+                                        terminal: false,
+                                    },
+                                ));
+                                &mut jobs.last_mut().expect("just pushed").1
+                            }
+                        };
+                        match record {
+                            JournalRecord::Submitted { spec, .. } => trace.spec = Some(spec),
+                            JournalRecord::Started { .. } => {}
+                            JournalRecord::Suspended {
+                                ckpt, fingerprint, ..
+                            } => trace.ckpt = Some((ckpt, fingerprint)),
+                            JournalRecord::Done { .. }
+                            | JournalRecord::Failed { .. }
+                            | JournalRecord::Cancelled { .. } => trace.terminal = true,
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(error) => summary.errors.push(error),
+                }
+            }
+        }
+    }
+
+    let mut live = Vec::new();
+    for (id, trace) in jobs {
+        if trace.terminal {
+            summary.discarded += 1;
+            continue;
+        }
+        let Some(spec) = trace.spec else {
+            // Lifecycle records without a surviving Submitted (its line was
+            // damaged): nothing to re-run. The already-recorded parse error
+            // explains why.
+            continue;
+        };
+        let mut resume_from = None;
+        let mut fingerprint = None;
+        if let Some((ckpt, journaled)) = trace.ckpt {
+            let ckpt_path = PathBuf::from(&ckpt);
+            if !ckpt_path.exists() {
+                summary.errors.push(RecoveryError::MissingCheckpoint {
+                    job: id,
+                    path: ckpt,
+                });
+            } else {
+                match Snapshot::peek_fingerprint(&ckpt_path) {
+                    Ok(found) if found == journaled => {
+                        resume_from = Some(ckpt_path);
+                        fingerprint = Some(journaled);
+                    }
+                    Ok(found) => summary.errors.push(RecoveryError::StaleCheckpoint {
+                        job: id,
+                        detail: format!("fingerprint {found:016x} != journaled {journaled:016x}"),
+                    }),
+                    Err(error) => summary.errors.push(RecoveryError::StaleCheckpoint {
+                        job: id,
+                        detail: error.to_string(),
+                    }),
+                }
+            }
+        }
+        if resume_from.is_some() {
+            summary.resumed += 1;
+        } else {
+            summary.requeued += 1;
+        }
+        live.push(RecoveredJob {
+            id,
+            spec,
+            resume_from,
+            fingerprint,
+        });
+    }
+
+    Replay {
+        live,
+        next_id,
+        summary,
+    }
+}
+
+/// Removes spool files no live job references: checkpoints of finished or
+/// stale jobs, and `.tmp` leftovers of interrupted atomic writes. Returns
+/// how many were removed; failures become typed errors, never aborts.
+pub fn gc_orphans(spool: &Path, live: &[RecoveredJob], summary: &mut RecoverySummary) {
+    let keep: Vec<&Path> = live
+        .iter()
+        .filter_map(|job| job.resume_from.as_deref())
+        .collect();
+    let entries = match std::fs::read_dir(spool) {
+        Ok(entries) => entries,
+        Err(error) => {
+            summary.errors.push(RecoveryError::Io {
+                path: spool.display().to_string(),
+                message: error.to_string(),
+            });
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == JOURNAL_FILE {
+            continue;
+        }
+        let is_spool_artifact = name.ends_with(".ckpt") || name.ends_with(".tmp");
+        if !is_spool_artifact || keep.iter().any(|kept| *kept == path) {
+            continue;
+        }
+        match std::fs::remove_file(&path) {
+            Ok(()) => summary.orphans_removed += 1,
+            Err(error) => summary.errors.push(RecoveryError::Io {
+                path: path.display().to_string(),
+                message: error.to_string(),
+            }),
+        }
+    }
+}
+
+/// Atomically rewrites the journal to contain exactly the live jobs
+/// (fresh `Submitted` + `Suspended` records), via temp + fsync + rename.
+/// Bounds journal growth across restarts and makes recovery idempotent.
+///
+/// # Errors
+///
+/// Propagates filesystem and (unreachable) serialization errors.
+pub fn compact(spool: &Path, live: &[RecoveredJob]) -> io::Result<()> {
+    let path = spool.join(JOURNAL_FILE);
+    let tmp = spool.join(format!("{JOURNAL_FILE}.tmp"));
+    let mut text = format!("{MAGIC} v{VERSION}\n");
+    for job in live {
+        let mut records = vec![JournalRecord::Submitted {
+            id: job.id,
+            spec: job.spec.clone(),
+        }];
+        if let (Some(ckpt), Some(fingerprint)) = (&job.resume_from, job.fingerprint) {
+            records.push(JournalRecord::Suspended {
+                id: job.id,
+                ckpt: ckpt.display().to_string(),
+                fingerprint,
+            });
+        }
+        for record in &records {
+            let json = serde_json::to_string(record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            text.push_str(&format!(
+                "{:016x} {} {json}\n",
+                fnv1a(json.as_bytes()),
+                json.len()
+            ));
+        }
+    }
+    let mut file = File::create(&tmp)?;
+    file.write_all(text.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, &path)
+}
+
+/// Clips pathological header lines out of log messages.
+fn truncate_for_log(line: &str) -> String {
+    const LIMIT: usize = 64;
+    if line.len() <= LIMIT {
+        line.to_string()
+    } else {
+        let mut end = LIMIT;
+        while !line.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &line[..end])
+    }
+}
+
+/// Reads the whole journal text (tests and diagnostics).
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than `NotFound` (missing = empty).
+pub fn read_text(spool: &Path) -> io::Result<String> {
+    let mut text = String::new();
+    match File::open(spool.join(JOURNAL_FILE)) {
+        Ok(mut file) => {
+            file.read_to_string(&mut text)?;
+            Ok(text)
+        }
+        Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(text),
+        Err(error) => Err(error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ps-journal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("spool dir");
+        dir
+    }
+
+    fn spec(tag: &str) -> JobSpec {
+        JobSpec {
+            source: format!("int {tag}() {{ return 0; }}"),
+            edl: format!("enclave {{ trusted {{ public int {tag}(); }}; }};"),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = spool("roundtrip");
+        let mut journal = Journal::open(&dir).expect("open");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 1,
+                spec: spec("a"),
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Started { id: 1 })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 2,
+                spec: spec("b"),
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Done { id: 1, exit: 0 })
+            .expect("append");
+        let replayed = replay(&dir);
+        assert_eq!(replayed.summary.errors, Vec::new());
+        assert_eq!(replayed.summary.discarded, 1);
+        assert_eq!(replayed.next_id, 3);
+        assert_eq!(replayed.live.len(), 1);
+        assert_eq!(replayed.live[0].id, 2);
+        assert_eq!(replayed.live[0].spec, spec("b"));
+        assert_eq!(replayed.live[0].resume_from, None);
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_not_fatal() {
+        let dir = spool("torn");
+        let mut journal = Journal::open(&dir).expect("open");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 1,
+                spec: spec("a"),
+            })
+            .expect("append");
+        // Simulate a crash mid-append: half a record, no newline.
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("0123456789abcdef 400 {\"Submitted\":{\"id\":9");
+        std::fs::write(&path, text).expect("write");
+        let replayed = replay(&dir);
+        assert_eq!(replayed.live.len(), 1, "the intact record survives");
+        assert!(
+            replayed
+                .summary
+                .errors
+                .iter()
+                .any(|e| matches!(e, RecoveryError::TornRecord { .. })),
+            "torn tail is reported: {:?}",
+            replayed.summary.errors
+        );
+    }
+
+    #[test]
+    fn interior_checksum_mismatch_skips_one_record() {
+        let dir = spool("corrupt");
+        let mut journal = Journal::open(&dir).expect("open");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 1,
+                spec: spec("a"),
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 2,
+                spec: spec("b"),
+            })
+            .expect("append");
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).expect("read");
+        // Flip one payload byte of the first record (line 2).
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let flipped = lines[1].replace("\"id\":1", "\"id\":7");
+        assert_ne!(flipped, lines[1], "fixture edits the record");
+        lines[1] = flipped;
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write");
+        let replayed = replay(&dir);
+        assert_eq!(replayed.live.len(), 1, "the undamaged record survives");
+        assert_eq!(replayed.live[0].id, 2);
+        assert!(
+            replayed
+                .summary
+                .errors
+                .iter()
+                .any(|e| matches!(e, RecoveryError::ChecksumMismatch { line: 2, .. })),
+            "corruption is typed: {:?}",
+            replayed.summary.errors
+        );
+    }
+
+    #[test]
+    fn bad_header_is_reported_and_treated_as_empty() {
+        let dir = spool("badheader");
+        std::fs::write(dir.join(JOURNAL_FILE), "not a journal\n").expect("write");
+        let replayed = replay(&dir);
+        assert_eq!(replayed.live.len(), 0);
+        assert!(matches!(
+            replayed.summary.errors.as_slice(),
+            [RecoveryError::BadHeader { .. }]
+        ));
+    }
+
+    #[test]
+    fn missing_checkpoint_restarts_from_scratch() {
+        let dir = spool("missingckpt");
+        let mut journal = Journal::open(&dir).expect("open");
+        journal
+            .append(&JournalRecord::Submitted {
+                id: 1,
+                spec: spec("a"),
+            })
+            .expect("append");
+        journal
+            .append(&JournalRecord::Suspended {
+                id: 1,
+                ckpt: dir.join("job-1.ckpt").display().to_string(),
+                fingerprint: 0xabcd,
+            })
+            .expect("append");
+        let replayed = replay(&dir);
+        assert_eq!(replayed.live.len(), 1);
+        assert_eq!(replayed.live[0].resume_from, None);
+        assert_eq!(replayed.summary.requeued, 1);
+        assert!(matches!(
+            replayed.summary.errors.as_slice(),
+            [RecoveryError::MissingCheckpoint { job: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn compact_then_replay_is_idempotent() {
+        let dir = spool("idempotent");
+        let mut journal = Journal::open(&dir).expect("open");
+        for id in 1..=3u64 {
+            journal
+                .append(&JournalRecord::Submitted {
+                    id,
+                    spec: spec("a"),
+                })
+                .expect("append");
+        }
+        journal
+            .append(&JournalRecord::Done { id: 2, exit: 0 })
+            .expect("append");
+        let first = replay(&dir);
+        compact(&dir, &first.live).expect("compact");
+        let second = replay(&dir);
+        assert_eq!(first.live, second.live, "double recovery diverged");
+        assert_eq!(second.summary.errors, Vec::new());
+        assert_eq!(second.summary.discarded, 0, "compaction dropped terminals");
+        let third = replay(&dir);
+        assert_eq!(second.live, third.live);
+    }
+}

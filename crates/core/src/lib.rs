@@ -52,6 +52,7 @@ pub mod analyzer;
 pub mod baseline;
 pub mod error;
 pub mod invert;
+pub mod journal;
 pub mod nonrev;
 pub mod protocol;
 pub mod report;

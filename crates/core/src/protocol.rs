@@ -10,6 +10,20 @@
 //! Reports travel pre-rendered (`reports` = pretty JSON, `rendered` = the
 //! human Box-1 text) so a client prints byte-for-byte what a local CLI run
 //! would have printed, without needing to re-serialize.
+//!
+//! # Hardening
+//!
+//! The reader side is bounded: [`FrameReader`] enforces a maximum frame
+//! size (default [`DEFAULT_MAX_FRAME_BYTES`]) so a single giant line
+//! cannot OOM the daemon, maps socket read timeouts to a typed
+//! [`FrameError::TimedOut`], and *resynchronises* after damage — an
+//! oversized or malformed line is consumed up to its newline, so the
+//! next valid line decodes normally. Overload and recovery outcomes are
+//! first-class frames ([`ServerFrame::Rejected`],
+//! [`ServerFrame::Recovery`]) rather than dropped connections.
+
+use std::fmt;
+use std::io::{BufRead, ErrorKind};
 
 use serde::{Deserialize, Serialize};
 
@@ -32,9 +46,18 @@ pub enum ClientFrame {
     },
     /// Ask for a job's lifecycle state.
     Status { job: u64 },
+    /// Ask for a terminal job's result: answered with `Done`/`Error` once
+    /// the job finished, or `State` while it is still in flight. This is
+    /// how a client re-attaches to a job that outlived its original
+    /// connection (daemon restart, disconnect-park policy).
+    Fetch { job: u64 },
+    /// Ask what the daemon's crash-recovery pass did at startup.
+    Recovery,
     /// Liveness probe.
     Ping,
-    /// Ask the daemon to exit once the connection closes.
+    /// Ask the daemon to drain gracefully and exit: stop admitting, park
+    /// running jobs at their next wave boundary into the journaled spool,
+    /// then exit 0. Equivalent to SIGTERM.
     Shutdown,
 }
 
@@ -59,8 +82,186 @@ pub enum ServerFrame {
     },
     /// Terminal failure (exit 2): the inputs were rejected.
     Error { job: u64, message: String },
+    /// Admission control shed the submission (`job` is always 0 — no id
+    /// was allocated). `code` is the stable machine class
+    /// (`queue_full` / `path_budget` / `draining`), `reason` the human
+    /// explanation. The connection stays open: the client may retry.
+    Rejected {
+        job: u64,
+        code: String,
+        reason: String,
+    },
+    /// What the daemon's crash-recovery pass did at startup, in answer to
+    /// a `Recovery` query: journaled jobs re-enqueued from scratch or
+    /// resumed from validated spool checkpoints, terminal records
+    /// discarded, orphaned spool files removed, and every typed
+    /// recovery error rendered one per entry.
+    Recovery {
+        requeued: u64,
+        resumed: u64,
+        discarded: u64,
+        orphans_removed: u64,
+        errors: Vec<String>,
+    },
     /// Answer to `Ping` (and acknowledgement of `Shutdown`).
     Pong,
+}
+
+/// Default bound on one NDJSON frame (16 MB): generous for real enclave
+/// sources, small enough that a hostile or broken client cannot make the
+/// daemon buffer an unbounded line.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Typed failure of one bounded frame read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the reader's frame-size bound. The excess was
+    /// consumed up to the next newline (or EOF), so the stream is
+    /// resynchronised: the next read starts at a line boundary.
+    Oversized { limit: usize },
+    /// The underlying stream's read timeout elapsed mid-frame (idle
+    /// client, half-open connection).
+    TimedOut,
+    /// Any other I/O failure; the connection is unusable.
+    Io { message: String },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            FrameError::TimedOut => f.write_str("read timed out waiting for a frame"),
+            FrameError::Io { message } => write!(f, "read failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A bounded NDJSON line reader: like [`BufRead::read_line`] but it never
+/// buffers more than `max_frame_bytes` of one line, maps timeouts to a
+/// typed error, and skips to the next line boundary after an oversized
+/// frame so the caller can keep decoding (resynchronisation).
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    reader: R,
+    max_frame_bytes: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered reader with the given frame-size bound
+    /// (`0` = [`DEFAULT_MAX_FRAME_BYTES`]).
+    pub fn new(reader: R, max_frame_bytes: usize) -> FrameReader<R> {
+        FrameReader {
+            reader,
+            max_frame_bytes: if max_frame_bytes == 0 {
+                DEFAULT_MAX_FRAME_BYTES
+            } else {
+                max_frame_bytes
+            },
+        }
+    }
+
+    /// The active frame-size bound.
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// Reads the next line (without its newline). `Ok(None)` is a clean
+    /// EOF at a line boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when the line exceeds the bound (the
+    /// rest of the line is discarded so the next call resynchronises),
+    /// [`FrameError::TimedOut`] when the stream's read timeout fires, and
+    /// [`FrameError::Io`] for any other failure.
+    pub fn next_line(&mut self) -> Result<Option<String>, FrameError> {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            let available = match self.reader.fill_buf() {
+                Ok(buffer) => buffer,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                Err(error)
+                    if error.kind() == ErrorKind::WouldBlock
+                        || error.kind() == ErrorKind::TimedOut =>
+                {
+                    return Err(FrameError::TimedOut)
+                }
+                Err(error) => {
+                    return Err(FrameError::Io {
+                        message: error.to_string(),
+                    })
+                }
+            };
+            if available.is_empty() {
+                // EOF. A partial line with no newline is still delivered;
+                // the decoder will classify it.
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+                };
+            }
+            let newline = available.iter().position(|&b| b == b'\n');
+            let take = newline.map_or(available.len(), |at| at);
+            if line.len() + take > self.max_frame_bytes {
+                let consumed = available.len().min(take + usize::from(newline.is_some()));
+                self.reader.consume(consumed);
+                self.discard_to_newline(newline.is_some())?;
+                return Err(FrameError::Oversized {
+                    limit: self.max_frame_bytes,
+                });
+            }
+            line.extend_from_slice(&available[..take]);
+            let done = newline.is_some();
+            self.reader.consume(take + usize::from(done));
+            if done {
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+        }
+    }
+
+    /// After an oversized frame: drop bytes until a newline (or EOF) so
+    /// the stream is back at a line boundary. Already-found newlines skip
+    /// the scan.
+    fn discard_to_newline(&mut self, already_complete: bool) -> Result<(), FrameError> {
+        if already_complete {
+            return Ok(());
+        }
+        loop {
+            let available = match self.reader.fill_buf() {
+                Ok(buffer) => buffer,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                Err(error)
+                    if error.kind() == ErrorKind::WouldBlock
+                        || error.kind() == ErrorKind::TimedOut =>
+                {
+                    return Err(FrameError::TimedOut)
+                }
+                Err(error) => {
+                    return Err(FrameError::Io {
+                        message: error.to_string(),
+                    })
+                }
+            };
+            if available.is_empty() {
+                return Ok(());
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(at) => {
+                    self.reader.consume(at + 1);
+                    return Ok(());
+                }
+                None => {
+                    let all = available.len();
+                    self.reader.consume(all);
+                }
+            }
+        }
+    }
 }
 
 /// Encodes a frame as one NDJSON line (no trailing newline).
@@ -101,6 +302,8 @@ mod tests {
                 progress: true,
             },
             ClientFrame::Status { job: 7 },
+            ClientFrame::Fetch { job: 7 },
+            ClientFrame::Recovery,
             ClientFrame::Ping,
             ClientFrame::Shutdown,
         ];
@@ -131,6 +334,18 @@ mod tests {
                 job: 2,
                 message: "parse error".into(),
             },
+            ServerFrame::Rejected {
+                job: 0,
+                code: "queue_full".into(),
+                reason: "queue is full (8 waiting, limit 8); retry later".into(),
+            },
+            ServerFrame::Recovery {
+                requeued: 2,
+                resumed: 1,
+                discarded: 4,
+                orphans_removed: 3,
+                errors: vec!["journal record at line 7 torn mid-append; dropped".into()],
+            },
             ServerFrame::Pong,
         ];
         for frame in frames {
@@ -145,5 +360,57 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(decode::<ClientFrame>("not json").is_err());
         assert!(decode::<ServerFrame>("{\"Nope\":{}}").is_err());
+    }
+
+    #[test]
+    fn frame_reader_bounds_and_resyncs() {
+        let ping = encode(&ClientFrame::Ping).expect("encode");
+        let huge = "x".repeat(256);
+        let input = format!("{ping}\n{huge}\n{ping}\n");
+        let mut reader = FrameReader::new(std::io::Cursor::new(input.into_bytes()), 64);
+        assert_eq!(reader.next_line().expect("first line"), Some(ping.clone()));
+        assert_eq!(
+            reader.next_line(),
+            Err(FrameError::Oversized { limit: 64 }),
+            "the giant line is shed, not buffered"
+        );
+        // Resynchronised: the next valid frame decodes normally.
+        let line = reader.next_line().expect("resync").expect("third line");
+        assert_eq!(decode::<ClientFrame>(&line), Ok(ClientFrame::Ping));
+        assert_eq!(reader.next_line().expect("eof"), None);
+    }
+
+    #[test]
+    fn frame_reader_delivers_final_unterminated_line() {
+        let mut reader = FrameReader::new(std::io::Cursor::new(b"{\"Status\":{\"jo".to_vec()), 64);
+        assert_eq!(
+            reader.next_line().expect("partial final line"),
+            Some("{\"Status\":{\"jo".to_string())
+        );
+        assert_eq!(reader.next_line().expect("eof"), None);
+    }
+
+    #[test]
+    fn frame_reader_zero_uses_default_bound() {
+        let reader = FrameReader::new(std::io::Cursor::new(Vec::new()), 0);
+        assert_eq!(reader.max_frame_bytes(), DEFAULT_MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn frame_reader_oversized_straddling_buffer_chunks() {
+        // A line larger than BufReader's internal buffer exercises the
+        // multi-chunk discard path.
+        let huge = "y".repeat(64 * 1024);
+        let ping = encode(&ClientFrame::Ping).expect("encode");
+        let input = format!("{huge}\n{ping}\n");
+        let buffered =
+            std::io::BufReader::with_capacity(512, std::io::Cursor::new(input.into_bytes()));
+        let mut reader = FrameReader::new(buffered, 1024);
+        assert_eq!(
+            reader.next_line(),
+            Err(FrameError::Oversized { limit: 1024 })
+        );
+        let line = reader.next_line().expect("resync").expect("next frame");
+        assert_eq!(decode::<ClientFrame>(&line), Ok(ClientFrame::Ping));
     }
 }

@@ -30,6 +30,26 @@
 //! analysis results: the same [`JobSpec`] yields the same reports whether
 //! it ran via the CLI, on a 1-worker pool, on an 8-worker pool, or across
 //! a suspend/resume migration.
+//!
+//! # Crash recovery and overload resilience
+//!
+//! Every lifecycle transition is durably journaled (see [`crate::journal`])
+//! before it takes effect, so a `kill -9` loses no admitted job: on the
+//! next [`AnalysisService::start`] with the same spool directory, a
+//! recovery pass replays the journal, re-enqueues jobs that never
+//! finished (resuming suspended ones from their validated spool
+//! checkpoints), garbage-collects orphaned spool files, and compacts the
+//! journal. A recovered job's report is byte-identical to an
+//! uninterrupted run — re-execution and checkpoint resume are both
+//! deterministic.
+//!
+//! Admission is bounded: [`ServiceConfig::max_queue`] caps queue depth
+//! and [`ServiceConfig::max_job_paths`] caps the per-job path budget;
+//! [`AnalysisService::submit`] returns a typed [`RejectReason`] instead
+//! of wedging the pool. [`AnalysisService::drain`] implements graceful
+//! shutdown: stop admitting, park running jobs at their next wave
+//! boundary into the spool (journaled), and leave the queue for the next
+//! start to recover.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -39,9 +59,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
 use symexec::degrade::{CancelToken, Degradation, YieldToken};
 
 use crate::analyzer::{Analyzer, AnalyzerOptions};
+use crate::journal::{self, Journal, JournalRecord, RecoverySummary};
 use crate::report::Report;
 
 /// Locks a mutex, riding through poisoning: a worker that panicked while
@@ -55,7 +77,9 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Everything needed to run one analysis job: the enclave inputs plus the
 /// per-job engine options the CLI would have taken from flags.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Serializable so the job journal can persist admitted jobs across a
+/// daemon crash.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Mini-C enclave source.
     pub source: String,
@@ -154,9 +178,79 @@ pub struct ServiceConfig {
     /// whenever other jobs are waiting. `None` disables preemption (jobs
     /// still round-robin through the FIFO queue).
     pub slice: Option<Duration>,
-    /// Directory for suspension checkpoints (created if missing).
+    /// Directory for suspension checkpoints and the job journal (created
+    /// if missing).
     pub spool: PathBuf,
+    /// Admission cap on queue depth: a submit that would leave more than
+    /// this many jobs waiting is rejected with
+    /// [`RejectReason::QueueFull`]. `0` = unbounded.
+    pub max_queue: usize,
+    /// Admission cap on a job's path budget ([`JobSpec::max_paths`]):
+    /// larger requests are rejected with [`RejectReason::PathBudget`]
+    /// instead of letting one job monopolise memory. `0` = uncapped.
+    pub max_job_paths: usize,
+    /// Telemetry handle for recovery spans and shed/reject/park counters
+    /// (disabled = all no-ops; observational either way).
+    pub telemetry: telemetry::Telemetry,
 }
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool: 2,
+            slice: None,
+            spool: std::env::temp_dir().join(format!("privacyscope-spool-{}", std::process::id())),
+            max_queue: 0,
+            max_job_paths: 0,
+            telemetry: telemetry::Telemetry::disabled(),
+        }
+    }
+}
+
+/// Why a submission was refused at the door. Admission control converts
+/// overload into a typed, observable answer — never a dropped connection
+/// or a wedged queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The run queue is at its configured depth cap.
+    QueueFull { depth: usize, limit: usize },
+    /// The job asked for a larger path budget than the service admits.
+    PathBudget { requested: usize, cap: usize },
+    /// The service is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable machine-readable class, used in protocol frames and
+    /// telemetry counter names.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::PathBudget { .. } => "path_budget",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, limit } => write!(
+                f,
+                "queue is full ({depth} waiting, limit {limit}); retry later"
+            ),
+            RejectReason::PathBudget { requested, cap } => write!(
+                f,
+                "requested path budget {requested} exceeds the service cap {cap}"
+            ),
+            RejectReason::Draining => {
+                f.write_str("service is draining for shutdown and admits no new jobs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
 
 struct Job {
     spec: JobSpec,
@@ -176,6 +270,10 @@ struct Job {
     /// Whether the current slice can honour a yield request (single-target
     /// explorations only — multi-target jobs run to completion).
     suspendable: bool,
+    /// Park instead of requeue at the next suspension (disconnect policy
+    /// or drain): the job stays `Suspended` in the spool until a later
+    /// recovery pass picks it back up.
+    parked: bool,
     suspensions: u32,
     outcome: Option<JobOutcome>,
 }
@@ -185,16 +283,45 @@ struct State {
     jobs: BTreeMap<u64, Job>,
     next_id: u64,
     shutdown: bool,
+    /// Drain mode: admission rejects, workers stop dequeuing, running
+    /// jobs park at their next wave boundary.
+    draining: bool,
 }
 
 struct Shared {
     state: Mutex<State>,
     /// Wakes pool workers when the queue grows or shutdown begins.
     work_cv: Condvar,
-    /// Wakes `wait()`ers when any job reaches a terminal state.
+    /// Wakes `wait()`ers when any job reaches a terminal state (and
+    /// `drain()`ers when a running job parks).
     done_cv: Condvar,
     spool: PathBuf,
     slice: Option<Duration>,
+    max_queue: usize,
+    max_job_paths: usize,
+    /// Durable job journal; a failed append degrades crash durability,
+    /// never availability (`None` only if the spool became unwritable).
+    journal: Mutex<Option<Journal>>,
+    /// What the recovery pass at start did (empty summary on a cold
+    /// spool).
+    recovery: RecoverySummary,
+    telemetry: telemetry::Telemetry,
+}
+
+impl Shared {
+    /// Durably appends one journal record. Failures are typed into
+    /// telemetry (`service.journal_failed`) and otherwise ignored: the
+    /// job still runs, only crash durability for this transition is lost.
+    fn journal_append(&self, record: &JournalRecord) {
+        let mut guard = lock(&self.journal);
+        if let Some(journal) = guard.as_mut() {
+            if let Err(error) = journal.append(record) {
+                self.telemetry.counter("service.journal_failed", 1);
+                self.telemetry
+                    .warn(|| format!("journal append failed: {error}"));
+            }
+        }
+    }
 }
 
 /// The analysis service. `Send + Sync`: share it behind an `Arc` and
@@ -217,24 +344,98 @@ impl fmt::Debug for AnalysisService {
 
 impl AnalysisService {
     /// Starts the worker pool (and the preemption scheduler, when a slice
-    /// is configured).
+    /// is configured), after running a crash-recovery pass over the spool
+    /// directory: journaled jobs that never finished are re-enqueued
+    /// (suspended ones resume from their validated checkpoints), orphaned
+    /// spool files are garbage-collected, and the journal is compacted.
+    /// Every defect found on the way is a typed entry in
+    /// [`AnalysisService::recovery`], never an abort.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the spool directory cannot be created.
+    /// Returns the I/O error if the spool directory cannot be created or
+    /// the journal cannot be opened for appending.
     pub fn start(config: ServiceConfig) -> io::Result<AnalysisService> {
         std::fs::create_dir_all(&config.spool)?;
+
+        let mut span = config.telemetry.span("recovery", None);
+        let replayed = journal::replay(&config.spool);
+        let mut summary = replayed.summary;
+        journal::gc_orphans(&config.spool, &replayed.live, &mut summary);
+        if let Err(error) = journal::compact(&config.spool, &replayed.live) {
+            summary.errors.push(journal::RecoveryError::Io {
+                path: config.spool.display().to_string(),
+                message: error.to_string(),
+            });
+        }
+        let journal = Journal::open(&config.spool)?;
+        span.field("requeued", summary.requeued);
+        span.field("resumed", summary.resumed);
+        span.field("discarded", summary.discarded);
+        span.field("orphans_removed", summary.orphans_removed);
+        span.field("errors", summary.errors.len() as u64);
+        span.finish();
+        config
+            .telemetry
+            .counter("service.recovery.requeued", summary.requeued);
+        config
+            .telemetry
+            .counter("service.recovery.resumed", summary.resumed);
+        config
+            .telemetry
+            .counter("service.recovery.orphans_removed", summary.orphans_removed);
+        config
+            .telemetry
+            .counter("service.recovery.errors", summary.errors.len() as u64);
+        if summary.requeued + summary.resumed + summary.orphans_removed > 0
+            || !summary.errors.is_empty()
+        {
+            config.telemetry.info(|| summary.render());
+        }
+
+        let now = Instant::now();
+        let mut jobs = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for recovered in &replayed.live {
+            jobs.insert(
+                recovered.id,
+                Job {
+                    spec: recovered.spec.clone(),
+                    progress: None,
+                    state: JobState::Queued,
+                    yield_hook: YieldToken::new(),
+                    cancel: CancelToken::new(),
+                    resume_from: recovered.resume_from.clone(),
+                    deadline_at: None,
+                    submitted: now,
+                    first_started: None,
+                    slice_start: None,
+                    suspendable: false,
+                    parked: false,
+                    suspensions: 0,
+                    outcome: None,
+                },
+            );
+            queue.push_back(recovered.id);
+        }
+
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                queue: VecDeque::new(),
-                jobs: BTreeMap::new(),
-                next_id: 1,
+                queue,
+                jobs,
+                next_id: replayed.next_id,
                 shutdown: false,
+                draining: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             spool: config.spool,
             slice: config.slice,
+            max_queue: config.max_queue,
+            max_job_paths: config.max_job_paths,
+            journal: Mutex::new(Some(journal)),
+            recovery: summary,
+            telemetry: config.telemetry,
         });
         let pool = config.pool.max(1);
         let workers = (0..pool)
@@ -263,21 +464,66 @@ impl AnalysisService {
         })
     }
 
-    /// Enqueues a job; returns its id immediately.
-    pub fn submit(&self, spec: JobSpec) -> u64 {
+    /// Enqueues a job; returns its id immediately, or a typed
+    /// [`RejectReason`] when admission control sheds it (queue at depth
+    /// cap, path budget over the per-job cap, or the service draining).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`]; the job was not admitted and left no
+    /// trace.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, RejectReason> {
         self.submit_inner(spec, None)
     }
 
     /// Enqueues a job with a progress callback: every JSONL telemetry
     /// record the exploration emits is forwarded as it happens.
-    pub fn submit_with_progress(&self, spec: JobSpec, progress: ProgressFn) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] when admission control sheds the job.
+    pub fn submit_with_progress(
+        &self,
+        spec: JobSpec,
+        progress: ProgressFn,
+    ) -> Result<u64, RejectReason> {
         self.submit_inner(spec, Some(progress))
     }
 
-    fn submit_inner(&self, spec: JobSpec, progress: Option<ProgressFn>) -> u64 {
+    fn submit_inner(
+        &self,
+        spec: JobSpec,
+        progress: Option<ProgressFn>,
+    ) -> Result<u64, RejectReason> {
         let mut state = lock(&self.shared.state);
+        if let Some(reason) = self.admission_check(&state, &spec) {
+            drop(state);
+            self.shared.telemetry.counter("service.rejected", 1);
+            match reason {
+                RejectReason::QueueFull { .. } => self
+                    .shared
+                    .telemetry
+                    .counter("service.rejected.queue_full", 1),
+                RejectReason::PathBudget { .. } => self
+                    .shared
+                    .telemetry
+                    .counter("service.rejected.path_budget", 1),
+                RejectReason::Draining => self
+                    .shared
+                    .telemetry
+                    .counter("service.rejected.draining", 1),
+            }
+            return Err(reason);
+        }
         let id = state.next_id;
         state.next_id += 1;
+        // WAL discipline: the admission is durable before the job becomes
+        // visible to workers (the journal mutex is separate, but we hold
+        // the state lock, so no worker can observe the job early).
+        self.shared.journal_append(&JournalRecord::Submitted {
+            id,
+            spec: spec.clone(),
+        });
         state.jobs.insert(
             id,
             Job {
@@ -292,6 +538,7 @@ impl AnalysisService {
                 first_started: None,
                 slice_start: None,
                 suspendable: false,
+                parked: false,
                 suspensions: 0,
                 outcome: None,
             },
@@ -299,7 +546,27 @@ impl AnalysisService {
         state.queue.push_back(id);
         drop(state);
         self.shared.work_cv.notify_one();
-        id
+        Ok(id)
+    }
+
+    /// Admission decision for one spec against the current state.
+    fn admission_check(&self, state: &State, spec: &JobSpec) -> Option<RejectReason> {
+        if state.draining || state.shutdown {
+            return Some(RejectReason::Draining);
+        }
+        if self.shared.max_job_paths > 0 && spec.max_paths > self.shared.max_job_paths {
+            return Some(RejectReason::PathBudget {
+                requested: spec.max_paths,
+                cap: self.shared.max_job_paths,
+            });
+        }
+        if self.shared.max_queue > 0 && state.queue.len() >= self.shared.max_queue {
+            return Some(RejectReason::QueueFull {
+                depth: state.queue.len(),
+                limit: self.shared.max_queue,
+            });
+        }
+        None
     }
 
     /// Current lifecycle state, or `None` for an unknown id.
@@ -324,16 +591,121 @@ impl AnalysisService {
     }
 
     /// Cancels a job: a running exploration is cut at the next boundary
-    /// (terminal, with a `Cancelled` degradation in its report).
+    /// (terminal, with a `Cancelled` degradation in its report). The
+    /// cancellation is journaled immediately, so a crash between the
+    /// request and the cut does not resurrect abandoned work on restart.
     pub fn cancel(&self, id: u64) -> bool {
         let state = lock(&self.shared.state);
         match state.jobs.get(&id) {
             Some(job) if !matches!(job.state, JobState::Done | JobState::Failed) => {
                 job.cancel.cancel();
+                drop(state);
+                self.shared.telemetry.counter("service.cancelled", 1);
+                self.shared.journal_append(&JournalRecord::Cancelled { id });
                 true
             }
             _ => false,
         }
+    }
+
+    /// Parks a job out of the pool: a running job suspends into its spool
+    /// checkpoint at the next wave boundary and stays `Suspended` (it is
+    /// *not* requeued); a queued job is pulled out of the queue
+    /// immediately. Parked work is journaled and picked back up by the
+    /// recovery pass of the next service start on this spool. This is the
+    /// disconnect policy that keeps the pool from finishing work nobody
+    /// will read, without discarding it either. Returns `false` for
+    /// unknown or already-terminal jobs.
+    pub fn park(&self, id: u64) -> bool {
+        let mut state = lock(&self.shared.state);
+        let Some(job) = state.jobs.get_mut(&id) else {
+            return false;
+        };
+        match job.state {
+            JobState::Done | JobState::Failed => false,
+            JobState::Queued => {
+                job.parked = true;
+                job.state = JobState::Suspended;
+                state.queue.retain(|&queued| queued != id);
+                drop(state);
+                self.shared.telemetry.counter("service.parked", 1);
+                true
+            }
+            JobState::Running | JobState::Suspended => {
+                job.parked = true;
+                job.yield_hook.request();
+                drop(state);
+                self.shared.telemetry.counter("service.parked", 1);
+                true
+            }
+        }
+    }
+
+    /// Graceful drain for shutdown: stop admitting (submissions now
+    /// reject with [`RejectReason::Draining`]), stop dequeuing, and ask
+    /// every running job to park at its next wave boundary. Blocks until
+    /// no job is `Running` or the timeout elapses; returns `true` when
+    /// the pool drained completely. Queued and parked jobs stay durably
+    /// journaled for the next start to recover.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        {
+            let mut state = lock(&self.shared.state);
+            state.draining = true;
+        }
+        self.shared.work_cv.notify_all();
+        let deadline = Instant::now() + timeout;
+        let mut state = lock(&self.shared.state);
+        loop {
+            // Re-arm each pass: a job may become suspendable only after
+            // its slice has built the analyzer.
+            let mut running = 0usize;
+            for job in state.jobs.values_mut() {
+                if job.state == JobState::Running {
+                    running += 1;
+                    job.parked = true;
+                    job.yield_hook.request();
+                }
+            }
+            if running == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let wait = deadline
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(25));
+            let (next, _) = self
+                .shared
+                .done_cv
+                .wait_timeout(state, wait)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+    }
+
+    /// What the recovery pass at [`AnalysisService::start`] found and did.
+    pub fn recovery(&self) -> &RecoverySummary {
+        &self.shared.recovery
+    }
+
+    /// Non-blocking outcome lookup: `Some` only once the job is terminal.
+    pub fn outcome(&self, id: u64) -> Option<JobOutcome> {
+        lock(&self.shared.state)
+            .jobs
+            .get(&id)
+            .and_then(|job| job.outcome.clone())
+    }
+
+    /// Ids of every job the service knows about, with their states —
+    /// diagnostics for the daemon's recovery reporting.
+    pub fn jobs(&self) -> Vec<(u64, JobState)> {
+        lock(&self.shared.state)
+            .jobs
+            .iter()
+            .map(|(&id, job)| (id, job.state))
+            .collect()
     }
 
     /// Blocks until the job reaches a terminal state; returns its outcome
@@ -450,11 +822,13 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     return;
                 }
-                if let Some(id) = state.queue.pop_front() {
-                    if let Some(work) = begin_slice(&mut state, id) {
-                        break work;
+                if !state.draining {
+                    if let Some(id) = state.queue.pop_front() {
+                        if let Some(work) = begin_slice(&mut state, id) {
+                            break work;
+                        }
+                        continue; // cancelled-while-queued edge: next item
                     }
-                    continue; // cancelled-while-queued edge: next item
                 }
                 state = shared
                     .work_cv
@@ -462,6 +836,7 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
+        shared.journal_append(&JournalRecord::Started { id: work.id });
         run_slice(shared, work);
     }
 }
@@ -646,44 +1021,58 @@ fn run_slice(shared: &Shared, work: SliceWork) {
 }
 
 /// Parks a suspended job: records the snapshot to resume from, clears the
-/// (consumed) yield request, and requeues at the tail.
+/// (consumed) yield request, and requeues at the tail — unless the job
+/// was parked (disconnect policy or drain), in which case it stays
+/// `Suspended` in the spool for a later recovery pass. Either way the
+/// suspension is journaled with the snapshot's fingerprint so recovery
+/// can detect a stale file.
 fn suspend_job(shared: &Shared, id: u64, report: &Report, spool_path: &std::path::Path) {
     let mut state = lock(&shared.state);
     let Some(job) = state.jobs.get_mut(&id) else {
         return;
     };
-    job.resume_from = Some(
-        report
-            .checkpoint
-            .as_ref()
-            .map(PathBuf::from)
-            .unwrap_or_else(|| spool_path.to_path_buf()),
-    );
+    let ckpt = report
+        .checkpoint
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| spool_path.to_path_buf());
+    job.resume_from = Some(ckpt.clone());
     job.state = JobState::Suspended;
     job.slice_start = None;
     job.suspensions += 1;
     if std::env::var_os("SERVICE_DEBUG").is_some() {
         eprintln!(
-            "[svc] suspend job {id} -> {:?} (#{})",
-            job.resume_from, job.suspensions
+            "[svc] suspend job {id} -> {:?} (#{} parked={})",
+            job.resume_from, job.suspensions, job.parked
         );
     }
     job.yield_hook.clear();
-    state.queue.push_back(id);
+    let parked = job.parked || state.draining;
+    if !parked {
+        state.queue.push_back(id);
+    }
     drop(state);
-    shared.work_cv.notify_one();
+    shared.telemetry.counter("service.suspended", 1);
+    let fingerprint = symexec::Snapshot::peek_fingerprint(&ckpt).unwrap_or(0);
+    shared.journal_append(&JournalRecord::Suspended {
+        id,
+        ckpt: ckpt.display().to_string(),
+        fingerprint,
+    });
+    if parked {
+        // Wake drain()ers polling for the pool to empty.
+        shared.done_cv.notify_all();
+    } else {
+        shared.work_cv.notify_one();
+    }
 }
 
 fn finish_job(shared: &Shared, id: u64, reports: Vec<Report>, error: Option<String>) {
-    let spool_path = shared.spool.join(format!("job-{id}.ckpt"));
-    let _ = std::fs::remove_file(spool_path);
-    let mut state = lock(&shared.state);
-    let Some(job) = state.jobs.get_mut(&id) else {
-        return;
-    };
-    let now = Instant::now();
-    let exit = match &error {
-        Some(_) => 2,
+    // Journal the terminal state *before* removing the spool checkpoint:
+    // a crash in between leaves only an orphan file for the next
+    // recovery's GC, never a lost outcome.
+    let exit_for_journal = match &error {
+        Some(_) => 2u64,
         None => {
             let secure = reports.iter().all(Report::is_secure);
             let degraded = reports.iter().any(Report::is_degraded);
@@ -696,6 +1085,24 @@ fn finish_job(shared: &Shared, id: u64, reports: Vec<Report>, error: Option<Stri
             }
         }
     };
+    match &error {
+        Some(message) => shared.journal_append(&JournalRecord::Failed {
+            id,
+            error: message.clone(),
+        }),
+        None => shared.journal_append(&JournalRecord::Done {
+            id,
+            exit: exit_for_journal,
+        }),
+    }
+    let spool_path = shared.spool.join(format!("job-{id}.ckpt"));
+    let _ = std::fs::remove_file(spool_path);
+    let mut state = lock(&shared.state);
+    let Some(job) = state.jobs.get_mut(&id) else {
+        return;
+    };
+    let now = Instant::now();
+    let exit = u8::try_from(exit_for_journal).unwrap_or(2);
     if std::env::var_os("SERVICE_DEBUG").is_some() {
         eprintln!("[svc] finish job {id} exit={exit} err={:?}", error);
     }

@@ -75,9 +75,12 @@ fn pool_sizes_do_not_change_reports() {
             pool,
             slice: None,
             spool: spool(&format!("pool{pool}")),
+            ..ServiceConfig::default()
         })
         .expect("service starts");
-        let id = service.submit(spec.clone());
+        let id = service
+            .submit(spec.clone())
+            .expect("submission is admitted");
         let outcome = service.wait(id).expect("job reaches a terminal state");
         assert_eq!(outcome.error, None, "pool {pool}: job failed");
         assert_eq!(
@@ -102,13 +105,14 @@ fn suspend_resume_migration_is_byte_identical() {
         pool: 1,
         slice: None,
         spool: spool("migrate"),
+        ..ServiceConfig::default()
     })
     .expect("service starts");
     // Suspending a job that has not started yet is deterministic: its
     // first slice parks at wave 0 into the checkpoint, requeues, and the
     // second slice resumes from the spooled snapshot — a full migration
     // through the on-disk format.
-    let id = service.submit(spec);
+    let id = service.submit(spec).expect("submission is admitted");
     assert!(
         service.suspend(id),
         "a queued job accepts a suspend request"
@@ -143,9 +147,13 @@ fn saturated_queue_does_not_starve_any_job() {
         pool: 1,
         slice: Some(Duration::from_millis(50)),
         spool: spool("saturate"),
+        ..ServiceConfig::default()
     })
     .expect("service starts");
-    let ids: Vec<u64> = specs.iter().map(|s| service.submit(s.clone())).collect();
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| service.submit(s.clone()).expect("submission is admitted"))
+        .collect();
     for (i, id) in ids.iter().enumerate() {
         let outcome = service
             .wait(*id)

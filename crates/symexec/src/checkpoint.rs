@@ -211,6 +211,66 @@ impl Snapshot {
         Snapshot::parse(&text)
     }
 
+    /// Reads only the header line of a checkpoint file and returns its
+    /// compatibility fingerprint, without parsing (or even reading past)
+    /// the payload. Recovery passes use this to detect stale snapshots —
+    /// one written for a different analysis than the job on record —
+    /// before committing to a full resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] for unreadable files or headers
+    /// that are not a supported checkpoint header. Never panics.
+    pub fn peek_fingerprint(path: &Path) -> Result<u64, CheckpointError> {
+        use std::io::{BufRead, BufReader};
+        let file = std::fs::File::open(path).map_err(|e| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let mut header = String::new();
+        BufReader::new(file)
+            .read_line(&mut header)
+            .map_err(|e| CheckpointError::Io {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })?;
+        let header = header.trim_end_matches('\n');
+        let mut tokens = header.split(' ');
+        if tokens.next() != Some(MAGIC) {
+            return Err(CheckpointError::Malformed {
+                detail: format!("not a `{MAGIC}` file"),
+            });
+        }
+        match tokens.next().and_then(|t| t.strip_prefix('v')) {
+            Some(raw) => {
+                let version = raw.parse::<u32>().map_err(|_| CheckpointError::Malformed {
+                    detail: format!("unreadable version `{raw}`"),
+                })?;
+                if version != FORMAT_VERSION {
+                    return Err(CheckpointError::UnsupportedVersion {
+                        found: version,
+                        supported: FORMAT_VERSION,
+                    });
+                }
+            }
+            None => {
+                return Err(CheckpointError::Malformed {
+                    detail: "missing version token".into(),
+                })
+            }
+        }
+        for token in tokens {
+            if let Some(("fingerprint", raw)) = token.split_once('=') {
+                if let Ok(fingerprint) = u64::from_str_radix(raw, 16) {
+                    return Ok(fingerprint);
+                }
+            }
+        }
+        Err(CheckpointError::Malformed {
+            detail: "header lacks a fingerprint".into(),
+        })
+    }
+
     /// Parses checkpoint file contents (see the module docs for the layout).
     fn parse(text: &str) -> Result<Snapshot, CheckpointError> {
         let Some((header, payload)) = text.split_once('\n') else {
@@ -367,8 +427,10 @@ pub(crate) fn fingerprint(
 
 /// 64-bit FNV-1a — dependency-free, stable across platforms, good enough
 /// to catch truncation/corruption and source drift (not an adversarial
-/// integrity check; checkpoints are operator-local files).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// integrity check; checkpoints are operator-local files). Public so the
+/// service's job journal can checksum its records with the same function
+/// the checkpoint header uses.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &byte in bytes {
         hash ^= u64::from(byte);

@@ -1,5 +1,5 @@
 //! `loadgen` — seeded, reproducible load generation for the analysis
-//! service, plus the PR 6 throughput/latency bench.
+//! service, plus the PR 6 throughput bench and the PR 7 overload bench.
 //!
 //! ```text
 //! loadgen [--jobs <n>] [--seed <s>] [--pool <n>] [--slice-ms <n>]
@@ -8,10 +8,16 @@
 //!     and wait for every job; exits 1 if any job fails or never finishes.
 //!     With --addr the jobs go to a running `privacyscoped` over the wire;
 //!     otherwise an in-process pool of `--pool` workers runs them.
+//!     Connection-refused/reset errors are retried with bounded backoff so
+//!     a daemon that is still booting (or just restarted after a crash)
+//!     does not abort the run.
 //!
 //! loadgen --bench [--out <file>] [--jobs <n>] [--seed <s>]
 //!     bench mode: run the same seeded mix on in-process pools of 1, 4 and
-//!     8 workers; write jobs/sec and p50/p99 latency as JSON (BENCH_6).
+//!     8 workers (throughput), then re-run it against admission-bounded
+//!     pools (overload) and record per-class error counts — shed
+//!     (queue_full), rejected (path_budget/draining), disconnected — plus
+//!     the worst-case rejection latency. Written as JSON (BENCH_7).
 //! ```
 //!
 //! The job mix is a deterministic function of `--seed`: an LCG draws from
@@ -20,7 +26,7 @@
 //! byte-identical job streams — the foundation of the no-starvation smoke
 //! test and of comparable bench numbers.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -169,25 +175,66 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 }
 
-/// One measured run against a fresh in-process pool: returns per-job
-/// latencies (ms, submission → terminal) and the wall-clock seconds.
+/// One measured in-process run.
+struct LocalRun {
+    /// Per accepted job: submission → terminal, milliseconds, sorted.
+    latencies: Vec<f64>,
+    /// Per rejected submission: how long the admission decision took,
+    /// milliseconds, sorted. Bounded rejection latency means overload
+    /// answers fast instead of queueing the client behind the backlog.
+    reject_latencies: Vec<f64>,
+    wall: f64,
+    suspensions: u32,
+    failures: usize,
+    shed: usize,
+    rejected: usize,
+    accepted: usize,
+}
+
+/// One measured run against a fresh in-process pool. `max_queue` 0 keeps
+/// admission unbounded (the PR 6 throughput shape); a small bound turns
+/// the same mix into the overload shape where the tail is shed.
 fn drive_local(
     specs: &[JobSpec],
     pool: usize,
     slice_ms: u64,
-) -> Result<(Vec<f64>, f64, u32, usize), String> {
-    let spool = std::env::temp_dir().join(format!("loadgen-spool-{}-{pool}", std::process::id()));
+    max_queue: usize,
+) -> Result<LocalRun, String> {
+    let spool = std::env::temp_dir().join(format!(
+        "loadgen-spool-{}-{pool}-{max_queue}",
+        std::process::id()
+    ));
     let service = AnalysisService::start(ServiceConfig {
         pool,
         slice: (slice_ms > 0).then(|| Duration::from_millis(slice_ms)),
         spool,
+        max_queue,
+        ..ServiceConfig::default()
     })
     .map_err(|e| format!("cannot start service: {e}"))?;
     let service = Arc::new(service);
 
     let started = Instant::now();
-    let ids: Vec<u64> = specs.iter().map(|s| service.submit(s.clone())).collect();
-    let mut latencies = Vec::with_capacity(ids.len());
+    let mut ids = Vec::with_capacity(specs.len());
+    let mut shed = 0usize;
+    let mut rejected = 0usize;
+    let mut reject_latencies = Vec::new();
+    for spec in specs {
+        let before = Instant::now();
+        match service.submit(spec.clone()) {
+            Ok(id) => ids.push(id),
+            Err(reason) => {
+                reject_latencies.push(before.elapsed().as_secs_f64() * 1000.0);
+                if reason.code() == "queue_full" {
+                    shed += 1;
+                } else {
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    let accepted = ids.len();
+    let mut latencies = Vec::with_capacity(accepted);
     let mut suspensions = 0u32;
     let mut failures = 0usize;
     for id in ids {
@@ -202,51 +249,91 @@ fn drive_local(
         latencies.push(outcome.total.as_secs_f64() * 1000.0);
     }
     let wall = started.elapsed().as_secs_f64();
-    Ok((latencies, wall, suspensions, failures))
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    reject_latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(LocalRun {
+        latencies,
+        reject_latencies,
+        wall,
+        suspensions,
+        failures,
+        shed,
+        rejected,
+        accepted,
+    })
 }
 
 fn smoke_local(options: &Options) -> Result<bool, String> {
     let specs = job_mix(options.jobs, options.seed);
-    let (mut latencies, wall, suspensions, failures) =
-        drive_local(&specs, options.pool, options.slice_ms)?;
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    let run = drive_local(&specs, options.pool, options.slice_ms, 0)?;
     println!(
         "loadgen: {} jobs on a {}-worker pool in {:.2}s ({:.1} jobs/s), \
          p50 {:.1} ms, p99 {:.1} ms, {} suspension(s), {} failure(s)",
         specs.len(),
         options.pool,
-        wall,
-        specs.len() as f64 / wall.max(1e-9),
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 99.0),
-        suspensions,
-        failures,
+        run.wall,
+        specs.len() as f64 / run.wall.max(1e-9),
+        percentile(&run.latencies, 50.0),
+        percentile(&run.latencies, 99.0),
+        run.suspensions,
+        run.failures,
     );
-    if latencies.len() != specs.len() {
+    if run.latencies.len() != specs.len() {
         eprintln!(
             "loadgen: starvation: only {}/{} jobs reached a terminal state",
-            latencies.len(),
+            run.latencies.len(),
             specs.len()
         );
         return Ok(false);
     }
-    Ok(failures == 0)
+    Ok(run.failures == 0)
+}
+
+/// Connects to the daemon, retrying connection-refused/reset with bounded
+/// exponential backoff (a daemon mid-boot or mid-restart is a transient,
+/// not a run-aborting failure). Gives up after ~3 s of cumulative waiting.
+fn connect_with_retry(addr: &str) -> Result<Box<dyn ReadWriteStream>, String> {
+    let connect = || -> std::io::Result<Box<dyn ReadWriteStream>> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?))
+        } else {
+            Ok(Box::new(std::net::TcpStream::connect(addr)?))
+        }
+    };
+    let mut delay = Duration::from_millis(50);
+    let mut attempts_left = 6u32;
+    loop {
+        match connect() {
+            Ok(stream) => return Ok(stream),
+            Err(error)
+                if attempts_left > 0
+                    && matches!(
+                        error.kind(),
+                        ErrorKind::ConnectionRefused
+                            | ErrorKind::ConnectionReset
+                            | ErrorKind::ConnectionAborted
+                            | ErrorKind::NotFound
+                    ) =>
+            {
+                eprintln!(
+                    "loadgen: connect to `{addr}` failed ({error}); retrying in {}ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(800));
+                attempts_left -= 1;
+            }
+            Err(error) => return Err(format!("cannot connect to `{addr}`: {error}")),
+        }
+    }
 }
 
 /// Smoke over the wire: one connection, all submissions up front, then
-/// count terminal frames — any missing completion is starvation.
+/// count terminal frames — any missing completion is starvation. Overload
+/// answers (`Rejected`) and lost connections are counted per class rather
+/// than silently conflated with failures.
 fn smoke_remote(options: &Options, addr: &str) -> Result<bool, String> {
-    let mut stream: Box<dyn ReadWriteStream> = if let Some(path) = addr.strip_prefix("unix:") {
-        Box::new(
-            std::os::unix::net::UnixStream::connect(path)
-                .map_err(|e| format!("cannot connect to `unix:{path}`: {e}"))?,
-        )
-    } else {
-        Box::new(
-            std::net::TcpStream::connect(addr)
-                .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?,
-        )
-    };
+    let mut stream = connect_with_retry(addr)?;
 
     let specs = job_mix(options.jobs, options.seed);
     let started = Instant::now();
@@ -273,15 +360,28 @@ fn smoke_remote(options: &Options, addr: &str) -> Result<bool, String> {
     let mut accepted = 0usize;
     let mut done = 0usize;
     let mut failed = 0usize;
+    let mut rejected = 0usize;
+    let mut disconnected = false;
     let mut latencies = Vec::with_capacity(specs.len());
     let reader = BufReader::new(stream);
     for line in reader.lines() {
-        let line = line.map_err(|e| format!("lost the daemon connection: {e}"))?;
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                eprintln!("loadgen: lost the daemon connection: {error}");
+                disconnected = true;
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         match protocol::decode::<ServerFrame>(&line)? {
             ServerFrame::Accepted { .. } => accepted += 1,
+            ServerFrame::Rejected { code, reason, .. } => {
+                eprintln!("loadgen: submission rejected ({code}): {reason}");
+                rejected += 1;
+            }
             ServerFrame::Done { .. } => {
                 done += 1;
                 latencies.push(started.elapsed().as_secs_f64() * 1000.0);
@@ -292,55 +392,105 @@ fn smoke_remote(options: &Options, addr: &str) -> Result<bool, String> {
             }
             _ => {}
         }
-        if done + failed == specs.len() {
+        if done + failed + rejected == specs.len() {
             break;
         }
     }
     let wall = started.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.total_cmp(b));
     println!(
-        "loadgen: {} accepted, {done} done, {failed} failed over `{addr}` \
-         in {wall:.2}s ({:.1} jobs/s), p50 {:.1} ms, p99 {:.1} ms",
+        "loadgen: {} accepted, {done} done, {failed} failed, {rejected} rejected, \
+         {} disconnected over `{addr}` in {wall:.2}s ({:.1} jobs/s), \
+         p50 {:.1} ms, p99 {:.1} ms",
         accepted,
+        usize::from(disconnected),
         specs.len() as f64 / wall.max(1e-9),
         percentile(&latencies, 50.0),
         percentile(&latencies, 99.0),
     );
-    Ok(done == specs.len() && failed == 0)
+    Ok(done == specs.len() && failed == 0 && !disconnected)
 }
 
-/// The PR 6 bench: the same seeded mix on pools of 1, 4 and 8 workers.
+/// The PR 6/7 bench: the seeded mix on unbounded pools of 1, 4 and 8
+/// workers (throughput), then on admission-bounded pools of 1 and 4
+/// (overload) where the tail of the burst must be shed with a typed
+/// rejection — fast — while every accepted job still completes.
 fn bench(options: &Options) -> Result<bool, String> {
     let specs = job_mix(options.jobs, options.seed);
     let mut rows = Vec::new();
     for pool in [1usize, 4, 8] {
-        let (mut latencies, wall, suspensions, failures) = drive_local(&specs, pool, 0)?;
-        if failures > 0 || latencies.len() != specs.len() {
-            return Err(format!("bench run on pool {pool} lost {failures} job(s)"));
+        let run = drive_local(&specs, pool, 0, 0)?;
+        if run.failures > 0 || run.latencies.len() != specs.len() {
+            return Err(format!(
+                "bench run on pool {pool} lost {} job(s)",
+                run.failures
+            ));
         }
-        latencies.sort_by(|a, b| a.total_cmp(b));
         let row = format!(
             "    {{\n      \"pool\": {pool},\n      \"jobs_per_sec\": {:.2},\n      \
-             \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \"suspensions\": {suspensions}\n    }}",
-            specs.len() as f64 / wall.max(1e-9),
-            percentile(&latencies, 50.0),
-            percentile(&latencies, 99.0),
+             \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \"suspensions\": {}\n    }}",
+            specs.len() as f64 / run.wall.max(1e-9),
+            percentile(&run.latencies, 50.0),
+            percentile(&run.latencies, 99.0),
+            run.suspensions,
         );
         eprintln!(
             "bench: pool {pool}: {:.1} jobs/s, p50 {:.1} ms, p99 {:.1} ms",
-            specs.len() as f64 / wall.max(1e-9),
-            percentile(&latencies, 50.0),
-            percentile(&latencies, 99.0),
+            specs.len() as f64 / run.wall.max(1e-9),
+            percentile(&run.latencies, 50.0),
+            percentile(&run.latencies, 99.0),
         );
         rows.push(row);
     }
+
+    // Overload: the whole mix lands on a queue bounded at 2 × pool. The
+    // excess must be shed (queue_full) with bounded rejection latency,
+    // and no *accepted* job may starve or fail.
+    let mut overload_rows = Vec::new();
+    for pool in [1usize, 4] {
+        let max_queue = pool * 2;
+        let run = drive_local(&specs, pool, 0, max_queue)?;
+        if run.failures > 0 || run.latencies.len() != run.accepted {
+            return Err(format!(
+                "overload run on pool {pool} starved or failed {} accepted job(s)",
+                run.accepted - run.latencies.len() + run.failures
+            ));
+        }
+        let reject_p99 = percentile(&run.reject_latencies, 99.0);
+        let row = format!(
+            "    {{\n      \"pool\": {pool},\n      \"max_queue\": {max_queue},\n      \
+             \"accepted\": {},\n      \"shed\": {},\n      \"rejected\": {},\n      \
+             \"disconnected\": 0,\n      \"jobs_per_sec\": {:.2},\n      \
+             \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \
+             \"reject_p99_ms\": {:.3}\n    }}",
+            run.accepted,
+            run.shed,
+            run.rejected,
+            run.accepted as f64 / run.wall.max(1e-9),
+            percentile(&run.latencies, 50.0),
+            percentile(&run.latencies, 99.0),
+            reject_p99,
+        );
+        eprintln!(
+            "bench: overload pool {pool} (queue {max_queue}): {} accepted, {} shed, \
+             {:.1} jobs/s, p99 {:.1} ms, reject p99 {:.3} ms",
+            run.accepted,
+            run.shed,
+            run.accepted as f64 / run.wall.max(1e-9),
+            percentile(&run.latencies, 99.0),
+            reject_p99,
+        );
+        overload_rows.push(row);
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"analysis_service_throughput\",\n  \"jobs\": {},\n  \
+        "{{\n  \"bench\": \"analysis_service_resilience\",\n  \"jobs\": {},\n  \
          \"seed\": {},\n  \"job_mix\": \"mlcorpus modules + vulnerable recommender\",\n  \
-         \"concurrency\": [\n{}\n  ]\n}}\n",
+         \"concurrency\": [\n{}\n  ],\n  \"overload\": [\n{}\n  ]\n}}\n",
         specs.len(),
         options.seed,
         rows.join(",\n"),
+        overload_rows.join(",\n"),
     );
     match &options.out {
         Some(path) => {

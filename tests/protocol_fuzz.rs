@@ -1,0 +1,243 @@
+//! Protocol fuzz: a seeded generator interleaves valid frames with
+//! truncated JSON, binary garbage, oversized lines, and glued half-frames,
+//! and drives the daemon's bounded reader + decoder over the mess. The
+//! hardening contract under test:
+//!
+//! * no input panics the reader or the decoder — every defect is a typed
+//!   error ([`FrameError`] from the reader, a message string from
+//!   `decode`);
+//! * an oversized line is consumed through its newline, so the reader
+//!   *resynchronises*: every intact, in-bound valid frame in the stream
+//!   still decodes, no matter what surrounds it.
+//!
+//! The generator is a plain LCG so a failure reproduces from its seed.
+
+use std::io::BufReader;
+
+use privacyscope::protocol::{self, ClientFrame, FrameError, FrameReader};
+
+/// Deterministic linear congruential generator (Knuth MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+const LIMIT: usize = 2048;
+
+/// One fuzz line and whether it must survive the reader + decoder.
+enum Line {
+    /// Intact frame under the size bound: must decode.
+    Valid(ClientFrame),
+    /// Must produce a typed error (or be skipped) — never a panic.
+    Hostile(Vec<u8>),
+}
+
+fn valid_frame(lcg: &mut Lcg) -> ClientFrame {
+    match lcg.below(5) {
+        0 => ClientFrame::Ping,
+        1 => ClientFrame::Status { job: lcg.next() },
+        2 => ClientFrame::Fetch { job: lcg.next() },
+        3 => ClientFrame::Recovery,
+        _ => ClientFrame::Submit {
+            source: "int f(char *s) { return s[0]; }".repeat(1 + lcg.below(4) as usize),
+            edl: "enclave { trusted { public int f([in] char *s); }; };".into(),
+            config: String::new(),
+            function: "f".into(),
+            max_paths: lcg.below(4096),
+            loop_bound: lcg.below(8),
+            workers: 1,
+            deadline_ms: 0,
+            progress: false,
+        },
+    }
+}
+
+fn hostile_line(lcg: &mut Lcg) -> Vec<u8> {
+    match lcg.below(5) {
+        // Truncated frame: valid JSON cut mid-way.
+        0 => {
+            let whole = protocol::encode(&valid_frame(lcg)).expect("encode");
+            let cut = 1 + lcg.below(whole.len() as u64 - 1) as usize;
+            let mut cut = cut.min(whole.len() - 1);
+            while !whole.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            whole.as_bytes()[..cut].to_vec()
+        }
+        // Binary garbage, newline-free (the reader must not choke on
+        // invalid UTF-8).
+        1 => (0..1 + lcg.below(64))
+            .map(|_| {
+                let byte = (lcg.next() % 256) as u8;
+                if byte == b'\n' {
+                    0xFF
+                } else {
+                    byte
+                }
+            })
+            .collect(),
+        // Oversized line: beyond the reader's bound.
+        2 => {
+            let length = LIMIT + 1 + lcg.below(LIMIT as u64) as usize;
+            vec![b'x'; length]
+        }
+        // Two half-frames glued together on one line (an interleaved
+        // write from a broken client).
+        3 => {
+            let a = protocol::encode(&valid_frame(lcg)).expect("encode");
+            let b = protocol::encode(&valid_frame(lcg)).expect("encode");
+            let half = a.len() / 2;
+            let mut half = half.max(1);
+            while !a.is_char_boundary(half) {
+                half -= 1;
+            }
+            format!("{}{b}", &a[..half]).into_bytes()
+        }
+        // Valid JSON that is not a ClientFrame.
+        _ => br#"{"NotAFrame":{"x":1}}"#.to_vec(),
+    }
+}
+
+/// Builds the byte stream and the expected count of decodable frames.
+fn fuzz_stream(seed: u64, lines: usize) -> (Vec<u8>, usize) {
+    let mut lcg = Lcg(seed);
+    let mut stream = Vec::new();
+    let mut expected_valid = 0usize;
+    for _ in 0..lines {
+        let line = if lcg.below(100) < 40 {
+            Line::Valid(valid_frame(&mut lcg))
+        } else {
+            Line::Hostile(hostile_line(&mut lcg))
+        };
+        match line {
+            Line::Valid(frame) => {
+                let encoded = protocol::encode(&frame).expect("encode");
+                assert!(
+                    encoded.len() <= LIMIT,
+                    "fixture bug: valid frame exceeds the bound"
+                );
+                expected_valid += 1;
+                stream.extend_from_slice(encoded.as_bytes());
+            }
+            Line::Hostile(bytes) => stream.extend_from_slice(&bytes),
+        }
+        stream.push(b'\n');
+    }
+    (stream, expected_valid)
+}
+
+#[test]
+fn hostile_streams_never_panic_and_valid_frames_resync() {
+    for seed in [1u64, 7, 42, 20260808] {
+        let (stream, expected_valid) = fuzz_stream(seed, 300);
+        let mut frames = FrameReader::new(BufReader::with_capacity(97, stream.as_slice()), LIMIT);
+        let mut decoded = 0usize;
+        let mut typed_errors = 0usize;
+        loop {
+            match frames.next_line() {
+                Ok(None) => break,
+                Ok(Some(line)) => match protocol::decode::<ClientFrame>(&line) {
+                    Ok(_) => decoded += 1,
+                    Err(message) => {
+                        assert!(
+                            message.starts_with("malformed frame:"),
+                            "seed {seed}: decode error must be typed: {message}"
+                        );
+                        typed_errors += 1;
+                    }
+                },
+                Err(FrameError::Oversized { limit }) => {
+                    assert_eq!(limit, LIMIT, "seed {seed}: bound echoed in the error");
+                    typed_errors += 1;
+                }
+                Err(other) => {
+                    panic!("seed {seed}: in-memory stream cannot time out or fail I/O: {other}")
+                }
+            }
+        }
+        assert_eq!(
+            decoded, expected_valid,
+            "seed {seed}: every intact valid frame must decode (resynchronisation)"
+        );
+        assert!(
+            typed_errors > 0,
+            "seed {seed}: fixture should have produced hostile lines"
+        );
+    }
+}
+
+/// A stream that ends mid-frame (crash / half-close while writing): the
+/// reader delivers the partial tail once, the decoder rejects it with a
+/// typed message, and the next read is a clean EOF — never a hang or a
+/// panic.
+#[test]
+fn truncated_tail_is_a_typed_error_then_clean_eof() {
+    let whole = protocol::encode(&ClientFrame::Status { job: 9 }).expect("encode");
+    for cut in 1..whole.len() {
+        if !whole.is_char_boundary(cut) {
+            continue;
+        }
+        let mut stream = protocol::encode(&ClientFrame::Ping)
+            .expect("encode")
+            .into_bytes();
+        stream.push(b'\n');
+        stream.extend_from_slice(&whole.as_bytes()[..cut]);
+        let mut frames = FrameReader::new(BufReader::new(stream.as_slice()), LIMIT);
+
+        let first = frames.next_line().expect("intact line").expect("present");
+        assert!(protocol::decode::<ClientFrame>(&first).is_ok());
+        let tail = frames.next_line().expect("partial tail is delivered");
+        let tail = tail.expect("tail bytes exist");
+        assert!(
+            protocol::decode::<ClientFrame>(&tail).is_err(),
+            "cut at {cut}: a partial frame must not decode"
+        );
+        assert_eq!(frames.next_line().expect("clean EOF"), None);
+    }
+}
+
+/// Oversized frames straddling buffer refills at every small capacity:
+/// the reader must report the bound and resynchronise to the next line.
+#[test]
+fn oversized_lines_resync_at_any_buffer_capacity() {
+    let mut stream = vec![b'y'; LIMIT * 3];
+    stream.push(b'\n');
+    stream.extend_from_slice(
+        protocol::encode(&ClientFrame::Ping)
+            .expect("encode")
+            .as_bytes(),
+    );
+    stream.push(b'\n');
+    for capacity in [1usize, 2, 3, 16, 64, 512, 8192] {
+        let mut frames =
+            FrameReader::new(BufReader::with_capacity(capacity, stream.as_slice()), LIMIT);
+        assert!(
+            matches!(
+                frames.next_line(),
+                Err(FrameError::Oversized { limit: LIMIT })
+            ),
+            "capacity {capacity}: oversized line must be bounded"
+        );
+        let next = frames
+            .next_line()
+            .expect("resynchronised")
+            .expect("the valid line after the oversized one");
+        assert_eq!(
+            protocol::decode::<ClientFrame>(&next).expect("decodes"),
+            ClientFrame::Ping,
+            "capacity {capacity}: resynchronisation lost the next frame"
+        );
+        assert_eq!(frames.next_line().expect("clean EOF"), None);
+    }
+}
