@@ -54,9 +54,12 @@ pub mod error;
 pub mod invert;
 pub mod journal;
 pub mod nonrev;
+pub mod oracle;
+pub mod preflight;
 pub mod protocol;
 pub mod report;
 pub mod service;
+pub mod shrink;
 
 pub use analyzer::{Analyzer, AnalyzerOptions};
 pub use error::Error;

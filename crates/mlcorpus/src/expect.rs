@@ -1,0 +1,113 @@
+//! Machine-readable ground truth for injected leaks.
+//!
+//! Every payload the corpus injects — into the paper modules via
+//! [`crate::inject`] or into synthetic enclaves via [`crate::synth`] —
+//! records an [`Expectation`]: which secret should be reported leaking,
+//! through which declassification channel, and whether the flow is
+//! explicit or implicit. The case-study tests and the differential
+//! oracle (`privacyscope::oracle`) both match analyzer findings against
+//! these records, so there is exactly one source of truth for "what the
+//! analyzer must find".
+//!
+//! Matching is string-based on the analyzer's stable naming scheme
+//! (`"result[2]"`, `` "argument 0 of `ocall_debug`" ``, `"points[0]"`)
+//! rather than on `privacyscope` types, keeping `mlcorpus` free of a
+//! dependency on the analyzer crate.
+
+use std::fmt;
+
+/// Whether an injected flow is explicit (a secret value reaches an
+/// observable channel) or implicit (the observable value depends on a
+/// secret through control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LeakKind {
+    /// Observable output carries a single-source secret value.
+    Explicit,
+    /// Observable output differs across branches of a secret-guarded
+    /// conditional.
+    Implicit,
+}
+
+impl fmt::Display for LeakKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeakKind::Explicit => write!(f, "explicit"),
+            LeakKind::Implicit => write!(f, "implicit"),
+        }
+    }
+}
+
+/// Ground truth for one injected leak: the finding the analyzer is
+/// expected to produce.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Expectation {
+    /// Stable label for this injected defect, unique within its module
+    /// (e.g. `explicit-out-copy`, `synth-implicit-ocall`).
+    pub id: String,
+    /// Explicit or implicit flow.
+    pub kind: LeakKind,
+    /// The secret the analyzer must name, in its `param[index]` scheme
+    /// (e.g. `points[0]`, `secret[3]`).
+    pub secret: String,
+    /// The channel the analyzer must name: `"return value"`,
+    /// `` "argument N of `func`" ``, or an out-region like `"out[2]"`.
+    pub channel: String,
+    /// The payload text that was spliced in, for reports and repros.
+    pub payload: String,
+}
+
+impl Expectation {
+    /// Whether an analyzer finding (kind/channel/secret triple) satisfies
+    /// this expectation.
+    #[must_use]
+    pub fn matches(&self, explicit: bool, channel: &str, secret: &str) -> bool {
+        let kind = if explicit {
+            LeakKind::Explicit
+        } else {
+            LeakKind::Implicit
+        };
+        kind == self.kind && channel == self.channel && secret == self.secret
+    }
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} leak of {} via {}",
+            self.id, self.kind, self.secret, self.channel
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expectation {
+        Expectation {
+            id: "explicit-ocall".to_string(),
+            kind: LeakKind::Explicit,
+            secret: "points[1]".to_string(),
+            channel: "argument 0 of `ocall_debug`".to_string(),
+            payload: "ocall_debug((int)points[1]);".to_string(),
+        }
+    }
+
+    #[test]
+    fn matches_requires_kind_channel_and_secret() {
+        let e = sample();
+        assert!(e.matches(true, "argument 0 of `ocall_debug`", "points[1]"));
+        assert!(!e.matches(false, "argument 0 of `ocall_debug`", "points[1]"));
+        assert!(!e.matches(true, "argument 1 of `ocall_debug`", "points[1]"));
+        assert!(!e.matches(true, "argument 0 of `ocall_debug`", "points[0]"));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let text = sample().to_string();
+        assert!(text.contains("explicit"));
+        assert!(text.contains("points[1]"));
+        assert!(text.contains("ocall_debug"));
+    }
+}

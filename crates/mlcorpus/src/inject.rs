@@ -7,6 +7,7 @@
 //! at those anchors (comments are invisible to the clean build and to the
 //! LoC metric).
 
+use crate::expect::{Expectation, LeakKind};
 use crate::{CorpusError, Module};
 
 /// Where a payload is spliced.
@@ -30,6 +31,10 @@ pub struct Injection {
     pub module: Module,
     /// The payload text, for reports.
     pub payload: &'static str,
+    /// Ground truth: the findings the analyzer must produce for this
+    /// variant, shared by the case-study tests and the differential
+    /// oracle.
+    pub expectations: Vec<Expectation>,
 }
 
 fn splice(
@@ -67,11 +72,17 @@ pub const IMPLICIT_OCALL_PAYLOAD: &str =
 /// anchors (a corpus bug) — never panics, so harnesses can report it.
 pub fn kmeans_injections() -> Result<Vec<Injection>, CorpusError> {
     let base = crate::kmeans::module();
-    let mk = |name, explicit, site, payload| -> Result<Injection, CorpusError> {
+    let mk = |name: &'static str,
+              site,
+              payload: &'static str,
+              kind,
+              secret: &str,
+              channel: &str|
+     -> Result<Injection, CorpusError> {
         let source = splice(base.name, base.source, site, payload)?;
         Ok(Injection {
             name,
-            explicit,
+            explicit: kind == LeakKind::Explicit,
             module: Module {
                 name: "Kmeans(injected)",
                 // leak the modified source; Module.source is &'static str,
@@ -83,26 +94,39 @@ pub fn kmeans_injections() -> Result<Vec<Injection>, CorpusError> {
                 expected_violations: 1,
             },
             payload,
+            expectations: vec![Expectation {
+                id: name.to_string(),
+                kind,
+                secret: secret.to_string(),
+                channel: channel.to_string(),
+                payload: payload.to_string(),
+            }],
         })
     };
     Ok(vec![
         mk(
             "explicit-out-copy",
-            true,
             Site::Epilogue,
             EXPLICIT_OUT_PAYLOAD,
+            LeakKind::Explicit,
+            "points[0]",
+            "result[2]",
         )?,
         mk(
             "explicit-ocall",
-            true,
             Site::Prologue,
             EXPLICIT_OCALL_PAYLOAD,
+            LeakKind::Explicit,
+            "points[1]",
+            "argument 0 of `ocall_debug`",
         )?,
         mk(
             "implicit-ocall",
-            false,
             Site::Prologue,
             IMPLICIT_OCALL_PAYLOAD,
+            LeakKind::Implicit,
+            "points[0]",
+            "argument 0 of `ocall_progress`",
         )?,
     ])
 }

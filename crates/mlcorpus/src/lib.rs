@@ -17,10 +17,12 @@
 use std::fmt;
 
 pub mod datasets;
+pub mod expect;
 pub mod inject;
 pub mod kmeans;
 pub mod linear_regression;
 pub mod recommender;
+pub mod synth;
 
 /// A defect in the shipped corpus itself: a module whose source or EDL no
 /// longer parses, or one that lost an injection anchor. Library paths

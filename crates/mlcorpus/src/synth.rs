@@ -1,0 +1,521 @@
+//! Seeded generator of synthetic Mini-C enclave modules (soundness
+//! fuzzing, ROADMAP item 3).
+//!
+//! [`generate`] derives a whole enclave — deep helper call chains, nested
+//! constant-bound loops, pointer aliasing of the `[out]` buffer, public
+//! branching, an auxiliary ECALL and two OCALLs — deterministically from a
+//! 64-bit seed: the same seed always produces the byte-identical module.
+//! A seeded leak-taxonomy injector then splices zero or more defects from
+//! [`LeakSite`] into the module and records a ground-truth
+//! [`Expectation`] for each, so the differential oracle
+//! (`privacyscope::oracle`) can tell *missed leaks* from *false alarms*
+//! without any hand-written per-module knowledge.
+//!
+//! Design constraints that keep the ground truth trustworthy:
+//!
+//! * **Benign observables are single-valued per channel.** The analyzer's
+//!   implicit check fires when one secret-guarded π yields two distinct
+//!   observable values on a channel, so generated benign code never lets
+//!   an observable depend on a branch: public `if`s only touch a dead
+//!   `scratch` local, and every `out[...]`/OCALL/return value is the same
+//!   expression on every path. A clean generated module is therefore
+//!   provably clean under nonreversibility.
+//! * **Secret mixing is always multi-source.** Benign code folds *all*
+//!   secret bytes into one accumulator (⊤ taint), which nonreversibility
+//!   deliberately accepts — exercising the property's weaker-than-
+//!   noninterference core.
+//! * **Integer-only arithmetic, no division, no `rand()`.** Every
+//!   generated expression has identical semantics in the symbolic engine
+//!   (`symexec`), the pure evaluator (`symexec::concrete`) and the SGX
+//!   simulator (`sgx_sim::interp`), so cross-interpreter drift means a
+//!   real bug, not a modelling gap.
+//! * **Bounded path count.** Branch conditions are either concrete (loop
+//!   counters) or on public scalars; at most a handful fork, so the
+//!   analyzer exhausts the path space under small budgets and a clean
+//!   verdict is never a budget artifact.
+
+use crate::expect::{Expectation, LeakKind};
+use crate::CorpusError;
+use std::fmt;
+
+/// Number of secret bytes every synthetic enclave receives.
+pub const SECRET_LEN: usize = 8;
+/// Number of `[out]` slots; benign code writes `0..=3`, leaks `4..=7`.
+pub const OUT_LEN: usize = 8;
+/// The entry ECALL every synthetic module exposes.
+pub const ENTRY: &str = "synth_main";
+
+/// One injectable defect from the leak taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LeakSite {
+    /// `out[j] = secret[i] + c;` — explicit leak through the out buffer.
+    ExplicitOut,
+    /// `ocall_sink(secret[i] * m);` — explicit leak through an OCALL.
+    ExplicitOcall,
+    /// `return secret[i] * 3 + 7;` — explicit leak through the return.
+    ExplicitReturn,
+    /// Secret-guarded OCALL argument — implicit leak through an OCALL.
+    ImplicitOcall,
+    /// Secret-guarded early return — implicit leak through the return.
+    ImplicitReturn,
+}
+
+impl LeakSite {
+    /// All sites, in injection order.
+    pub const ALL: [LeakSite; 5] = [
+        LeakSite::ExplicitOut,
+        LeakSite::ExplicitOcall,
+        LeakSite::ExplicitReturn,
+        LeakSite::ImplicitOcall,
+        LeakSite::ImplicitReturn,
+    ];
+
+    /// Whether the injected flow is explicit or implicit.
+    #[must_use]
+    pub fn kind(self) -> LeakKind {
+        match self {
+            LeakSite::ExplicitOut | LeakSite::ExplicitOcall | LeakSite::ExplicitReturn => {
+                LeakKind::Explicit
+            }
+            LeakSite::ImplicitOcall | LeakSite::ImplicitReturn => LeakKind::Implicit,
+        }
+    }
+
+    /// Whether the leak declassifies through the return value.
+    fn uses_return(self) -> bool {
+        matches!(self, LeakSite::ExplicitReturn | LeakSite::ImplicitReturn)
+    }
+
+    fn id(self) -> &'static str {
+        match self {
+            LeakSite::ExplicitOut => "synth-explicit-out",
+            LeakSite::ExplicitOcall => "synth-explicit-ocall",
+            LeakSite::ExplicitReturn => "synth-explicit-return",
+            LeakSite::ImplicitOcall => "synth-implicit-ocall",
+            LeakSite::ImplicitReturn => "synth-implicit-return",
+        }
+    }
+}
+
+/// A requested leak plan that cannot be injected coherently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The same [`LeakSite`] was requested twice.
+    DuplicateSite(LeakSite),
+    /// Two leaks would share the return channel, so the analyzer could
+    /// only ever report one of them — the ground truth would lie.
+    ReturnChannelConflict,
+    /// More than one implicit leak: after the first secret-guarded fork,
+    /// π carries that secret on every subsequent path, so a second
+    /// implicit expectation could be masked by multi-source π taint.
+    MultipleImplicit,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::DuplicateSite(site) => {
+                write!(f, "leak site {site:?} requested more than once")
+            }
+            SynthError::ReturnChannelConflict => {
+                write!(
+                    f,
+                    "explicit and implicit return leaks are mutually exclusive"
+                )
+            }
+            SynthError::MultipleImplicit => {
+                write!(f, "at most one implicit leak can be injected per module")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// A generated synthetic enclave module with its ground-truth labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthModule {
+    /// `Synth-<seed as 16 hex digits>`.
+    pub name: String,
+    /// Mini-C source, a pure function of the seed and leak plan.
+    pub source: String,
+    /// The EDL interface (fixed shape, shared by all synthetic modules).
+    pub edl: String,
+    /// The entry ECALL ([`ENTRY`]).
+    pub entry: &'static str,
+    /// The seed the module was generated from.
+    pub seed: u64,
+    /// Ground truth: exactly the findings the analyzer must produce.
+    pub expectations: Vec<Expectation>,
+}
+
+impl SynthModule {
+    /// Checks that the generated source and EDL parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CorpusError`] found — a generator bug.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        minic::parse(&self.source).map_err(|error| CorpusError::Parse {
+            module: self.name.clone(),
+            error,
+        })?;
+        edl::parse_edl(&self.edl).map_err(|error| CorpusError::Edl {
+            module: self.name.clone(),
+            error,
+        })?;
+        Ok(())
+    }
+}
+
+/// SplitMix64 — tiny, seedable, and stable across platforms; the corpus
+/// must not depend on any external RNG's stream staying fixed.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough value in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A small positive constant for generated arithmetic.
+    fn small(&mut self) -> i64 {
+        1 + self.below(9) as i64
+    }
+}
+
+/// Generates the module for `seed`, leaks chosen by the seed itself:
+/// roughly a third of seeds are clean, the rest carry one or two defects.
+#[must_use]
+pub fn generate(seed: u64) -> SynthModule {
+    let mut rng = SplitMix64(seed ^ 0xa076_1d64_78bd_642f);
+    let leak_count = rng.below(3) as usize;
+    // Deterministic Fisher-Yates over the taxonomy, then take the first
+    // `leak_count` sites that keep the plan coherent.
+    let mut pool = LeakSite::ALL;
+    for i in (1..pool.len()).rev() {
+        pool.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let mut plan: Vec<LeakSite> = Vec::new();
+    for site in pool {
+        if plan.len() == leak_count {
+            break;
+        }
+        let return_clash = site.uses_return() && plan.iter().any(|p| p.uses_return());
+        let implicit_clash = site.kind() == LeakKind::Implicit
+            && plan.iter().any(|p| p.kind() == LeakKind::Implicit);
+        if !return_clash && !implicit_clash {
+            plan.push(site);
+        }
+    }
+    plan.sort();
+    match generate_with_leaks(seed, &plan) {
+        Ok(module) => module,
+        // The plan above satisfies every constraint by construction.
+        Err(_) => unreachable!("seed-derived leak plan is always coherent"),
+    }
+}
+
+/// Generates the module for `seed` with an explicit leak plan (used by the
+/// oracle's acceptance tests to plant a known defect).
+///
+/// # Errors
+///
+/// Returns a [`SynthError`] when the plan is incoherent (duplicate site,
+/// two return-channel leaks, or more than one implicit leak).
+pub fn generate_with_leaks(seed: u64, leaks: &[LeakSite]) -> Result<SynthModule, SynthError> {
+    for (i, site) in leaks.iter().enumerate() {
+        if leaks[..i].contains(site) {
+            return Err(SynthError::DuplicateSite(*site));
+        }
+    }
+    if leaks.iter().filter(|s| s.uses_return()).count() > 1 {
+        return Err(SynthError::ReturnChannelConflict);
+    }
+    if leaks
+        .iter()
+        .filter(|s| s.kind() == LeakKind::Implicit)
+        .count()
+        > 1
+    {
+        return Err(SynthError::MultipleImplicit);
+    }
+
+    let mut rng = SplitMix64(seed);
+    let name = format!("Synth-{seed:016x}");
+
+    // Shape parameters.
+    let helpers = 3 + rng.below(4) as usize; // 3..=6: call-chain depth
+    let pub_branches = 1 + rng.below(3) as usize; // 1..=3: forks on public data
+    let pad_loops = 1 + rng.below(2) as usize; // extra benign accumulation
+
+    // Distinct secret indices, one per planned leak.
+    let mut secret_indices: Vec<usize> = (0..SECRET_LEN).collect();
+    for i in (1..secret_indices.len()).rev() {
+        secret_indices.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+
+    let mut expectations = Vec::new();
+    let mut prologue = String::new();
+    let mut epilogue = String::new();
+    let mut leak_return = String::new();
+    for (n, site) in leaks.iter().enumerate() {
+        let idx = secret_indices[n];
+        let secret = format!("secret[{idx}]");
+        let (channel, payload) = match site {
+            LeakSite::ExplicitOut => {
+                let slot = 4 + rng.below((OUT_LEN - 4) as u64) as usize;
+                let c = rng.small();
+                let payload = format!("    out[{slot}] = secret[{idx}] + {c};\n");
+                epilogue.push_str(&payload);
+                (format!("out[{slot}]"), payload)
+            }
+            LeakSite::ExplicitOcall => {
+                let m = 2 * rng.small() + 1;
+                let payload = format!("    ocall_sink(secret[{idx}] * {m});\n");
+                prologue.push_str(&payload);
+                ("argument 0 of `ocall_sink`".to_string(), payload)
+            }
+            LeakSite::ExplicitReturn => {
+                let payload = format!("    return secret[{idx}] * 3 + 7;\n");
+                leak_return = payload.clone();
+                ("return value".to_string(), payload)
+            }
+            LeakSite::ImplicitOcall => {
+                let t = 40 + rng.below(60) as i64;
+                let a = rng.small();
+                let b = a + rng.small();
+                let payload = format!(
+                    "    if (secret[{idx}] > {t}) {{ ocall_progress({a}); }} else {{ ocall_progress({b}); }}\n"
+                );
+                prologue.push_str(&payload);
+                ("argument 0 of `ocall_progress`".to_string(), payload)
+            }
+            LeakSite::ImplicitReturn => {
+                let t = 40 + rng.below(60) as i64;
+                let r = 900 + rng.below(100) as i64;
+                let payload = format!("    if (secret[{idx}] > {t}) {{ return {r}; }}\n");
+                prologue.push_str(&payload);
+                ("return value".to_string(), payload)
+            }
+        };
+        expectations.push(Expectation {
+            id: site.id().to_string(),
+            kind: site.kind(),
+            secret,
+            channel,
+            payload: payload.trim().to_string(),
+        });
+    }
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "/* {name}: generated enclave module (mlcorpus::synth). */\n"
+    ));
+    let bias = rng.small();
+    src.push_str(&format!("int GLOBAL_BIAS = {bias};\n\n"));
+    src.push_str("void ocall_progress(int step);\nvoid ocall_sink(int value);\n\n");
+
+    // Helper chain: helper<k> calls helper<k-1>, so the entry's call into
+    // the top helper exercises an inline stack `helpers` deep.
+    for k in 0..helpers {
+        let c1 = rng.small();
+        let c2 = rng.small();
+        src.push_str(&format!("int helper{k}(int a, int b) {{\n"));
+        src.push_str(&format!("    int acc = a * {c1} + b;\n"));
+        if rng.below(2) == 0 {
+            let bound = 2 + rng.below(4);
+            src.push_str("    int i = 0;\n");
+            src.push_str(&format!(
+                "    for (i = 0; i < {bound}; i = i + 1) {{ acc = acc + (a ^ i); }}\n"
+            ));
+        }
+        if k > 0 {
+            let lower = rng.below(k as u64);
+            src.push_str(&format!("    acc = acc + helper{lower}(acc, b + {c2});\n"));
+        } else {
+            src.push_str(&format!("    acc = acc + {c2};\n"));
+        }
+        src.push_str("    return acc;\n}\n\n");
+    }
+
+    // Aliased write into the out buffer through a pointer parameter.
+    src.push_str(
+        "int mix_into(int *buf, int idx, int v) {\n    buf[idx] = v;\n    return buf[idx] + 1;\n}\n\n",
+    );
+
+    // Secondary ECALL: same helper chain, no secrets.
+    let aux_c = rng.small();
+    src.push_str(&format!(
+        "int synth_aux(int x) {{\n    return helper{top}(x, {aux_c}) & 1023;\n}}\n\n",
+        top = helpers - 1
+    ));
+
+    src.push_str(&format!(
+        "int {ENTRY}(char *secret, int pub0, int pub1, int *out) {{\n"
+    ));
+    src.push_str(&prologue);
+    let c = rng.small();
+    src.push_str(&format!("    int pacc = pub0 * {c} + pub1;\n"));
+    src.push_str("    int sacc = 0;\n    int scratch = 0;\n    int i = 0;\n    int j = 0;\n");
+    src.push_str("    int *view = out;\n");
+    // Mix every secret byte: sacc ends up multi-source (⊤), which
+    // nonreversibility accepts on any channel.
+    src.push_str(&format!(
+        "    for (i = 0; i < {SECRET_LEN}; i = i + 1) {{ sacc = sacc + secret[i]; }}\n"
+    ));
+    for _ in 0..pad_loops {
+        let b1 = 2 + rng.below(3);
+        let b2 = 2 + rng.below(3);
+        let c = rng.small();
+        src.push_str(&format!(
+            "    for (i = 0; i < {b1}; i = i + 1) {{\n        for (j = 0; j < {b2}; j = j + 1) {{ scratch = scratch + i * j + {c}; }}\n    }}\n"
+        ));
+    }
+    src.push_str(&format!(
+        "    pacc = pacc + helper{top}(pacc, pub1 + {k});\n",
+        top = helpers - 1,
+        k = rng.small()
+    ));
+    // Public branches fork paths but only touch `scratch`, so every
+    // observable keeps a single value per channel (see module docs).
+    for _ in 0..pub_branches {
+        let which = if rng.below(2) == 0 { "pub0" } else { "pub1" };
+        let t = rng.below(100) as i64;
+        let c1 = rng.small();
+        let c2 = rng.small();
+        src.push_str(&format!(
+            "    if ({which} > {t}) {{ scratch = scratch + {c1}; }} else {{ scratch = scratch - {c2}; }}\n"
+        ));
+    }
+    let c = rng.small();
+    src.push_str("    out[0] = pacc;\n");
+    src.push_str("    out[1] = sacc;\n");
+    src.push_str(&format!(
+        "    scratch = scratch + mix_into(out, 2, pacc ^ {c});\n"
+    ));
+    src.push_str("    out[3] = view[1] + GLOBAL_BIAS;\n");
+    src.push_str("    ocall_progress(pacc & 255);\n");
+    src.push_str(&epilogue);
+    if leak_return.is_empty() {
+        src.push_str("    return sacc + GLOBAL_BIAS;\n");
+    } else {
+        src.push_str(&leak_return);
+    }
+    src.push_str("}\n");
+
+    let edl = format!(
+        "enclave {{\n    trusted {{\n        public int {ENTRY}([in, count={SECRET_LEN}] char *secret,\n                           int pub0, int pub1,\n                           [out, count={OUT_LEN}] int *out);\n        public int synth_aux(int x);\n    }};\n    untrusted {{\n        void ocall_progress(int step);\n        void ocall_sink(int value);\n    }};\n}};\n"
+    );
+
+    Ok(SynthModule {
+        name,
+        source: src,
+        edl,
+        entry: ENTRY,
+        seed,
+        expectations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate(1).source, generate(2).source);
+    }
+
+    #[test]
+    fn generated_modules_validate() {
+        for seed in 0..32u64 {
+            let module = generate(seed);
+            module
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed} generated invalid module: {e}"));
+        }
+    }
+
+    #[test]
+    fn seeds_cover_clean_and_leaky_modules() {
+        let clean = (0..32u64)
+            .filter(|s| generate(*s).expectations.is_empty())
+            .count();
+        assert!(clean > 0, "some seeds must generate clean modules");
+        assert!(clean < 32, "some seeds must generate leaky modules");
+    }
+
+    #[test]
+    fn leak_plans_respect_taxonomy_constraints() {
+        for seed in 0..64u64 {
+            let module = generate(seed);
+            let implicit = module
+                .expectations
+                .iter()
+                .filter(|e| e.kind == crate::expect::LeakKind::Implicit)
+                .count();
+            assert!(implicit <= 1, "seed {seed}: at most one implicit leak");
+            let returns = module
+                .expectations
+                .iter()
+                .filter(|e| e.channel == "return value")
+                .count();
+            assert!(returns <= 1, "seed {seed}: at most one return leak");
+            let mut secrets: Vec<&str> = module
+                .expectations
+                .iter()
+                .map(|e| e.secret.as_str())
+                .collect();
+            secrets.sort_unstable();
+            secrets.dedup();
+            assert_eq!(
+                secrets.len(),
+                module.expectations.len(),
+                "seed {seed}: each leak uses a distinct secret byte"
+            );
+        }
+    }
+
+    #[test]
+    fn incoherent_plans_are_rejected() {
+        use LeakSite::*;
+        assert_eq!(
+            generate_with_leaks(1, &[ExplicitOut, ExplicitOut]),
+            Err(SynthError::DuplicateSite(ExplicitOut))
+        );
+        assert_eq!(
+            generate_with_leaks(1, &[ExplicitReturn, ImplicitReturn]),
+            Err(SynthError::ReturnChannelConflict)
+        );
+        assert!(generate_with_leaks(1, &[ImplicitOcall, ImplicitReturn]).is_err());
+    }
+
+    #[test]
+    fn planted_leak_is_labeled() {
+        let module = generate_with_leaks(7, &[LeakSite::ImplicitOcall]).expect("coherent plan");
+        assert_eq!(module.expectations.len(), 1);
+        let e = &module.expectations[0];
+        assert_eq!(e.kind, crate::expect::LeakKind::Implicit);
+        assert_eq!(e.channel, "argument 0 of `ocall_progress`");
+        assert!(module.source.contains(&e.payload));
+        module.validate().expect("planted module is valid");
+    }
+}

@@ -95,6 +95,23 @@ fn case_study_2_injected_kmeans_leaks_are_detected() {
             "payload `{}` went undetected",
             injection.name
         );
+        // Every payload carries machine-readable ground-truth labels; each
+        // must be matched by a reported (kind, channel, secret) finding.
+        assert!(
+            !injection.expectations.is_empty(),
+            "payload `{}` has no ground-truth labels",
+            injection.name
+        );
+        let keys = privacyscope::oracle::finding_keys(&report);
+        for expectation in &injection.expectations {
+            assert!(
+                keys.iter()
+                    .any(|(explicit, channel, secret)| expectation
+                        .matches(*explicit, channel, secret)),
+                "payload `{}`: expectation `{expectation}` unmatched:\n{report}",
+                injection.name
+            );
+        }
         let kinds: Vec<FindingKind> = report.findings.iter().map(|f| f.kind).collect();
         if injection.explicit {
             assert!(

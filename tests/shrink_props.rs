@@ -1,0 +1,67 @@
+//! Shrinker properties, sampled across blinded oracle configurations:
+//! every minimized reproducer must (1) still parse, (2) still reproduce
+//! the exact disagreement under the shrinker's own acceptance predicate,
+//! (3) never be larger than the original, and (4) be deterministic —
+//! shrinking the same module twice yields identical output.
+
+use proptest::prelude::*;
+
+use privacyscope::oracle::{check_module, OracleConfig};
+use privacyscope::shrink::{reproduces, shrink};
+
+/// (seed, blind-explicit?) pairs whose generated module plants a leak of
+/// the blinded kind, so the blinded analyzer is guaranteed to miss it.
+fn blinded_cases() -> impl Strategy<Value = (u64, bool)> {
+    prop_oneof![
+        Just((4u64, false)), // implicit-ocall only
+        Just((9u64, false)), // implicit-ocall (plus explicit-return)
+        Just((6u64, false)), // implicit-return (plus explicit-out)
+        Just((2u64, true)),  // explicit-ocall
+        Just((3u64, true)),  // explicit-out + explicit-return
+        Just((8u64, true)),  // explicit-return
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn shrunk_reproducers_stay_faithful((seed, blind_explicit) in blinded_cases()) {
+        let module = mlcorpus::synth::generate(seed);
+        let config = OracleConfig {
+            max_paths: 64,
+            check_explicit: !blind_explicit,
+            check_implicit: blind_explicit,
+            ..OracleConfig::default()
+        };
+        let verdict = check_module(&module, &config);
+        let target = verdict
+            .missed_leaks()
+            .next()
+            .expect("a blinded planted leak must surface as a missed leak");
+
+        let outcome = shrink(&module, target, &config);
+
+        // Validity: the minimized source is still a well-formed module.
+        prop_assert!(
+            minic::parse(&outcome.source).is_ok(),
+            "seed {seed}: shrunk source no longer parses:\n{}",
+            outcome.source
+        );
+        // Faithfulness: it still exhibits the same disagreement.
+        prop_assert!(
+            reproduces(&outcome.source, &module, target, &config),
+            "seed {seed}: shrunk source no longer reproduces:\n{}",
+            outcome.source
+        );
+        // Monotonicity: shrinking never grows the module.
+        prop_assert!(
+            outcome.loc <= outcome.original_loc,
+            "seed {seed}: {} LoC > original {}",
+            outcome.loc,
+            outcome.original_loc
+        );
+        // Determinism: the search is a fixed-order greedy fixpoint.
+        let again = shrink(&module, target, &config);
+        prop_assert_eq!(outcome, again, "seed {seed}: shrink is nondeterministic");
+    }
+}
