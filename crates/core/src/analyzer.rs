@@ -444,10 +444,18 @@ impl Analyzer {
                 time: started.elapsed(),
                 loc: minic::count_loc(&self.source),
             },
+            profile: symexec::profile::SourceProfile::resolve(
+                &exploration.profile,
+                &self.unit,
+                &self.source,
+            ),
         };
         report_span.finish();
-        telemetry.counter("analyzer.targets", 1);
-        telemetry.counter("analyzer.findings", report.findings.len() as u64);
+        telemetry.counter(telemetry::names::ANALYZER_TARGETS, 1);
+        telemetry.counter(
+            telemetry::names::ANALYZER_FINDINGS,
+            report.findings.len() as u64,
+        );
         analyze_span.field("findings", report.findings.len());
         analyze_span.field("paths", report.stats.paths);
         Ok(report)

@@ -103,6 +103,7 @@ pub fn analyze(source: &str, edl_text: &str, function: &str) -> Result<Report, E
             time: started.elapsed(),
             loc: minic::count_loc(source),
         },
+        profile: symexec::profile::SourceProfile::default(),
     })
 }
 

@@ -91,6 +91,7 @@ fn run(args: &[String]) -> Result<Verdict, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("priml") => priml_mode(&args[1..]),
+        Some("top") => top_mode(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(Verdict::clean())
@@ -106,8 +107,10 @@ usage:
                        [--workers <n>] [--deadline-ms <n>] [--checkpoint <file>]
                        [--checkpoint-every <n>] [--resume <file>] [--trace-out <file>]
                        [--metrics-out <file>] [--log-level off|warn|info|debug] [--timings]
+                       [--profile] [--profile-out <file>]
                        [--daemon <host:port | unix:/path>]
   privacyscope priml <program.priml>
+  privacyscope top <host:port | unix:/path> [--interval-ms <n>] [--iterations <n>]
 
 exit codes: 0 secure and complete, 1 violations found, 2 usage/input error,
             3 secure but paths were lost (verdict is a lower bound)
@@ -215,8 +218,9 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
             "metrics-out",
             "log-level",
             "daemon",
+            "profile-out",
         ],
-        &["json", "trace", "baseline", "timings"],
+        &["json", "trace", "baseline", "timings", "profile"],
     )?;
     let [source_path, edl_path] = cli.positional.as_slice() else {
         return Err(format!(
@@ -243,6 +247,13 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
     if cli.has("baseline") && (checkpoint.is_some() || resume.is_some()) {
         return Err("--checkpoint/--resume do not apply to the --baseline DFA".into());
     }
+    if cli.has("baseline") && (cli.has("profile") || cli.value("profile-out").is_some()) {
+        return Err(
+            "--profile/--profile-out need the exploring engine and do not apply \
+             to the --baseline DFA"
+                .into(),
+        );
+    }
 
     let log_level = match cli.value("log-level") {
         None => telemetry::Level::Off,
@@ -253,6 +264,7 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         metrics_out: cli.value("metrics-out").map(std::path::PathBuf::from),
         log_level,
         timings: cli.has("timings"),
+        collect_metrics: false,
     }
     .build()
     .map_err(|e| format!("cannot open telemetry sink: {e}"))?;
@@ -303,6 +315,7 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
     }
 
     let mut verdict = Verdict::clean();
+    let mut profiles: Vec<(String, privacyscope::SourceProfile)> = Vec::new();
     for target in &targets {
         if cli.has("baseline") {
             let report = privacyscope::baseline::analyze(&source, &edl_text, target)
@@ -318,6 +331,12 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         }
         let report = analyzer.analyze(target).map_err(|e| e.to_string())?;
         emit(&report, cli.has("json"));
+        if cli.has("profile") {
+            eprint!("{}", report.profile.render_table(target));
+        }
+        if cli.value("profile-out").is_some() {
+            profiles.push((target.clone(), report.profile.clone()));
+        }
         if let Some(path) = &report.checkpoint {
             eprintln!(
                 "privacyscope: wrote resumable checkpoint to `{path}`; \
@@ -326,6 +345,11 @@ fn analyze(args: &[String]) -> Result<Verdict, String> {
         }
         verdict.secure &= report.is_secure();
         verdict.degraded |= report.is_degraded();
+    }
+    if let Some(path) = cli.value("profile-out") {
+        let text = render_profile_document(&profiles);
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write profile output `{path}`: {e}"))?;
     }
     telemetry
         .finish()
@@ -339,6 +363,145 @@ fn emit(report: &privacyscope::Report, json: bool) {
     } else {
         println!("{report}");
     }
+}
+
+/// The machine JSON document `--profile-out` writes:
+/// `{"profiles": [{"function": ..., "rows": [...]}, ...]}`, one entry per
+/// analyzed target in target order. Deterministic: profile collection is
+/// worker-count-invariant and rows come out in line order.
+fn render_profile_document(profiles: &[(String, privacyscope::SourceProfile)]) -> String {
+    let entries = profiles
+        .iter()
+        .map(|(function, profile)| {
+            serde_json::parse(&profile.to_json(function)).expect("profile JSON parses")
+        })
+        .collect();
+    let document =
+        serde::Value::Object(vec![("profiles".to_string(), serde::Value::Array(entries))]);
+    serde_json::to_string_pretty(&document).expect("profile document serializes") + "\n"
+}
+
+/// `top <addr>`: poll the daemon's `Stats` frame and render a refreshing
+/// fleet table — queue depth, pool utilization, per-job progress, service
+/// counters, and latency histograms.
+fn top_mode(args: &[String]) -> Result<Verdict, String> {
+    use privacyscope::protocol::{self, ClientFrame, ServerFrame};
+    use std::io::{BufRead, BufReader, Write};
+
+    let cli = parse_cli(args, &["interval-ms", "iterations"], &[])?;
+    let [addr] = cli.positional.as_slice() else {
+        return Err(format!("`top` needs a daemon address\n{USAGE}"));
+    };
+    let interval =
+        std::time::Duration::from_millis(cli.u64_opt_value("interval-ms")?.unwrap_or(1000));
+    let iterations = cli.u64_opt_value("iterations")?.unwrap_or(0);
+
+    let (read_half, mut write_half): (Box<dyn std::io::Read>, Box<dyn std::io::Write>) =
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("cannot connect to daemon at `unix:{path}`: {e}"))?;
+            let reader = stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?;
+            (Box::new(reader), Box::new(stream))
+        } else {
+            let stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("cannot connect to daemon at `{addr}`: {e}"))?;
+            let reader = stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?;
+            (Box::new(reader), Box::new(stream))
+        };
+    let mut lines = BufReader::new(read_half).lines();
+    let request = protocol::encode(&ClientFrame::Stats)?;
+
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        write_half
+            .write_all(request.as_bytes())
+            .and_then(|()| write_half.write_all(b"\n"))
+            .and_then(|()| write_half.flush())
+            .map_err(|e| format!("cannot query the daemon: {e}"))?;
+        let reply = loop {
+            let Some(next) = lines.next() else {
+                return Err("daemon closed the connection".into());
+            };
+            let text = next.map_err(|e| format!("lost the daemon connection: {e}"))?;
+            if text.trim().is_empty() {
+                continue;
+            }
+            break text;
+        };
+        match protocol::decode::<ServerFrame>(&reply)? {
+            ServerFrame::Stats { service, metrics } => {
+                // Refresh in place only when watching continuously; a
+                // single-shot poll (scripts, CI) stays pipe-friendly.
+                if iterations != 1 {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_top(&service, &metrics));
+                let _ = std::io::stdout().flush();
+            }
+            other => return Err(format!("unexpected frame from daemon: {other:?}")),
+        }
+        if iterations > 0 && round >= iterations {
+            return Ok(Verdict::clean());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One `top` screen: the fleet table rendered from a `Stats` answer.
+fn render_top(
+    service: &privacyscope::ServiceStats,
+    metrics: &telemetry::MetricsSnapshot,
+) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "── privacyscoped fleet ── pool {}/{} busy · queue {} · {}",
+        service.busy,
+        service.pool,
+        service.queue_depth,
+        if service.draining {
+            "draining"
+        } else {
+            "accepting"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>6} {:>7} {:>9} {:>10}",
+        "job", "state", "susp", "waves", "frontier", "steps"
+    );
+    for job in &service.jobs {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>6} {:>7} {:>9} {:>10}",
+            job.id, job.state, job.suspensions, job.waves, job.frontier, job.steps
+        );
+    }
+    if !metrics.counters.is_empty() {
+        let _ = writeln!(out, "── counters ──");
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "{name:<40} {value:>12}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        let _ = writeln!(out, "── latency histograms ──");
+        for histogram in &metrics.histograms {
+            let mean_us = histogram.sum_us.checked_div(histogram.count).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<40} n={:<8} mean={}µs",
+                histogram.name, histogram.count, mean_us
+            );
+        }
+    }
+    out
 }
 
 /// `--daemon <addr>` client mode: submit the job to a running
@@ -357,6 +520,8 @@ fn daemon_submit(cli: &Cli, addr: &str, source: &str, edl_text: &str) -> Result<
         "metrics-out",
         "timings",
         "log-level",
+        "profile",
+        "profile-out",
     ] {
         if cli.has(flag) {
             return Err(format!(
@@ -431,7 +596,7 @@ fn daemon_submit(cli: &Cli, addr: &str, source: &str, edl_text: &str) -> Result<
             ServerFrame::Rejected { code, reason, .. } => {
                 return Err(format!("daemon rejected the submission ({code}): {reason}"));
             }
-            ServerFrame::Recovery { .. } => {}
+            ServerFrame::Recovery { .. } | ServerFrame::Stats { .. } => {}
             ServerFrame::Done {
                 exit,
                 reports,

@@ -31,8 +31,18 @@
 //!                              running jobs to park (default 30000)
 //!     --trace-out <file>       JSONL span/event trace sink
 //!     --metrics-out <file>     end-of-run metrics summary sink
+//!     --stats-out <file>       periodic fleet snapshots, one JSONL record
+//!                              per interval: `{ts_ms, service, metrics}`
+//!                              with a monotone ts_ms since daemon start
+//!     --stats-interval-ms <n>  how often --stats-out samples (default 1000)
 //!     --log-level <level>      stderr logger: off|warn|info|debug
 //! ```
+//!
+//! Live introspection: any client can send a `Stats` frame and gets back a
+//! `ServerFrame::Stats` carrying the same `{service, metrics}` snapshot the
+//! `--stats-out` sink records — queue depth, per-job lifecycle + progress,
+//! pool utilization, `service.*` counters, and latency histograms, all with
+//! deterministic field order. `privacyscope top <addr>` renders it live.
 //!
 //! On startup the daemon replays the spool journal (crash recovery: queued
 //! jobs re-enqueue, suspended jobs resume from their checkpoints, orphaned
@@ -68,7 +78,8 @@ usage:
                 [--max-job-paths <n>] [--max-frame-bytes <n>]
                 [--idle-timeout-ms <n>] [--on-disconnect cancel|park]
                 [--drain-timeout-ms <n>] [--trace-out <file>]
-                [--metrics-out <file>] [--log-level off|warn|info|debug]
+                [--metrics-out <file>] [--stats-out <file>]
+                [--stats-interval-ms <n>] [--log-level off|warn|info|debug]
 ";
 
 fn main() -> ExitCode {
@@ -166,6 +177,8 @@ struct Options {
     drain_timeout_ms: u64,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    stats_out: Option<PathBuf>,
+    stats_interval_ms: u64,
     log_level: telemetry::Level,
 }
 
@@ -184,6 +197,8 @@ impl Default for Options {
             drain_timeout_ms: 30_000,
             trace_out: None,
             metrics_out: None,
+            stats_out: None,
+            stats_interval_ms: 1000,
             log_level: telemetry::Level::Off,
         }
     }
@@ -216,6 +231,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "drain-timeout-ms",
             "trace-out",
             "metrics-out",
+            "stats-out",
+            "stats-interval-ms",
             "log-level",
         ];
         if !known.contains(&name) {
@@ -268,6 +285,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "drain-timeout-ms" => opts.drain_timeout_ms = number("drain-timeout-ms")?,
             "trace-out" => opts.trace_out = Some(PathBuf::from(value)),
             "metrics-out" => opts.metrics_out = Some(PathBuf::from(value)),
+            "stats-out" => opts.stats_out = Some(PathBuf::from(value)),
+            "stats-interval-ms" => {
+                opts.stats_interval_ms = number("stats-interval-ms")?;
+                if opts.stats_interval_ms == 0 {
+                    return Err("--stats-interval-ms 0 would busy-loop; use 1 or more".into());
+                }
+            }
             "log-level" => {
                 opts.log_level = value.parse().map_err(|e| format!("{e}"))?;
             }
@@ -289,7 +313,27 @@ struct Daemon {
     drain_timeout: Duration,
 }
 
+/// One `--stats-out` JSONL record. `ts_ms` is monotone (measured from
+/// daemon start with `Instant`, never wall-clock) so downstream validators
+/// can assert ordering; `service` and `metrics` serialize with the same
+/// deterministic field order the `Stats` wire frame uses.
+#[derive(serde::Serialize)]
+struct StatsRecord {
+    ts_ms: u64,
+    service: privacyscope::ServiceStats,
+    metrics: telemetry::MetricsSnapshot,
+}
+
 impl Daemon {
+    /// One fleet snapshot — the answer to a `Stats` frame and the payload
+    /// of each `--stats-out` record.
+    fn stats_frame(&self) -> ServerFrame {
+        ServerFrame::Stats {
+            service: self.service.stats(),
+            metrics: self.telemetry.metrics_snapshot(),
+        }
+    }
+
     /// Graceful shutdown: stop admitting, park running jobs at their next
     /// wave boundary (journaled for the next start to recover), flush
     /// telemetry, exit 0. Never returns.
@@ -342,6 +386,9 @@ fn run(args: &[String]) -> Result<(), String> {
         metrics_out: opts.metrics_out.clone(),
         log_level: opts.log_level,
         timings: false,
+        // Keep the metrics registry live even without file sinks so `Stats`
+        // frames and `--stats-out` always answer with real counters.
+        collect_metrics: true,
     }
     .build()
     .map_err(|e| format!("cannot open telemetry sink: {e}"))?;
@@ -366,6 +413,38 @@ fn run(args: &[String]) -> Result<(), String> {
         on_disconnect: opts.on_disconnect,
         drain_timeout: Duration::from_millis(opts.drain_timeout_ms),
     });
+
+    if let Some(path) = opts.stats_out.clone() {
+        let daemon = Arc::clone(&daemon);
+        let interval = Duration::from_millis(opts.stats_interval_ms);
+        let spawned = std::thread::Builder::new()
+            .name("privacyscoped-stats".to_string())
+            .spawn(move || {
+                let started = std::time::Instant::now();
+                loop {
+                    std::thread::sleep(interval);
+                    let record = StatsRecord {
+                        ts_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                        service: daemon.service.stats(),
+                        metrics: daemon.telemetry.metrics_snapshot(),
+                    };
+                    let Ok(line) = serde_json::to_string(&record) else {
+                        continue;
+                    };
+                    let appended = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .and_then(|mut file| writeln!(file, "{line}"));
+                    if let Err(error) = appended {
+                        eprintln!("privacyscoped: stats sink write failed: {error}");
+                    }
+                }
+            });
+        if let Err(error) = spawned {
+            eprintln!("privacyscoped: cannot spawn stats sampler: {error}");
+        }
+    }
 
     install_sigterm_handler();
     {
@@ -463,7 +542,9 @@ fn serve_connection(daemon: &Arc<Daemon>, stream: Box<dyn Stream>) -> Result<(),
             // Clean EOF: the client closed its half of the connection.
             Ok(None) => break Ok(()),
             Err(error @ FrameError::Oversized { .. }) => {
-                daemon.telemetry.counter("daemon.frame_oversized", 1);
+                daemon
+                    .telemetry
+                    .counter(telemetry::names::DAEMON_FRAME_OVERSIZED, 1);
                 send(
                     &writer,
                     &ServerFrame::Error {
@@ -474,7 +555,9 @@ fn serve_connection(daemon: &Arc<Daemon>, stream: Box<dyn Stream>) -> Result<(),
                 break Ok(());
             }
             Err(FrameError::TimedOut) => {
-                daemon.telemetry.counter("daemon.idle_timeout", 1);
+                daemon
+                    .telemetry
+                    .counter(telemetry::names::DAEMON_IDLE_TIMEOUT, 1);
                 send(
                     &writer,
                     &ServerFrame::Error {
@@ -493,13 +576,16 @@ fn serve_connection(daemon: &Arc<Daemon>, stream: Box<dyn Stream>) -> Result<(),
         let frame: ClientFrame = match protocol::decode(&line) {
             Ok(frame) => frame,
             Err(message) => {
-                daemon.telemetry.counter("daemon.frame_malformed", 1);
+                daemon
+                    .telemetry
+                    .counter(telemetry::names::DAEMON_FRAME_MALFORMED, 1);
                 send(&writer, &ServerFrame::Error { job: 0, message });
                 continue;
             }
         };
         match frame {
             ClientFrame::Ping => send(&writer, &ServerFrame::Pong),
+            ClientFrame::Stats => send(&writer, &daemon.stats_frame()),
             ClientFrame::Shutdown => {
                 send(&writer, &ServerFrame::Pong);
                 eprintln!("privacyscoped: Shutdown frame received; draining");
@@ -624,12 +710,16 @@ fn serve_connection(daemon: &Arc<Daemon>, stream: Box<dyn Stream>) -> Result<(),
             Some(_) => match daemon.on_disconnect {
                 DisconnectPolicy::Cancel => {
                     if daemon.service.cancel(id) {
-                        daemon.telemetry.counter("daemon.disconnect_cancelled", 1);
+                        daemon
+                            .telemetry
+                            .counter(telemetry::names::DAEMON_DISCONNECT_CANCELLED, 1);
                     }
                 }
                 DisconnectPolicy::Park => {
                     if daemon.service.park(id) {
-                        daemon.telemetry.counter("daemon.disconnect_parked", 1);
+                        daemon
+                            .telemetry
+                            .counter(telemetry::names::DAEMON_DISCONNECT_PARKED, 1);
                     }
                 }
             },

@@ -65,4 +65,7 @@ pub use analyzer::{Analyzer, AnalyzerOptions};
 pub use error::Error;
 pub use nonrev::Property;
 pub use report::{Finding, FindingKind, Report};
-pub use service::{AnalysisService, JobOutcome, JobSpec, JobState, ServiceConfig};
+pub use service::{
+    AnalysisService, JobOutcome, JobSnapshot, JobSpec, JobState, ServiceConfig, ServiceStats,
+};
+pub use symexec::profile::SourceProfile;

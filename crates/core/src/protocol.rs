@@ -53,6 +53,11 @@ pub enum ClientFrame {
     Fetch { job: u64 },
     /// Ask what the daemon's crash-recovery pass did at startup.
     Recovery,
+    /// Ask for a fleet-introspection snapshot: queue depth, per-job
+    /// lifecycle + progress, pool utilization, and the daemon's telemetry
+    /// counters and latency histograms. Answered with
+    /// [`ServerFrame::Stats`].
+    Stats,
     /// Liveness probe.
     Ping,
     /// Ask the daemon to drain gracefully and exit: stop admitting, park
@@ -102,6 +107,18 @@ pub enum ServerFrame {
         discarded: u64,
         orphans_removed: u64,
         errors: Vec<String>,
+    },
+    /// Fleet-introspection snapshot, in answer to [`ClientFrame::Stats`].
+    /// Field order is deterministic: `service` fields in declaration
+    /// order with jobs in id order, `metrics` counters and histograms in
+    /// sorted-name order — two snapshots of identical state encode
+    /// byte-identically.
+    Stats {
+        /// Queue, pool utilization, and per-job lifecycle + progress.
+        service: crate::service::ServiceStats,
+        /// The daemon's telemetry registry: `service.*` / `daemon.*` /
+        /// `engine.*` counters and fixed-bucket latency histograms.
+        metrics: telemetry::MetricsSnapshot,
     },
     /// Answer to `Ping` (and acknowledgement of `Shutdown`).
     Pong,
@@ -304,6 +321,7 @@ mod tests {
             ClientFrame::Status { job: 7 },
             ClientFrame::Fetch { job: 7 },
             ClientFrame::Recovery,
+            ClientFrame::Stats,
             ClientFrame::Ping,
             ClientFrame::Shutdown,
         ];
@@ -345,6 +363,32 @@ mod tests {
                 discarded: 4,
                 orphans_removed: 3,
                 errors: vec!["journal record at line 7 torn mid-append; dropped".into()],
+            },
+            ServerFrame::Stats {
+                service: crate::service::ServiceStats {
+                    queue_depth: 3,
+                    pool: 2,
+                    busy: 2,
+                    draining: false,
+                    jobs: vec![crate::service::JobSnapshot {
+                        id: 9,
+                        state: "running".into(),
+                        suspensions: 1,
+                        waves: 4,
+                        frontier: 12,
+                        steps: 300,
+                    }],
+                },
+                metrics: telemetry::MetricsSnapshot {
+                    counters: vec![("service.parked".into(), 1)],
+                    histograms: vec![telemetry::HistogramSnapshot {
+                        name: "engine.wave_us".into(),
+                        bounds_us: telemetry::BUCKET_BOUNDS_US.to_vec(),
+                        counts: vec![0; telemetry::BUCKET_BOUNDS_US.len() + 1],
+                        count: 0,
+                        sum_us: 0,
+                    }],
+                },
             },
             ServerFrame::Pong,
         ];

@@ -148,6 +148,12 @@ pub struct Report {
     pub checkpoint: Option<String>,
     /// Exploration statistics.
     pub stats: AnalysisStats,
+    /// Per-source-line exploration profile (hotspot attribution), resolved
+    /// against the analyzed unit. Observational and `serde(skip)`ped:
+    /// report JSON and rendered bytes are identical whether or not anyone
+    /// looks at the profile — `--profile-out` serializes it separately.
+    #[serde(skip)]
+    pub profile: symexec::profile::SourceProfile,
 }
 
 impl Report {
@@ -295,6 +301,7 @@ mod tests {
                 time: Duration::from_micros(1234),
                 loc: 9,
             },
+            profile: symexec::profile::SourceProfile::default(),
         }
     }
 
@@ -333,6 +340,7 @@ mod tests {
             degradations: vec![],
             checkpoint: None,
             stats: AnalysisStats::default(),
+            profile: symexec::profile::SourceProfile::default(),
         };
         assert!(report.is_secure());
         assert!(!report.is_degraded());
@@ -349,6 +357,7 @@ mod tests {
             degradations: vec![Degradation::LoopWidened { count: 2 }],
             checkpoint: None,
             stats: AnalysisStats::default(),
+            profile: symexec::profile::SourceProfile::default(),
         };
         // Precision-only: the leak set is still complete.
         assert!(!report.is_degraded());

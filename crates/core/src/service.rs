@@ -252,6 +252,46 @@ impl fmt::Display for RejectReason {
 
 impl std::error::Error for RejectReason {}
 
+/// One job's row in a [`ServiceStats`] snapshot. Field order is the wire
+/// order (`ServerFrame::Stats` serializes these structs directly), so it
+/// is part of the protocol's deterministic-field-order contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub id: u64,
+    /// Lifecycle state name (`queued`/`running`/`suspended`/`done`/
+    /// `failed`).
+    pub state: String,
+    /// How many times the job has suspended and migrated so far.
+    pub suspensions: u64,
+    /// Waves completed at the last suspension (0 until first legible
+    /// boundary).
+    pub waves: u64,
+    /// In-flight path states parked at the last suspension (0 once
+    /// terminal).
+    pub frontier: u64,
+    /// Exploration steps attributed so far (from the per-source profile at
+    /// the last suspension or completion).
+    pub steps: u64,
+}
+
+/// A point-in-time snapshot of the service: queue, pool utilization, and
+/// per-job lifecycle + progress. Deterministic: jobs come out in id order
+/// and field order is fixed by declaration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Jobs waiting in the run queue right now.
+    pub queue_depth: u64,
+    /// Configured pool size (worker threads).
+    pub pool: u64,
+    /// Workers currently running a slice.
+    pub busy: u64,
+    /// Whether the service is draining for shutdown.
+    pub draining: bool,
+    /// Every job the service knows about, in id order.
+    pub jobs: Vec<JobSnapshot>,
+}
+
 struct Job {
     spec: JobSpec,
     progress: Option<ProgressFn>,
@@ -276,6 +316,13 @@ struct Job {
     parked: bool,
     suspensions: u32,
     outcome: Option<JobOutcome>,
+    /// Progress observed at the last wave-boundary suspension (or
+    /// completion): waves completed, in-flight frontier parked, and steps
+    /// attributed so far. Zero until the job first suspends or finishes —
+    /// progress is only legible at deterministic boundaries.
+    waves_done: u64,
+    frontier: u64,
+    steps_done: u64,
 }
 
 struct State {
@@ -316,7 +363,8 @@ impl Shared {
         let mut guard = lock(&self.journal);
         if let Some(journal) = guard.as_mut() {
             if let Err(error) = journal.append(record) {
-                self.telemetry.counter("service.journal_failed", 1);
+                self.telemetry
+                    .counter(telemetry::names::SERVICE_JOURNAL_FAILED, 1);
                 self.telemetry
                     .warn(|| format!("journal append failed: {error}"));
             }
@@ -375,18 +423,21 @@ impl AnalysisService {
         span.field("orphans_removed", summary.orphans_removed);
         span.field("errors", summary.errors.len() as u64);
         span.finish();
+        config.telemetry.counter(
+            telemetry::names::SERVICE_RECOVERY_REQUEUED,
+            summary.requeued,
+        );
         config
             .telemetry
-            .counter("service.recovery.requeued", summary.requeued);
-        config
-            .telemetry
-            .counter("service.recovery.resumed", summary.resumed);
-        config
-            .telemetry
-            .counter("service.recovery.orphans_removed", summary.orphans_removed);
-        config
-            .telemetry
-            .counter("service.recovery.errors", summary.errors.len() as u64);
+            .counter(telemetry::names::SERVICE_RECOVERY_RESUMED, summary.resumed);
+        config.telemetry.counter(
+            telemetry::names::SERVICE_RECOVERY_ORPHANS_REMOVED,
+            summary.orphans_removed,
+        );
+        config.telemetry.counter(
+            telemetry::names::SERVICE_RECOVERY_ERRORS,
+            summary.errors.len() as u64,
+        );
         if summary.requeued + summary.resumed + summary.orphans_removed > 0
             || !summary.errors.is_empty()
         {
@@ -414,6 +465,9 @@ impl AnalysisService {
                     parked: false,
                     suspensions: 0,
                     outcome: None,
+                    waves_done: 0,
+                    frontier: 0,
+                    steps_done: 0,
                 },
             );
             queue.push_back(recovered.id);
@@ -498,20 +552,22 @@ impl AnalysisService {
         let mut state = lock(&self.shared.state);
         if let Some(reason) = self.admission_check(&state, &spec) {
             drop(state);
-            self.shared.telemetry.counter("service.rejected", 1);
+            self.shared
+                .telemetry
+                .counter(telemetry::names::SERVICE_REJECTED, 1);
             match reason {
                 RejectReason::QueueFull { .. } => self
                     .shared
                     .telemetry
-                    .counter("service.rejected.queue_full", 1),
+                    .counter(telemetry::names::SERVICE_REJECTED_QUEUE_FULL, 1),
                 RejectReason::PathBudget { .. } => self
                     .shared
                     .telemetry
-                    .counter("service.rejected.path_budget", 1),
+                    .counter(telemetry::names::SERVICE_REJECTED_PATH_BUDGET, 1),
                 RejectReason::Draining => self
                     .shared
                     .telemetry
-                    .counter("service.rejected.draining", 1),
+                    .counter(telemetry::names::SERVICE_REJECTED_DRAINING, 1),
             }
             return Err(reason);
         }
@@ -541,6 +597,9 @@ impl AnalysisService {
                 parked: false,
                 suspensions: 0,
                 outcome: None,
+                waves_done: 0,
+                frontier: 0,
+                steps_done: 0,
             },
         );
         state.queue.push_back(id);
@@ -600,7 +659,9 @@ impl AnalysisService {
             Some(job) if !matches!(job.state, JobState::Done | JobState::Failed) => {
                 job.cancel.cancel();
                 drop(state);
-                self.shared.telemetry.counter("service.cancelled", 1);
+                self.shared
+                    .telemetry
+                    .counter(telemetry::names::SERVICE_CANCELLED, 1);
                 self.shared.journal_append(&JournalRecord::Cancelled { id });
                 true
             }
@@ -628,14 +689,18 @@ impl AnalysisService {
                 job.state = JobState::Suspended;
                 state.queue.retain(|&queued| queued != id);
                 drop(state);
-                self.shared.telemetry.counter("service.parked", 1);
+                self.shared
+                    .telemetry
+                    .counter(telemetry::names::SERVICE_PARKED, 1);
                 true
             }
             JobState::Running | JobState::Suspended => {
                 job.parked = true;
                 job.yield_hook.request();
                 drop(state);
-                self.shared.telemetry.counter("service.parked", 1);
+                self.shared
+                    .telemetry
+                    .counter(telemetry::names::SERVICE_PARKED, 1);
                 true
             }
         }
@@ -696,6 +761,36 @@ impl AnalysisService {
             .jobs
             .get(&id)
             .and_then(|job| job.outcome.clone())
+    }
+
+    /// A point-in-time introspection snapshot: queue depth, pool
+    /// utilization, drain flag, and one row per known job (id order).
+    /// This is what `ClientFrame::Stats` answers with.
+    pub fn stats(&self) -> ServiceStats {
+        let state = lock(&self.shared.state);
+        let busy = state
+            .jobs
+            .values()
+            .filter(|job| job.state == JobState::Running)
+            .count() as u64;
+        ServiceStats {
+            queue_depth: state.queue.len() as u64,
+            pool: self.workers.len() as u64,
+            busy,
+            draining: state.draining,
+            jobs: state
+                .jobs
+                .iter()
+                .map(|(&id, job)| JobSnapshot {
+                    id,
+                    state: job.state.to_string(),
+                    suspensions: u64::from(job.suspensions),
+                    waves: job.waves_done,
+                    frontier: job.frontier,
+                    steps: job.steps_done,
+                })
+                .collect(),
+        }
     }
 
     /// Ids of every job the service knows about, with their states —
@@ -1040,6 +1135,16 @@ fn suspend_job(shared: &Shared, id: u64, report: &Report, spool_path: &std::path
     job.state = JobState::Suspended;
     job.slice_start = None;
     job.suspensions += 1;
+    if let Some(Degradation::Suspended { wave, dropped }) = report
+        .degradations
+        .iter()
+        .rev()
+        .find(|d| matches!(d, Degradation::Suspended { .. }))
+    {
+        job.waves_done = *wave as u64;
+        job.frontier = *dropped as u64;
+    }
+    job.steps_done = report.profile.total_steps();
     if std::env::var_os("SERVICE_DEBUG").is_some() {
         eprintln!(
             "[svc] suspend job {id} -> {:?} (#{} parked={})",
@@ -1052,7 +1157,9 @@ fn suspend_job(shared: &Shared, id: u64, report: &Report, spool_path: &std::path
         state.queue.push_back(id);
     }
     drop(state);
-    shared.telemetry.counter("service.suspended", 1);
+    shared
+        .telemetry
+        .counter(telemetry::names::SERVICE_SUSPENDED, 1);
     let fingerprint = symexec::Snapshot::peek_fingerprint(&ckpt).unwrap_or(0);
     shared.journal_append(&JournalRecord::Suspended {
         id,
@@ -1112,6 +1219,11 @@ fn finish_job(shared: &Shared, id: u64, reports: Vec<Report>, error: Option<Stri
         JobState::Done
     };
     job.slice_start = None;
+    job.frontier = 0;
+    let final_steps: u64 = reports.iter().map(|r| r.profile.total_steps()).sum();
+    if final_steps > 0 {
+        job.steps_done = final_steps;
+    }
     job.outcome = Some(JobOutcome {
         reports,
         exit,

@@ -156,7 +156,7 @@ impl Enclave {
         interp.current_ecall = span.as_ref().map(PendingSpan::id);
         let result = self.dispatch_inner(interp, name, args);
         interp.current_ecall = None;
-        self.telemetry.counter("sgx.ecalls", 1);
+        self.telemetry.counter(telemetry::names::SGX_ECALLS, 1);
         if let Some(mut span) = span {
             span.field("ok", result.is_ok());
             if let Ok(result) = &result {
@@ -167,7 +167,8 @@ impl Enclave {
                     .sum();
                 span.field("out_bytes", out_bytes as u64);
                 span.field("ocalls", result.ocalls.len() as u64);
-                self.telemetry.counter("sgx.out_bytes", out_bytes as u64);
+                self.telemetry
+                    .counter(telemetry::names::SGX_OUT_BYTES, out_bytes as u64);
             }
             self.telemetry.emit(span);
         }
@@ -219,7 +220,7 @@ impl Enclave {
             // cancel supervision — a fault plan must not sleep a supervised
             // job past its budget.
             let curtailed = interp.supervision.bounded_sleep(latency);
-            self.telemetry.counter("sgx.faults", 1);
+            self.telemetry.counter(telemetry::names::SGX_FAULTS, 1);
             self.telemetry
                 .event("fault", interp.current_ecall, |fields| {
                     fields.push(("kind", "delay_ecall".into()));
@@ -302,7 +303,7 @@ impl Enclave {
                 if let Some(keep) = faults.truncation(index, &param) {
                     let kept = keep.min(len);
                     if kept < len {
-                        self.telemetry.counter("sgx.faults", 1);
+                        self.telemetry.counter(telemetry::names::SGX_FAULTS, 1);
                         self.telemetry
                             .event("fault", interp.current_ecall, |fields| {
                                 fields.push(("kind", "truncate_out".into()));
@@ -461,7 +462,7 @@ impl<'e> Session<'e> {
                     self.interp.output.clear();
                     self.interp.ocalls.clear();
                     let telemetry = &self.enclave.telemetry;
-                    telemetry.counter("sgx.retries", 1);
+                    telemetry.counter(telemetry::names::SGX_RETRIES, 1);
                     telemetry.event("retry", None, |fields| {
                         fields.push(("ecall", name.into()));
                         fields.push(("attempt", (attempt as u64 + 1).into()));
@@ -502,7 +503,7 @@ impl<'e> Session<'e> {
         if let Some(faults) = self.interp.faults.as_mut() {
             if faults.corrupt_this_seal() {
                 let telemetry = &self.enclave.telemetry;
-                telemetry.counter("sgx.faults", 1);
+                telemetry.counter(telemetry::names::SGX_FAULTS, 1);
                 telemetry.event("fault", None, |fields| {
                     fields.push(("kind", "corrupt_seal".into()));
                     fields.push(("nonce", nonce.into()));

@@ -954,13 +954,13 @@ impl<'u> Interp<'u> {
                         span.field("name", other);
                         span.field("args", values.len() as u64);
                     }
-                    self.telemetry.counter("sgx.ocalls", 1);
+                    self.telemetry.counter(telemetry::names::SGX_OCALLS, 1);
                     if let Some(index) = self
                         .faults
                         .as_mut()
                         .and_then(|faults| faults.fail_this_ocall())
                     {
-                        self.telemetry.counter("sgx.faults", 1);
+                        self.telemetry.counter(telemetry::names::SGX_FAULTS, 1);
                         self.telemetry.event("fault", self.current_ecall, |fields| {
                             fields.push(("kind", "fail_ocall".into()));
                             fields.push(("ocall", other.into()));

@@ -45,6 +45,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::degrade::Ledger;
 use crate::engine::{EngineConfig, Flow, ParamBinding, Stats};
+use crate::profile::Profile;
 use crate::state::{DeclassifyEvent, ExecState};
 use crate::value::Region;
 
@@ -180,6 +181,13 @@ pub(crate) struct Frontier {
     /// seen-set and correspondingly conservative hit counts.
     #[serde(default)]
     pub probe_seen: BTreeSet<u64>,
+    /// Per-source-site exploration profile accumulated so far. Merged in
+    /// canonical wave order, so a resumed run's final profile is
+    /// byte-identical to an uninterrupted one. `serde(default)` keeps
+    /// pre-profile snapshots loadable: they resume with an empty profile
+    /// covering only the remaining waves.
+    #[serde(default)]
+    pub profile: Profile,
 }
 
 /// A validated, resumable exploration snapshot.
@@ -395,6 +403,12 @@ impl Snapshot {
     pub fn frontier_len(&self) -> usize {
         self.frontier.entries.len()
     }
+
+    /// Steps already attributed in the carried exploration profile
+    /// (diagnostics — nonzero for any snapshot taken past wave 0).
+    pub fn profile_steps(&self) -> u64 {
+        self.frontier.profile.totals().steps
+    }
 }
 
 /// The compatibility fingerprint of one analysis: pretty-printed unit,
@@ -503,6 +517,7 @@ mod tests {
                 events: Vec::new(),
                 out_bases: Vec::new(),
                 probe_seen: BTreeSet::from([0xfeed_f00d]),
+                profile: Profile::new(),
             },
         }
     }

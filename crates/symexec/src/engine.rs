@@ -33,6 +33,7 @@ use crate::constraints::{ConstraintManager, Feasibility, FeasibilityCache};
 use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor, YieldToken};
 use crate::error::EngineError;
 use crate::intern::HC;
+use crate::profile::Profile;
 use crate::simplify::{fold_binary, fold_unary, simplify};
 use crate::state::{Channel, DeclassifyEvent, ExecState, Frame};
 use crate::trace::TraceStep;
@@ -279,6 +280,11 @@ pub struct Exploration {
     /// was disabled or nothing was written. Operators can feed it back via
     /// [`Engine::resume`].
     pub checkpoint: Option<PathBuf>,
+    /// Per-source-site exploration profile: where the steps/forks/prunes
+    /// were spent. Collected unconditionally (it is deterministic and
+    /// observational — see [`crate::profile`]) and merged in canonical wave
+    /// order, so it is byte-identical at every worker count.
+    pub profile: Profile,
 }
 
 impl Exploration {
@@ -398,6 +404,7 @@ impl<'u> Engine<'u> {
             event_log: Vec::new(),
             probe_log: Vec::new(),
             probe_seen: BTreeSet::new(),
+            profile: Profile::new(),
         };
 
         let (start_wave, start_entries, out_bases) = match resume {
@@ -418,6 +425,7 @@ impl<'u> Engine<'u> {
                     events,
                     out_bases,
                     probe_seen,
+                    profile,
                 } = snapshot.frontier;
                 explorer.next_symbol = next_symbol;
                 explorer.next_source = next_source;
@@ -429,6 +437,7 @@ impl<'u> Engine<'u> {
                 explorer.ledger = ledger;
                 explorer.event_log = events;
                 explorer.probe_seen = probe_seen;
+                explorer.profile = profile;
                 (wave, entries, out_bases)
             }
             None => {
@@ -524,6 +533,7 @@ impl<'u> Engine<'u> {
                 .map(|(id, sym)| (SourceId::new(*id), *sym))
                 .collect(),
             checkpoint: checkpoint_written,
+            profile: explorer.profile,
         })
     }
 
@@ -658,15 +668,18 @@ impl<'u> Engine<'u> {
                 let cache_misses = delta(after.cache_misses, stats_before.cache_misses);
                 let widenings = delta(after.widenings, stats_before.widenings);
                 let steps = delta(after.steps, stats_before.steps);
-                tele.counter("engine.waves", 1);
-                tele.counter("engine.forks", forks);
-                tele.counter("engine.infeasible", infeasible);
-                tele.counter("engine.cache_hits", cache_hits);
-                tele.counter("engine.cache_misses", cache_misses);
-                tele.counter("engine.widenings", widenings);
-                tele.counter("engine.steps", steps);
+                tele.counter(telemetry::names::ENGINE_WAVES, 1);
+                tele.counter(telemetry::names::ENGINE_FORKS, forks);
+                tele.counter(telemetry::names::ENGINE_INFEASIBLE, infeasible);
+                tele.counter(telemetry::names::ENGINE_CACHE_HITS, cache_hits);
+                tele.counter(telemetry::names::ENGINE_CACHE_MISSES, cache_misses);
+                tele.counter(telemetry::names::ENGINE_WIDENINGS, widenings);
+                tele.counter(telemetry::names::ENGINE_STEPS, steps);
                 if let Some(started) = wave_started {
-                    tele.observe("engine.wave_us", started.elapsed().as_micros() as u64);
+                    tele.observe(
+                        telemetry::names::ENGINE_WAVE_US,
+                        started.elapsed().as_micros() as u64,
+                    );
                 }
                 if let Some(mut span) = wave_span {
                     span.field("forks", forks);
@@ -732,6 +745,7 @@ impl<'u> Engine<'u> {
                 event_log: Vec::new(),
                 probe_log: Vec::new(),
                 probe_seen: BTreeSet::new(),
+                profile: Profile::new(),
             };
             let flows = task.exec(state, stmt);
             if let Some(span) = span.as_mut() {
@@ -752,6 +766,7 @@ impl<'u> Engine<'u> {
                 ledger: task.ledger,
                 events: task.event_log,
                 probes: task.probe_log,
+                profile: task.profile,
                 span,
                 elapsed_us: started.map_or(0, |at| at.elapsed().as_micros() as u64),
             }
@@ -857,10 +872,12 @@ impl CheckpointSink<'_> {
                 events: explorer.event_log.clone(),
                 out_bases: self.out_bases.to_vec(),
                 probe_seen: explorer.probe_seen.clone(),
+                profile: explorer.profile.clone(),
             },
         };
         let result = snapshot.write_atomic(path);
-        self.telemetry.counter("engine.checkpoint_writes", 1);
+        self.telemetry
+            .counter(telemetry::names::ENGINE_CHECKPOINT_WRITES, 1);
         if let Some(mut span) = span {
             span.field("ok", result.is_ok());
             self.telemetry.emit(span);
@@ -891,8 +908,12 @@ struct TaskResult {
     interrupted: bool,
     ledger: Ledger,
     events: Vec<DeclassifyEvent>,
-    /// Feasibility-probe key hashes in program order, classified at merge.
-    probes: Vec<u64>,
+    /// Feasibility-probe (key hash, attribution site) pairs in program
+    /// order, classified at merge.
+    probes: Vec<(u64, usize)>,
+    /// The task's per-site exploration profile, absorbed at merge in
+    /// canonical order.
+    profile: Profile,
     /// Buffered telemetry span, emitted by the merging thread.
     span: Option<PendingSpan>,
     /// Task wall-clock in microseconds (0 when telemetry is off); feeds
@@ -922,6 +943,7 @@ impl TaskResult {
             ledger,
             events: Vec::new(),
             probes: Vec::new(),
+            profile: Profile::new(),
             span: None,
             elapsed_us: 0,
         }
@@ -940,8 +962,8 @@ fn merge_task(explorer: &mut Explorer<'_, '_>, mut task: TaskResult) -> StateFlo
     // canonical task order; timings go to the sinks only.
     let telemetry = &explorer.config.telemetry;
     if telemetry.is_enabled() {
-        telemetry.counter("engine.path_tasks", 1);
-        telemetry.observe("engine.path_task_us", task.elapsed_us);
+        telemetry.counter(telemetry::names::ENGINE_PATH_TASKS, 1);
+        telemetry.observe(telemetry::names::ENGINE_PATH_TASK_US, task.elapsed_us);
         if let Some(span) = task.span.take() {
             telemetry.emit(span);
         }
@@ -965,6 +987,7 @@ fn merge_task(explorer: &mut Explorer<'_, '_>, mut task: TaskResult) -> StateFlo
             .insert(remap.source(SourceId::new(id)).index(), remap.symbol(sym));
     }
     explorer.stats.absorb(&task.stats);
+    explorer.profile.absorb(&task.profile);
     explorer.exhausted |= task.exhausted;
     explorer.ledger.absorb(task.ledger);
     for mut event in task.events {
@@ -1019,15 +1042,18 @@ struct Explorer<'u, 'c> {
     interrupted: bool,
     ledger: Ledger,
     event_log: Vec<DeclassifyEvent>,
-    /// Hashes of every feasibility-probe key this explorer issued, in
-    /// program order. Task logs are drained into the global explorer's
-    /// [`Explorer::probe_seen`] at the wave boundary, in canonical merge
-    /// order, which is what makes the hit/miss counters scheduling-free.
-    probe_log: Vec<u64>,
+    /// Hashes of every feasibility-probe key this explorer issued (with the
+    /// source site the probe belongs to), in program order. Task logs are
+    /// drained into the global explorer's [`Explorer::probe_seen`] at the
+    /// wave boundary, in canonical merge order, which is what makes the
+    /// hit/miss counters scheduling-free.
+    probe_log: Vec<(u64, usize)>,
     /// Every probe key already accounted (global explorer only). Persisted
     /// in checkpoints so a resumed run counts exactly like an
     /// uninterrupted one.
     probe_seen: BTreeSet<u64>,
+    /// Per-source-site cost attribution, same merge discipline as `stats`.
+    profile: Profile,
 }
 
 impl<'u, 'c> Explorer<'u, 'c> {
@@ -1043,23 +1069,32 @@ impl<'u, 'c> Explorer<'u, 'c> {
     /// observe. That keeps `Stats` (and everything downstream: reports,
     /// checkpoints, determinism tests) invariant under worker count and
     /// cache capacity.
-    fn probe(&mut self, constraints: &ConstraintManager, cond: &SVal, taken: bool) -> Feasibility {
+    fn probe(
+        &mut self,
+        constraints: &ConstraintManager,
+        cond: &SVal,
+        taken: bool,
+        at: usize,
+    ) -> Feasibility {
         // One digest serves both the deterministic hit/miss log and the
-        // shared cache's bucket key.
+        // shared cache's bucket key. `at` is the source byte offset the
+        // probe is attributed to in the exploration profile.
         let key = checkpoint::probe_key(constraints, cond, taken);
-        self.probe_log.push(key);
+        self.probe_log.push((key, at));
         self.cache.check_keyed(key, constraints, cond, taken)
     }
 
     /// Classifies a drained probe log against the global seen-set. Must be
     /// called in canonical merge order (it is: from `merge_task` and for
     /// the init phase in `run_from`).
-    fn absorb_probes(&mut self, probes: Vec<u64>) {
-        for key in probes {
+    fn absorb_probes(&mut self, probes: Vec<(u64, usize)>) {
+        for (key, at) in probes {
             if self.probe_seen.insert(key) {
                 self.stats.cache_misses += 1;
+                self.profile.at(at).cache_misses += 1;
             } else {
                 self.stats.cache_hits += 1;
+                self.profile.at(at).cache_hits += 1;
             }
         }
     }
@@ -1860,6 +1895,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
     fn exec(&mut self, mut state: ExecState, stmt: &Stmt) -> StateFlows {
         state.steps += 1;
         self.stats.steps += 1;
+        self.profile.at(stmt.span.start).steps += 1;
         // Poll the supervisor at step granularity (every 64th step keeps
         // the Instant::now syscall off the hot path). Once it fires, the
         // task unwinds fast by dropping every remaining state; the caller
@@ -2046,9 +2082,16 @@ impl<'u, 'c> Explorer<'u, 'c> {
         // `assume` below still runs directly on the path's constraints.
         let feasible: Vec<bool> = [true, false]
             .into_iter()
-            .map(|taken| self.probe(&state.constraints, cond, taken) == Feasibility::Feasible)
+            .map(|taken| {
+                self.probe(&state.constraints, cond, taken, span.start) == Feasibility::Feasible
+            })
             .collect();
-        self.stats.infeasible += feasible.iter().filter(|f| !**f).count();
+        let pruned = feasible.iter().filter(|f| !**f).count();
+        self.stats.infeasible += pruned;
+        self.profile.at(span.start).infeasible += pruned as u64;
+        if cond_taint.is_tainted() {
+            self.profile.at(span.start).secret_branches += 1;
+        }
         let mut pending = Vec::new();
         match (feasible[0], feasible[1]) {
             (true, true) => {
@@ -2081,6 +2124,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
                 out.truncate(1);
             } else {
                 self.stats.forks += 1;
+                self.profile.at(span.start).forks += 1;
             }
         }
         out
@@ -2115,9 +2159,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
                         for (cst, cv, ct) in self.eval(st, cond_expr) {
                             let cv = simplify(&cv);
                             let concrete = cv.is_const()
-                                || self.probe(&cst.constraints, &cv, true)
+                                || self.probe(&cst.constraints, &cv, true, cond_expr.span.start)
                                     == Feasibility::Infeasible
-                                || self.probe(&cst.constraints, &cv, false)
+                                || self.probe(&cst.constraints, &cv, false, cond_expr.span.start)
                                     == Feasibility::Infeasible;
                             for (branch, taken) in self.fork(cst, &cv, &ct, cond_expr.span) {
                                 if taken {
@@ -2144,6 +2188,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
                     let mut widened = body_state;
                     self.widen(&mut widened, write_mark);
                     self.stats.widenings += 1;
+                    self.profile
+                        .at(cond.map_or(body.span.start, |c| c.span.start))
+                        .widenings += 1;
                     out.push((widened, Flow::Normal));
                     continue;
                 }

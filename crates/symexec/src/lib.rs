@@ -48,6 +48,7 @@ pub mod engine;
 pub mod error;
 pub mod intern;
 pub mod path;
+pub mod profile;
 pub mod simplify;
 pub mod state;
 pub mod trace;

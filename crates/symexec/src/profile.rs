@@ -1,0 +1,336 @@
+//! Per-source-location exploration profiling (hotspot attribution).
+//!
+//! The engine spends its budget — steps, forks, infeasibility prunes,
+//! widenings, feasibility probes — *somewhere* in the enclave source, and
+//! tuning any future pruning/merging strategy requires knowing where.
+//! [`Profile`] attributes each of those costs to the byte offset of the
+//! responsible statement or condition span, mirroring exactly the sites
+//! where the corresponding [`super::engine::Stats`] counters increment, so
+//! the per-site sums always reconcile with the global totals.
+//!
+//! # Determinism discipline
+//!
+//! Collection follows the same rules as the engine's `Stats`: each path
+//! task accumulates its own `Profile`, and the worklist absorbs task
+//! profiles at the wave boundary in canonical task order. Cache hit/miss
+//! attribution rides the per-task probe log and is classified against the
+//! global first-seen set at merge time. The result is byte-identical at
+//! every worker count and cache capacity, persists in checkpoints (with
+//! `serde(default)` back-compat for pre-profile snapshots), and is purely
+//! observational: collection is unconditional and cheap, and nothing the
+//! profiler records feeds back into exploration decisions.
+//!
+//! [`SourceProfile`] is the human-facing resolution of a raw offset-keyed
+//! [`Profile`] against the parsed unit: rows keyed by (function, line)
+//! with the source text attached, renderable as an annotated hotspot table
+//! (`--timings`-style) or machine JSON (`--profile-out`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Exploration costs attributed to one source location.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCounters {
+    /// Statements interpreted whose statement span starts here.
+    pub steps: u64,
+    /// Two-sided state forks performed at this branch/loop condition.
+    pub forks: u64,
+    /// Branch sides pruned as infeasible here.
+    pub infeasible: u64,
+    /// Loop widenings applied to the loop headed here.
+    pub widenings: u64,
+    /// Feasibility probes answered by the memoized probe set (first-seen
+    /// classification in canonical merge order — scheduling-invariant).
+    pub cache_hits: u64,
+    /// Feasibility probes computed fresh here.
+    pub cache_misses: u64,
+    /// Branch-condition evaluations whose condition carried secret taint.
+    pub secret_branches: u64,
+}
+
+impl SiteCounters {
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &SiteCounters) {
+        self.steps += other.steps;
+        self.forks += other.forks;
+        self.infeasible += other.infeasible;
+        self.widenings += other.widenings;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.secret_branches += other.secret_branches;
+    }
+
+    /// True when every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        *self == SiteCounters::default()
+    }
+}
+
+/// The raw exploration profile: source byte offset (span start of the
+/// statement / condition) → attributed counters. Offset-keyed so the hot
+/// loop never resolves lines; [`SourceProfile::resolve`] does that once,
+/// after exploration. `BTreeMap` keeps serialization and iteration order
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Per-site counters, keyed by span-start byte offset.
+    pub sites: BTreeMap<u64, SiteCounters>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// The (created-if-absent) counter cell for the site at byte offset
+    /// `at`.
+    pub fn at(&mut self, at: usize) -> &mut SiteCounters {
+        self.sites.entry(at as u64).or_default()
+    }
+
+    /// Merges every site of `other` into `self` (the canonical-order wave
+    /// merge).
+    pub fn absorb(&mut self, other: &Profile) {
+        for (offset, counters) in &other.sites {
+            self.sites.entry(*offset).or_default().absorb(counters);
+        }
+    }
+
+    /// True when no site recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Sum of all per-site counters (reconciles with the engine's global
+    /// `Stats` at the sites that are attributed).
+    pub fn totals(&self) -> SiteCounters {
+        let mut total = SiteCounters::default();
+        for counters in self.sites.values() {
+            total.absorb(counters);
+        }
+        total
+    }
+}
+
+/// One resolved hotspot row: a raw profile site located in the source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Enclosing function name (`?` when the offset falls outside every
+    /// function span — e.g. a synthetic span).
+    pub function: String,
+    /// 1-based source line.
+    pub line: u64,
+    /// The source line's text, trimmed.
+    pub text: String,
+    /// The attributed counters (all sites on the line, summed).
+    pub counters: SiteCounters,
+}
+
+/// A [`Profile`] resolved against the analyzed unit: rows keyed by
+/// (function, line), in source order. This is what `Report::profile`
+/// carries and what `--profile-out` serializes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceProfile {
+    /// Resolved rows in (line) order.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl SourceProfile {
+    /// Resolves a raw offset-keyed profile against the unit's function
+    /// spans and the source text. Sites on the same line merge into one
+    /// row; rows come out in line order.
+    pub fn resolve(profile: &Profile, unit: &minic::ast::TranslationUnit, source: &str) -> Self {
+        // Function extents, for enclosing-function lookup. `Function::span`
+        // covers only the signature, so stretch each extent to the end of
+        // the last body statement.
+        let mut functions: Vec<(usize, usize, &str)> = Vec::new();
+        for item in &unit.items {
+            if let minic::ast::Item::Function(func) = item {
+                let end = func
+                    .body
+                    .iter()
+                    .flatten()
+                    .map(|stmt| stmt.span.end)
+                    .max()
+                    .unwrap_or(func.span.end)
+                    .max(func.span.end);
+                functions.push((func.span.start, end, func.name.as_str()));
+            }
+        }
+        let lines: Vec<&str> = source.lines().collect();
+        let mut by_line: BTreeMap<u64, (String, SiteCounters)> = BTreeMap::new();
+        for (&offset, counters) in &profile.sites {
+            let at = offset as usize;
+            let line = minic::Span::point(at.min(source.len()))
+                .line_col(source)
+                .line as u64;
+            let function = functions
+                .iter()
+                .find(|(start, end, _)| *start <= at && at < *end)
+                .map_or("?", |(_, _, name)| name)
+                .to_string();
+            let entry = by_line
+                .entry(line)
+                .or_insert((function, SiteCounters::default()));
+            entry.1.absorb(counters);
+        }
+        let rows = by_line
+            .into_iter()
+            .map(|(line, (function, counters))| ProfileRow {
+                function,
+                line,
+                text: lines
+                    .get((line as usize).saturating_sub(1))
+                    .map_or("", |text| text.trim())
+                    .to_string(),
+                counters,
+            })
+            .collect();
+        SourceProfile { rows }
+    }
+
+    /// True when no row recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total steps across all rows.
+    pub fn total_steps(&self) -> u64 {
+        self.rows.iter().map(|row| row.counters.steps).sum()
+    }
+
+    /// The row whose counters dominate on `pick` (e.g. most forks).
+    pub fn hottest_by(&self, pick: impl Fn(&SiteCounters) -> u64) -> Option<&ProfileRow> {
+        self.rows.iter().max_by_key(|row| pick(&row.counters))
+    }
+
+    /// Renders the annotated-source hotspot table (the `--timings`-style
+    /// human view): one row per line that cost anything, heaviest columns
+    /// first, source text on the right.
+    pub fn render_table(&self, function: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "── exploration profile: {function} ─────────────");
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  source",
+            "line", "steps", "forks", "infeas", "widen", "hits", "miss", "secret"
+        );
+        for row in &self.rows {
+            let c = &row.counters;
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  {}",
+                row.line,
+                c.steps,
+                c.forks,
+                c.infeasible,
+                c.widenings,
+                c.cache_hits,
+                c.cache_misses,
+                c.secret_branches,
+                row.text
+            );
+        }
+        let totals = self
+            .rows
+            .iter()
+            .fold(SiteCounters::default(), |mut acc, row| {
+                acc.absorb(&row.counters);
+                acc
+            });
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  (total)",
+            "",
+            totals.steps,
+            totals.forks,
+            totals.infeasible,
+            totals.widenings,
+            totals.cache_hits,
+            totals.cache_misses,
+            totals.secret_branches
+        );
+        out
+    }
+
+    /// Machine JSON for `--profile-out`: `{"function": ..., "rows": [...]}`
+    /// with deterministic row order.
+    ///
+    /// # Panics
+    ///
+    /// Never — the structure is always serializable.
+    pub fn to_json(&self, function: &str) -> String {
+        let rows = serde_json::to_value(&self.rows).expect("profile rows serialize");
+        let value = serde::Value::Object(vec![
+            (
+                "function".to_string(),
+                serde::Value::String(function.to_string()),
+            ),
+            ("rows".to_string(), rows),
+        ]);
+        serde_json::to_string_pretty(&value).expect("profile serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_merges_sites() {
+        let mut a = Profile::new();
+        a.at(10).steps += 3;
+        a.at(10).forks += 1;
+        let mut b = Profile::new();
+        b.at(10).steps += 2;
+        b.at(99).widenings += 1;
+        a.absorb(&b);
+        assert_eq!(a.sites[&10].steps, 5);
+        assert_eq!(a.sites[&10].forks, 1);
+        assert_eq!(a.sites[&99].widenings, 1);
+        let totals = a.totals();
+        assert_eq!(totals.steps, 5);
+        assert_eq!(totals.widenings, 1);
+    }
+
+    #[test]
+    fn profile_round_trips_and_defaults() {
+        let mut profile = Profile::new();
+        profile.at(42).cache_hits = 7;
+        let json = serde_json::to_string(&profile).expect("serializes");
+        let back: Profile = serde_json::from_str(&json).expect("parses");
+        assert_eq!(profile, back);
+        assert!(Profile::new().is_empty());
+        assert!(SiteCounters::default().is_empty());
+    }
+
+    #[test]
+    fn resolve_groups_by_line_and_function() {
+        let source = "int f(int x) {\n    int y = x + 1;\n    return y;\n}\n";
+        let unit = minic::parse(source).expect("parses");
+        let mut profile = Profile::new();
+        // Offset of `int y` statement (line 2) and `return` (line 3).
+        let y_at = source.find("int y").expect("present");
+        let ret_at = source.find("return").expect("present");
+        profile.at(y_at).steps = 4;
+        profile.at(ret_at).steps = 2;
+        profile.at(ret_at).forks = 1;
+        let resolved = SourceProfile::resolve(&profile, &unit, source);
+        assert_eq!(resolved.rows.len(), 2);
+        assert_eq!(resolved.rows[0].line, 2);
+        assert_eq!(resolved.rows[0].function, "f");
+        assert_eq!(resolved.rows[0].text, "int y = x + 1;");
+        assert_eq!(resolved.rows[1].counters.forks, 1);
+        assert_eq!(resolved.total_steps(), 6);
+        assert_eq!(resolved.hottest_by(|c| c.steps).map(|r| r.line), Some(2));
+        let table = resolved.render_table("f");
+        assert!(table.contains("int y = x + 1;"), "{table}");
+        assert!(table.contains("(total)"), "{table}");
+        let json = resolved.to_json("f");
+        assert!(json.contains("\"function\""), "{json}");
+        assert!(json.contains("\"rows\""), "{json}");
+    }
+}

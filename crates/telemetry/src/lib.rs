@@ -44,8 +44,9 @@ use std::time::Instant;
 use serde::Value;
 
 pub mod metrics;
+pub mod names;
 
-pub use metrics::{Histogram, Registry, BUCKET_BOUNDS_US};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry, BUCKET_BOUNDS_US};
 
 /// Locks a mutex, recovering the guard from a poisoned lock: telemetry is
 /// best-effort and must never abort an analysis because an instrumented
@@ -263,15 +264,21 @@ pub struct TelemetryConfig {
     /// Print a human-readable per-phase timing table to stderr at
     /// [`Telemetry::finish`].
     pub timings: bool,
+    /// Keep the in-memory metrics registry live even with no file sink, so
+    /// [`Telemetry::metrics_snapshot`] has data to report — the daemon sets
+    /// this so `Stats` frames work without `--metrics-out`. Adds no output
+    /// and no stderr traffic on its own.
+    pub collect_metrics: bool,
 }
 
 impl TelemetryConfig {
-    /// True if any sink or logger is requested.
+    /// True if any sink, logger, or in-memory collector is requested.
     pub fn is_enabled(&self) -> bool {
         self.trace_out.is_some()
             || self.metrics_out.is_some()
             || self.log_level != Level::Off
             || self.timings
+            || self.collect_metrics
     }
 
     /// Opens the sinks and returns a live handle, or the disabled handle if
@@ -628,6 +635,16 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => lock(&inner.metrics).counter_value(name),
             None => 0,
+        }
+    }
+
+    /// A point-in-time copy of the whole metrics registry, in deterministic
+    /// (sorted-name) order — what `Stats` frames and `--stats-out` embed.
+    /// Empty for a disabled handle.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => lock(&inner.metrics).snapshot(),
+            None => MetricsSnapshot::default(),
         }
     }
 

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Number, Value};
+use serde::{Deserialize, Number, Serialize, Value};
 
 /// Upper bounds (inclusive, microseconds) of the histogram buckets; one
 /// overflow bucket follows the last bound.
@@ -114,6 +114,30 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// A point-in-time, serializable copy of the registry. Counters and
+    /// histograms come out in sorted-name order (the `BTreeMap` order), so
+    /// two snapshots of equal registries serialize byte-identically.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, value)| (name.to_string(), *value))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, histogram)| HistogramSnapshot {
+                    name: name.to_string(),
+                    bounds_us: BUCKET_BOUNDS_US.to_vec(),
+                    counts: histogram.counts.to_vec(),
+                    count: histogram.total,
+                    sum_us: histogram.sum_us,
+                })
+                .collect(),
+        }
+    }
+
     /// The end-of-run JSON summary written to `--metrics-out`.
     pub fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -136,6 +160,42 @@ impl Registry {
                 ),
             ),
         ])
+    }
+}
+
+/// One histogram, frozen for the wire: bucket bounds travel with the
+/// counts so a consumer never needs this build's `BUCKET_BOUNDS_US`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Histogram name (e.g. `engine.wave_us`).
+    pub name: String,
+    /// Inclusive upper bounds in microseconds; one overflow bucket follows.
+    pub bounds_us: Vec<u64>,
+    /// Per-bucket counts (`bounds_us.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations (must equal the sum of `counts`).
+    pub count: u64,
+    /// Saturating sum of observations, microseconds.
+    pub sum_us: u64,
+}
+
+/// A point-in-time copy of a [`Registry`], in deterministic (sorted-name)
+/// order. This is what `ServerFrame::Stats` and `--stats-out` carry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counter pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a named counter in this snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
     }
 }
 

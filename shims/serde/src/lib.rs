@@ -292,6 +292,14 @@ pub fn take_field(obj: &mut Vec<(String, Value)>, name: &str, ty: &str) -> Resul
     }
 }
 
+/// Removes the field `name` from a decoded object if present — the
+/// `#[serde(default)]` path, where absence is not an error.
+pub fn take_field_opt(obj: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+    obj.iter()
+        .position(|(k, _)| k == name)
+        .map(|i| obj.remove(i).1)
+}
+
 /// Parses a map key that was rendered as an object-key string back into its
 /// typed form: tries the string itself first, then numeric readings. Mirrors
 /// serde_json's integer-keyed-map convention.

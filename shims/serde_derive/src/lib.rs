@@ -6,7 +6,9 @@
 //! this offline build). The supported input grammar is the slice this
 //! workspace uses: plain structs (named, tuple, unit), externally-tagged
 //! enums with unit / tuple / struct variants, simple generic parameter
-//! lists, and the `#[serde(with = "module")]` field attribute.
+//! lists, and the `#[serde(with = "module")]`, `#[serde(default)]` (bare
+//! flag — a missing field deserializes to `Default`), and `#[serde(skip)]`
+//! field attributes on named struct fields.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -80,6 +82,10 @@ struct Field {
     name: Option<String>,
     /// Module path from `#[serde(with = "...")]`, if present.
     with: Option<String>,
+    /// `#[serde(default)]`: a missing field deserializes to `Default`.
+    default: bool,
+    /// `#[serde(skip)]`: never serialized; deserializes to `Default`.
+    skip: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -171,6 +177,36 @@ fn with_from_attr(attr: &TokenTree) -> Option<String> {
         i += 1;
     }
     None
+}
+
+/// True when a `#[serde(...)]` attribute group carries the bare flag
+/// `flag` (e.g. `default` or `skip`) at any comma position.
+fn flag_in_attr(attr: &TokenTree, flag: &str) -> bool {
+    let TokenTree::Group(g) = attr else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if inner.is_empty() || !is_ident(&inner[0], "serde") {
+        return false;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return false;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        if is_ident(&args[i], flag) {
+            // A bare flag is followed by `,` or the end — `default = "f"`
+            // (function paths) is not supported and must not match.
+            match args.get(i + 1) {
+                None => return true,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => return true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    false
 }
 
 fn render(tokens: &[TokenTree]) -> String {
@@ -298,10 +334,14 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     while c.peek().is_some() {
         let mut with = None;
+        let mut default = false;
+        let mut skip = false;
         while let Some(attr) = eat_attr(&mut c) {
             if let Some(w) = with_from_attr(attr) {
                 with = Some(w);
             }
+            default |= flag_in_attr(attr, "default");
+            skip |= flag_in_attr(attr, "skip");
         }
         eat_vis(&mut c);
         let name = match c.next() {
@@ -315,6 +355,8 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
         fields.push(Field {
             name: Some(name),
             with,
+            default,
+            skip,
         });
     }
     Ok(fields)
@@ -332,7 +374,12 @@ fn parse_tuple_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
         }
         eat_vis(&mut c);
         skip_type(&mut c);
-        fields.push(Field { name: None, with });
+        fields.push(Field {
+            name: None,
+            with,
+            default: false,
+            skip: false,
+        });
     }
     Ok(fields)
 }
@@ -462,6 +509,9 @@ fn ser_fields_expr(ty: &str, fields: &Fields, prefix: &str) -> String {
         Fields::Named(fs) => {
             let mut pairs = Vec::new();
             for f in fs {
+                if f.skip {
+                    continue;
+                }
                 let fname = f.name.as_deref().unwrap();
                 let access = format!("&{prefix}{fname}");
                 let value = match &f.with {
@@ -560,12 +610,21 @@ fn de_struct_body(name: &str, fields: &Fields) -> String {
                 .iter()
                 .map(|f| {
                     let fname = f.name.as_deref().unwrap();
+                    if f.skip {
+                        return format!("{fname}: ::core::default::Default::default()");
+                    }
                     let take = format!("::serde::take_field(&mut __obj, {fname:?}, {name:?})?");
-                    match &f.with {
-                        Some(path) => format!(
+                    match (&f.with, f.default) {
+                        (Some(path), _) => format!(
                             "{fname}: {path}::deserialize(::serde::ValueDeserializer::new({take}))?"
                         ),
-                        None => format!("{fname}: ::serde::from_value({take})?"),
+                        (None, true) => format!(
+                            "{fname}: match ::serde::take_field_opt(&mut __obj, {fname:?}) {{\n\
+                                 ::core::option::Option::Some(__v) => ::serde::from_value(__v)?,\n\
+                                 ::core::option::Option::None => ::core::default::Default::default(),\n\
+                             }}"
+                        ),
+                        (None, false) => format!("{fname}: ::serde::from_value({take})?"),
                     }
                 })
                 .collect();

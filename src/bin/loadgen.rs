@@ -17,7 +17,10 @@
 //!     8 workers (throughput), then re-run it against admission-bounded
 //!     pools (overload) and record per-class error counts — shed
 //!     (queue_full), rejected (path_budget/draining), disconnected — plus
-//!     the worst-case rejection latency. Written as JSON (BENCH_7).
+//!     the worst-case rejection latency. Each round also captures a fleet
+//!     `Stats` snapshot (service state + telemetry counters/histograms)
+//!     before and after the run and embeds both in the output, so the
+//!     numbers carry their own provenance. Written as JSON (BENCH_8).
 //! ```
 //!
 //! The job mix is a deterministic function of `--seed`: an LCG draws from
@@ -175,6 +178,14 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 }
 
+/// One fleet snapshot: the same `{service, metrics}` pair a
+/// `privacyscoped` answers a `Stats` frame with, captured in-process.
+#[derive(serde::Serialize)]
+struct FleetSnapshot {
+    service: privacyscope::ServiceStats,
+    metrics: telemetry::MetricsSnapshot,
+}
+
 /// One measured in-process run.
 struct LocalRun {
     /// Per accepted job: submission → terminal, milliseconds, sorted.
@@ -189,6 +200,10 @@ struct LocalRun {
     shed: usize,
     rejected: usize,
     accepted: usize,
+    /// Fleet state before the first submission and after the last wait —
+    /// queue empty both times, counters monotone between them.
+    stats_before: FleetSnapshot,
+    stats_after: FleetSnapshot,
 }
 
 /// One measured run against a fresh in-process pool. `max_queue` 0 keeps
@@ -204,15 +219,28 @@ fn drive_local(
         "loadgen-spool-{}-{pool}-{max_queue}",
         std::process::id()
     ));
+    // A live metrics registry without any file sink: `Stats`-style
+    // snapshots work exactly as they do against a daemon.
+    let telemetry = telemetry::TelemetryConfig {
+        collect_metrics: true,
+        ..telemetry::TelemetryConfig::default()
+    }
+    .build()
+    .map_err(|e| format!("cannot build telemetry: {e}"))?;
     let service = AnalysisService::start(ServiceConfig {
         pool,
         slice: (slice_ms > 0).then(|| Duration::from_millis(slice_ms)),
         spool,
         max_queue,
+        telemetry: telemetry.clone(),
         ..ServiceConfig::default()
     })
     .map_err(|e| format!("cannot start service: {e}"))?;
     let service = Arc::new(service);
+    let stats_before = FleetSnapshot {
+        service: service.stats(),
+        metrics: telemetry.metrics_snapshot(),
+    };
 
     let started = Instant::now();
     let mut ids = Vec::with_capacity(specs.len());
@@ -249,6 +277,10 @@ fn drive_local(
         latencies.push(outcome.total.as_secs_f64() * 1000.0);
     }
     let wall = started.elapsed().as_secs_f64();
+    let stats_after = FleetSnapshot {
+        service: service.stats(),
+        metrics: telemetry.metrics_snapshot(),
+    };
     latencies.sort_by(|a, b| a.total_cmp(b));
     reject_latencies.sort_by(|a, b| a.total_cmp(b));
     Ok(LocalRun {
@@ -260,6 +292,8 @@ fn drive_local(
         shed,
         rejected,
         accepted,
+        stats_before,
+        stats_after,
     })
 }
 
@@ -415,6 +449,10 @@ fn smoke_remote(options: &Options, addr: &str) -> Result<bool, String> {
 /// workers (throughput), then on admission-bounded pools of 1 and 4
 /// (overload) where the tail of the burst must be shed with a typed
 /// rejection — fast — while every accepted job still completes.
+fn snapshot_json(snapshot: &FleetSnapshot) -> Result<String, String> {
+    serde_json::to_string(snapshot).map_err(|e| format!("cannot serialize stats snapshot: {e}"))
+}
+
 fn bench(options: &Options) -> Result<bool, String> {
     let specs = job_mix(options.jobs, options.seed);
     let mut rows = Vec::new();
@@ -428,11 +466,14 @@ fn bench(options: &Options) -> Result<bool, String> {
         }
         let row = format!(
             "    {{\n      \"pool\": {pool},\n      \"jobs_per_sec\": {:.2},\n      \
-             \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \"suspensions\": {}\n    }}",
+             \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \"suspensions\": {},\n      \
+             \"stats_before\": {},\n      \"stats_after\": {}\n    }}",
             specs.len() as f64 / run.wall.max(1e-9),
             percentile(&run.latencies, 50.0),
             percentile(&run.latencies, 99.0),
             run.suspensions,
+            snapshot_json(&run.stats_before)?,
+            snapshot_json(&run.stats_after)?,
         );
         eprintln!(
             "bench: pool {pool}: {:.1} jobs/s, p50 {:.1} ms, p99 {:.1} ms",
@@ -462,7 +503,8 @@ fn bench(options: &Options) -> Result<bool, String> {
              \"accepted\": {},\n      \"shed\": {},\n      \"rejected\": {},\n      \
              \"disconnected\": 0,\n      \"jobs_per_sec\": {:.2},\n      \
              \"p50_ms\": {:.2},\n      \"p99_ms\": {:.2},\n      \
-             \"reject_p99_ms\": {:.3}\n    }}",
+             \"reject_p99_ms\": {:.3},\n      \
+             \"stats_before\": {},\n      \"stats_after\": {}\n    }}",
             run.accepted,
             run.shed,
             run.rejected,
@@ -470,6 +512,8 @@ fn bench(options: &Options) -> Result<bool, String> {
             percentile(&run.latencies, 50.0),
             percentile(&run.latencies, 99.0),
             reject_p99,
+            snapshot_json(&run.stats_before)?,
+            snapshot_json(&run.stats_after)?,
         );
         eprintln!(
             "bench: overload pool {pool} (queue {max_queue}): {} accepted, {} shed, \
@@ -484,7 +528,7 @@ fn bench(options: &Options) -> Result<bool, String> {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"analysis_service_resilience\",\n  \"jobs\": {},\n  \
+        "{{\n  \"bench\": \"analysis_service_observability\",\n  \"jobs\": {},\n  \
          \"seed\": {},\n  \"job_mix\": \"mlcorpus modules + vulnerable recommender\",\n  \
          \"concurrency\": [\n{}\n  ],\n  \"overload\": [\n{}\n  ]\n}}\n",
         specs.len(),

@@ -1,0 +1,266 @@
+//! The exploration profiler's governing guarantees.
+//!
+//! 1. Profiles are **worker-count-invariant**: per-task counters are
+//!    absorbed in canonical wave order, so every worker count produces
+//!    byte-identical hotspot tables and JSON.
+//! 2. Profiling is **observational**: report JSON and Display never carry
+//!    the profile, so enabling `--profile`/`--profile-out` cannot change
+//!    report bytes.
+//! 3. Checkpoint/resume **preserves** the profile: a resumed run ends with
+//!    the same attribution as an uninterrupted one.
+//! 4. Hotspot sanity: the vulnerable recommender's secret-dependent
+//!    branches dominate the secret/fork columns.
+//! 5. In-process `AnalysisService::stats()` snapshots are well-formed
+//!    mid-load and after completion (the wire-level twin lives in
+//!    `crates/core/tests/daemon_stats.rs`).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use privacyscope::service::{AnalysisService, JobSpec, ServiceConfig};
+use privacyscope::{Analyzer, AnalyzerOptions, Report};
+
+fn analyze(module: &mlcorpus::Module, workers: usize, max_paths: usize) -> Report {
+    let analyzer = Analyzer::from_sources(
+        module.source,
+        module.edl,
+        AnalyzerOptions {
+            workers,
+            max_paths,
+            loop_bound: 2,
+            ..AnalyzerOptions::default()
+        },
+    )
+    .expect("corpus module configures");
+    analyzer
+        .analyze(module.entry)
+        .expect("corpus module analyzes")
+}
+
+fn corpus_with_vulnerable() -> Vec<mlcorpus::Module> {
+    let mut modules = mlcorpus::modules();
+    modules.push(mlcorpus::recommender_vulnerable());
+    modules
+}
+
+#[test]
+fn profile_is_byte_identical_across_worker_counts() {
+    for module in corpus_with_vulnerable() {
+        let sequential = analyze(&module, 1, 32);
+        let parallel = analyze(&module, 4, 32);
+        assert_eq!(
+            sequential.profile, parallel.profile,
+            "{}: profile diverged between workers 1 and 4",
+            module.name
+        );
+        assert_eq!(
+            sequential.profile.render_table(module.entry),
+            parallel.profile.render_table(module.entry),
+            "{}: rendered hotspot table diverged",
+            module.name
+        );
+        assert_eq!(
+            sequential.profile.to_json(module.entry),
+            parallel.profile.to_json(module.entry),
+            "{}: profile JSON diverged",
+            module.name
+        );
+        assert!(
+            !sequential.profile.is_empty(),
+            "{}: exploration recorded no profile rows",
+            module.name
+        );
+    }
+}
+
+#[test]
+fn report_json_and_display_never_carry_the_profile() {
+    let module = mlcorpus::recommender_vulnerable();
+    let report = analyze(&module, 1, 32);
+    assert!(
+        !report.profile.is_empty(),
+        "the in-memory report must carry a resolved profile"
+    );
+    // Emission is opt-in at the CLI; the serialized report and the rendered
+    // Box-1 view must stay byte-identical whether anyone reads the profile.
+    let json = report.to_json();
+    assert!(
+        !json.contains("\"profile\""),
+        "report JSON leaked the profile field"
+    );
+    assert!(
+        !report.to_string().contains("exploration profile"),
+        "report Display leaked the hotspot table"
+    );
+}
+
+fn checkpoint_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ps_profile_{tag}_{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn checkpoint_resume_preserves_the_profile() {
+    let module = mlcorpus::recommender_vulnerable();
+    for workers in [1usize, 4] {
+        let path = checkpoint_path(&format!("resume_w{workers}"));
+        let options = AnalyzerOptions {
+            workers,
+            max_paths: 32,
+            loop_bound: 2,
+            ..AnalyzerOptions::default()
+        };
+        // `checkpoint_every: 1` leaves the last wave boundary's snapshot on
+        // disk, with the partial profile spooled alongside the frontier.
+        let full = Analyzer::from_sources(
+            module.source,
+            module.edl,
+            AnalyzerOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 1,
+                ..options.clone()
+            },
+        )
+        .expect("checkpointing analyzer configures")
+        .analyze(module.entry)
+        .expect("checkpointing run analyzes");
+        let snapshot = symexec::Snapshot::load(&path).expect("snapshot loads");
+        assert!(snapshot.wave() > 0, "snapshot is from a mid-run boundary");
+        assert!(
+            snapshot.profile_steps() > 0,
+            "the snapshot must carry the partial profile"
+        );
+
+        // The resumed run replays only the remaining waves, yet must end
+        // with the same attribution as the run that never stopped.
+        let resumed = Analyzer::from_sources(
+            module.source,
+            module.edl,
+            AnalyzerOptions {
+                resume: Some(path.clone()),
+                ..options.clone()
+            },
+        )
+        .expect("resumed analyzer configures")
+        .analyze(module.entry)
+        .expect("resumed run analyzes");
+        assert_eq!(
+            resumed.profile, full.profile,
+            "workers={workers}: resumed profile diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn secret_branches_attribute_to_the_injected_leak_lines() {
+    let module = mlcorpus::recommender_vulnerable();
+    let profile = analyze(&module, 1, 32).profile;
+    let hottest_secret = profile
+        .hottest_by(|c| c.secret_branches)
+        .expect("profile has rows");
+    assert!(
+        hottest_secret.counters.secret_branches > 0,
+        "the vulnerable recommender must evaluate secret-tainted branches"
+    );
+    assert!(
+        hottest_secret.text.contains("ratings[0]"),
+        "hottest secret-branch line is `{}`, expected the injected \
+         ratings[0] branch",
+        hottest_secret.text
+    );
+    let hottest_forks = profile.hottest_by(|c| c.forks).expect("profile has rows");
+    assert!(
+        hottest_forks.counters.forks > 0 && hottest_forks.text.contains("ratings[0]"),
+        "fork hotspot is `{}` with {} forks, expected the injected \
+         ratings[0] branch to dominate",
+        hottest_forks.text,
+        hottest_forks.counters.forks
+    );
+}
+
+fn service_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ps_profile_svc_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job_spec(module: &mlcorpus::Module, max_paths: usize) -> JobSpec {
+    JobSpec {
+        source: module.source.to_string(),
+        edl: module.edl.to_string(),
+        function: Some(module.entry.to_string()),
+        max_paths,
+        loop_bound: 2,
+        workers: 1,
+        ..JobSpec::default()
+    }
+}
+
+/// Structural invariants every snapshot must satisfy, loaded or idle.
+fn assert_well_formed(stats: &privacyscope::ServiceStats, context: &str) {
+    assert!(
+        stats.busy <= stats.pool,
+        "{context}: busy {} exceeds pool {}",
+        stats.busy,
+        stats.pool
+    );
+    let mut previous = None;
+    for job in &stats.jobs {
+        assert!(
+            previous.is_none_or(|p| p < job.id),
+            "{context}: job ids not strictly increasing"
+        );
+        previous = Some(job.id);
+        assert!(
+            ["queued", "running", "suspended", "done", "failed"].contains(&job.state.as_str()),
+            "{context}: unknown job state `{}`",
+            job.state
+        );
+    }
+}
+
+#[test]
+fn service_stats_are_well_formed_mid_load_and_after_completion() {
+    let service = AnalysisService::start(ServiceConfig {
+        pool: 1,
+        slice: Some(Duration::from_millis(100)),
+        spool: service_spool("midload"),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+
+    let modules = corpus_with_vulnerable();
+    let mut ids = Vec::new();
+    for module in &modules {
+        ids.push(service.submit(job_spec(module, 24)).expect("job admitted"));
+    }
+    // Poll while the pool is saturated: with 1 worker and several queued
+    // jobs every snapshot mid-run must stay internally consistent.
+    for _ in 0..20 {
+        let stats = service.stats();
+        assert_well_formed(&stats, "mid-load");
+        assert_eq!(stats.pool, 1, "pool size is a configuration constant");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    for id in &ids {
+        let outcome = service.wait(*id).expect("job reaches a terminal state");
+        assert!(
+            outcome.error.is_none(),
+            "job {id} failed: {:?}",
+            outcome.error
+        );
+    }
+    let done = service.stats();
+    assert_well_formed(&done, "after completion");
+    assert_eq!(done.queue_depth, 0, "queue must drain");
+    assert_eq!(done.busy, 0, "no job is running after all waits");
+    for job in &done.jobs {
+        assert_eq!(job.state, "done", "job {} must be done", job.id);
+        assert!(
+            job.steps > 0,
+            "job {}: completed jobs must report their summed profile steps",
+            job.id
+        );
+    }
+}

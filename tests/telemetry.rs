@@ -29,6 +29,7 @@ fn live_telemetry(trace: Option<PathBuf>, metrics: Option<PathBuf>) -> Telemetry
         metrics_out: metrics,
         log_level: Level::Off,
         timings: false,
+        collect_metrics: false,
     }
     .build()
     .expect("telemetry sinks open")
