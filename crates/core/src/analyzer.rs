@@ -60,6 +60,11 @@ pub struct AnalyzerOptions {
     /// `0` = available parallelism, `1` = sequential. Results are
     /// byte-identical at every setting.
     pub workers: usize,
+    /// Which feasibility tiers run at each fork (see
+    /// [`EngineConfig::feasibility`]; CLI: `--feasibility`). Stronger
+    /// modes prune more infeasible work; findings are identical across
+    /// modes.
+    pub feasibility: symexec::FeasibilityMode,
     /// Wall-clock deadline in milliseconds (see [`EngineConfig::deadline`]):
     /// exploration stops deterministically at the first wave boundary after
     /// the deadline, recording the dropped paths in the ledger.
@@ -109,6 +114,7 @@ impl Default for AnalyzerOptions {
             check_timing: false,
             property: Property::default(),
             workers: 0,
+            feasibility: symexec::FeasibilityMode::default(),
             deadline_ms: None,
             cancel: CancelToken::new(),
             yield_hook: YieldToken::new(),
@@ -249,6 +255,7 @@ impl Analyzer {
             inline_depth: self.options.inline_depth,
             record_trace: self.options.record_trace,
             workers: self.options.workers,
+            feasibility: self.options.feasibility,
             deadline: self.options.deadline_ms.map(Duration::from_millis),
             cancel: self.options.cancel.clone(),
             yield_hook: self.options.yield_hook.clone(),
@@ -440,6 +447,9 @@ impl Analyzer {
                 infeasible: exploration.stats.infeasible,
                 cache_hits: exploration.stats.cache_hits,
                 cache_misses: exploration.stats.cache_misses,
+                tier1_refuted: exploration.stats.tier1_refuted,
+                tier2_refuted: exploration.stats.tier2_refuted,
+                tier2_unknown: exploration.stats.tier2_unknown,
                 exhausted: exploration.exhausted,
                 time: started.elapsed(),
                 loc: minic::count_loc(&self.source),
@@ -479,6 +489,7 @@ impl Analyzer {
             inline_depth: self.options.inline_depth,
             record_trace: true,
             workers: self.options.workers,
+            feasibility: self.options.feasibility,
             deadline: self.options.deadline_ms.map(Duration::from_millis),
             cancel: self.options.cancel.clone(),
             ..EngineConfig::default()

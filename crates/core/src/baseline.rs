@@ -99,6 +99,9 @@ pub fn analyze(source: &str, edl_text: &str, function: &str) -> Result<Report, E
             infeasible: 0,
             cache_hits: 0,
             cache_misses: 0,
+            tier1_refuted: 0,
+            tier2_refuted: 0,
+            tier2_unknown: 0,
             exhausted: false,
             time: started.elapsed(),
             loc: minic::count_loc(source),

@@ -17,6 +17,12 @@
 //!                             ablation: run the analyzer with one check
 //!                             disabled (planted leaks of that kind become
 //!                             missed-leak disagreements — the self-test)
+//!     --feasibility syntactic|intervals|full
+//!                             branch-feasibility pruning tier for the
+//!                             analyzer under test (default syntactic);
+//!                             stronger tiers must not change any verdict,
+//!                             which is exactly what the CI differential
+//!                             campaign asserts
 //!     --preflight             run the cross-interpreter agreement check on
 //!                             each module before the campaign and fail fast
 //!                             on drift
@@ -62,7 +68,8 @@ const USAGE: &str = "\
 usage:
   soundfuzz --seeds <a>..<b> [--vectors <n>] [--max-paths <n>] [--loop-bound <n>]
             [--deadline-ms <n>] [--hard-timeout-ms <n>] [--corpus <dir>]
-            [--blind explicit|implicit] [--preflight] [--json]
+            [--blind explicit|implicit] [--feasibility syntactic|intervals|full]
+            [--preflight] [--json]
 
 exit codes: 0 all modules agreed, 1 disagreements found, 2 usage error,
             3 agreed but degraded (the verdict is a lower bound)
@@ -168,6 +175,7 @@ fn run(args: &[String]) -> Result<Verdict, String> {
             "hard-timeout-ms",
             "corpus",
             "blind",
+            "feasibility",
         ],
         &["json", "preflight"],
     )?;
@@ -187,6 +195,11 @@ fn run(args: &[String]) -> Result<Verdict, String> {
             ms.parse()
                 .map_err(|_| format!("--deadline-ms expects a number, got `{ms}`"))?,
         );
+    }
+    if let Some(text) = cli.value("feasibility") {
+        config.feasibility = privacyscope::FeasibilityMode::parse(text).ok_or_else(|| {
+            format!("--feasibility expects syntactic, intervals, or full, got `{text}`")
+        })?;
     }
     match cli.value("blind") {
         None => {}

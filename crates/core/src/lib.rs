@@ -69,3 +69,4 @@ pub use service::{
     AnalysisService, JobOutcome, JobSnapshot, JobSpec, JobState, ServiceConfig, ServiceStats,
 };
 pub use symexec::profile::SourceProfile;
+pub use symexec::FeasibilityMode;

@@ -78,6 +78,10 @@ pub struct OracleConfig {
     /// Test hook: stall the analyzer thread for this many milliseconds
     /// before it starts (exercises the hard timeout).
     pub inject_stall_ms: Option<u64>,
+    /// Feasibility tiers the analyzer runs with (`--feasibility`). The
+    /// differential soundness gate runs the same seeds under `syntactic`
+    /// and `full` and asserts identical leak classifications.
+    pub feasibility: symexec::FeasibilityMode,
 }
 
 impl Default for OracleConfig {
@@ -92,6 +96,7 @@ impl Default for OracleConfig {
             check_implicit: true,
             inject_panic: false,
             inject_stall_ms: None,
+            feasibility: symexec::FeasibilityMode::default(),
         }
     }
 }
@@ -106,6 +111,7 @@ impl OracleConfig {
             deadline_ms: self.deadline_ms,
             check_explicit: self.check_explicit,
             check_implicit: self.check_implicit,
+            feasibility: self.feasibility,
             ..AnalyzerOptions::default()
         }
     }

@@ -108,6 +108,17 @@ pub struct AnalysisStats {
     /// Feasibility probes computed fresh (first-seen keys).
     #[serde(default)]
     pub cache_misses: usize,
+    /// Branch sides refuted by the Tier-1 interval/congruence domain
+    /// (0 unless `--feasibility=intervals|full`).
+    #[serde(default)]
+    pub tier1_refuted: usize,
+    /// Branch sides refuted by the Tier-2 SAT-lite solver
+    /// (0 unless `--feasibility=full`).
+    #[serde(default)]
+    pub tier2_refuted: usize,
+    /// Tier-2 probes that exhausted their deterministic budget.
+    #[serde(default)]
+    pub tier2_unknown: usize,
     /// Whether any exploration budget was exhausted.
     pub exhausted: bool,
     /// Wall-clock analysis time.
@@ -297,6 +308,9 @@ mod tests {
                 infeasible: 0,
                 cache_hits: 3,
                 cache_misses: 5,
+                tier1_refuted: 0,
+                tier2_refuted: 0,
+                tier2_unknown: 0,
                 exhausted: false,
                 time: Duration::from_micros(1234),
                 loc: 9,

@@ -33,6 +33,19 @@
 //!   counters) or on public scalars; at most a handful fork, so the
 //!   analyzer exhausts the path space under small budgets and a clean
 //!   verdict is never a budget artifact.
+//! * **Some modules are deliberately branch-heavy with contradictory
+//!   guards.** Roughly a quarter of seeds splice in a contradiction
+//!   cluster: nested comparisons over the public scalars whose inner
+//!   guards are concretely unsatisfiable (affine-multiplication, residue,
+//!   and variable-order contradictions). The cluster only touches the
+//!   dead `scratch` local, so ground truth is unaffected — but the
+//!   feasibility pruning tiers (`--feasibility=intervals|full`)
+//!   measurably diverge from the syntactic baseline on these modules,
+//!   which is what the differential soundness gate and the
+//!   `feasibility` benchmark exercise. When a cluster is present the
+//!   plain public branches are capped so the syntactic path count still
+//!   fits the default soundfuzz budget. [`generate_branch_heavy`] forces
+//!   the shape for benchmarking.
 
 use crate::expect::{Expectation, LeakKind};
 use crate::CorpusError;
@@ -232,6 +245,29 @@ pub fn generate(seed: u64) -> SynthModule {
 /// Returns a [`SynthError`] when the plan is incoherent (duplicate site,
 /// two return-channel leaks, or more than one implicit leak).
 pub fn generate_with_leaks(seed: u64, leaks: &[LeakSite]) -> Result<SynthModule, SynthError> {
+    generate_module(seed, leaks, None)
+}
+
+/// Generates a clean module whose entry is dominated by `clusters`
+/// contradiction clusters (see the module docs): every cluster multiplies
+/// the *syntactic* path count by 36 but the concretely feasible count only
+/// by 12, so the feasibility tiers diverge by a known, seed-stable factor.
+/// This is the fixed corpus shape behind the `feasibility` benchmark and
+/// the tier property tests.
+#[must_use]
+pub fn generate_branch_heavy(seed: u64, clusters: usize) -> SynthModule {
+    match generate_module(seed, &[], Some(clusters)) {
+        Ok(module) => module,
+        // An empty leak plan satisfies every coherence constraint.
+        Err(_) => unreachable!("empty leak plan is always coherent"),
+    }
+}
+
+fn generate_module(
+    seed: u64,
+    leaks: &[LeakSite],
+    forced_clusters: Option<usize>,
+) -> Result<SynthModule, SynthError> {
     for (i, site) in leaks.iter().enumerate() {
         if leaks[..i].contains(site) {
             return Err(SynthError::DuplicateSite(*site));
@@ -254,7 +290,15 @@ pub fn generate_with_leaks(seed: u64, leaks: &[LeakSite]) -> Result<SynthModule,
 
     // Shape parameters.
     let helpers = 3 + rng.below(4) as usize; // 3..=6: call-chain depth
-    let pub_branches = 1 + rng.below(3) as usize; // 1..=3: forks on public data
+    let wants_cluster = rng.below(4) == 0; // every ~4th module is branch-heavy
+    let clusters = forced_clusters.unwrap_or(usize::from(wants_cluster));
+    // A cluster multiplies the syntactic path count by 36, so cap the
+    // plain public branches to keep the module inside small path budgets.
+    let pub_branches = if clusters > 0 {
+        1
+    } else {
+        1 + rng.below(3) as usize // 1..=3: forks on public data
+    };
     let pad_loops = 1 + rng.below(2) as usize; // extra benign accumulation
 
     // Distinct secret indices, one per planned leak.
@@ -396,6 +440,9 @@ pub fn generate_with_leaks(seed: u64, leaks: &[LeakSite]) -> Result<SynthModule,
             "    if ({which} > {t}) {{ scratch = scratch + {c1}; }} else {{ scratch = scratch - {c2}; }}\n"
         ));
     }
+    for _ in 0..clusters {
+        push_contradiction_cluster(&mut src, &mut rng);
+    }
     let c = rng.small();
     src.push_str("    out[0] = pacc;\n");
     src.push_str("    out[1] = sacc;\n");
@@ -424,6 +471,43 @@ pub fn generate_with_leaks(seed: u64, leaks: &[LeakSite]) -> Result<SynthModule,
         seed,
         expectations,
     })
+}
+
+/// Emits one contradiction cluster: three nested guard shapes over the
+/// public scalars, each of which forks syntactically but has at least one
+/// concretely unsatisfiable side, and each of which only touches the dead
+/// `scratch` local so the module stays benign:
+///
+/// * an affine-multiplication contradiction — `p > t` followed by
+///   `p * m < m·(t+1) − gap`, unsatisfiable because `p > t` forces
+///   `p * m ≥ m·(t+1)`; refuted by the interval domain (the paper-faithful
+///   syntactic check deliberately keeps multiplication feasible);
+/// * a residue contradiction under a positive outer bound — `q > 5`, then
+///   `q % 4 == r₁` and `q % 4 == r₂` with `r₁ ≠ r₂`; refuted by the
+///   congruence (stride) domain, and the positive bound keeps `%` free of
+///   negative-dividend convention drift between interpreters;
+/// * a variable-order cycle — `pub0 < pub1` then `pub1 < pub0`; invisible
+///   to any non-relational domain, refuted by the SAT-lite solver's
+///   difference-logic theory under `--feasibility=full`.
+fn push_contradiction_cluster(src: &mut String, rng: &mut SplitMix64) {
+    let p = if rng.below(2) == 0 { "pub0" } else { "pub1" };
+    let t = 20 + rng.below(40) as i64;
+    let m = 2 + rng.below(3) as i64; // 2..=4
+    let gap = 1 + rng.below(20) as i64;
+    let bound = m * (t + 1) - gap;
+    src.push_str(&format!(
+        "    if ({p} > {t}) {{\n        if ({p} * {m} < {bound}) {{ scratch = scratch + 1; }} else {{ scratch = scratch - 1; }}\n    }}\n"
+    ));
+    let q = if rng.below(2) == 0 { "pub0" } else { "pub1" };
+    let r1 = rng.below(4) as i64;
+    let r2 = (r1 + 1 + rng.below(3) as i64) % 4;
+    src.push_str(&format!(
+        "    if ({q} > 5) {{\n        if ({q} % 4 == {r1}) {{\n            if ({q} % 4 == {r2}) {{ scratch = scratch + 3; }} else {{ scratch = scratch + 1; }}\n        }}\n    }}\n"
+    ));
+    let c = rng.small();
+    src.push_str(&format!(
+        "    if (pub0 < pub1) {{\n        if (pub1 < pub0) {{ scratch = scratch + {c}; }} else {{ scratch = scratch - {c}; }}\n    }}\n"
+    ));
 }
 
 #[cfg(test)]
@@ -492,6 +576,34 @@ mod tests {
                 "seed {seed}: each leak uses a distinct secret byte"
             );
         }
+    }
+
+    #[test]
+    fn branch_heavy_modules_validate_and_are_deterministic() {
+        for seed in 0..8u64 {
+            let a = generate_branch_heavy(seed, 2);
+            let b = generate_branch_heavy(seed, 2);
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+            assert!(a.expectations.is_empty(), "branch-heavy modules are clean");
+            a.validate()
+                .unwrap_or_else(|e| panic!("seed {seed} generated invalid module: {e}"));
+            // All three contradiction shapes are present.
+            assert!(a.source.contains("% 4 =="), "residue contradiction");
+            assert!(
+                a.source
+                    .contains("if (pub0 < pub1) {\n        if (pub1 < pub0)"),
+                "variable-order cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn some_seeds_generate_contradiction_clusters() {
+        let heavy = (0..64u64)
+            .filter(|s| generate(*s).source.contains("% 4 =="))
+            .count();
+        assert!(heavy > 0, "some seeds must carry a contradiction cluster");
+        assert!(heavy < 64, "not every seed should be branch-heavy");
     }
 
     #[test]

@@ -436,6 +436,15 @@ pub(crate) fn fingerprint(
         config.record_trace,
         config.max_value_size,
     );
+    // The feasibility mode joins the fingerprint only when it deviates
+    // from the default: stronger tiers change which branch sides survive,
+    // so a snapshot must not resume under a different mode — but every
+    // pre-existing (syntactic) checkpoint keeps its fingerprint unchanged.
+    let text = if config.feasibility == crate::constraints::FeasibilityMode::Syntactic {
+        text
+    } else {
+        format!("{text}|feasibility={}", config.feasibility.as_str())
+    };
     fnv1a(text.as_bytes())
 }
 
@@ -491,6 +500,41 @@ pub(crate) fn probe_key(
     constraints.hash(&mut hasher);
     cond.hash(&mut hasher);
     taken.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// [`probe_key`] extended with whatever extra state the active
+/// [`FeasibilityMode`](crate::constraints::FeasibilityMode) reads: the
+/// Tier-1 domain for `intervals`, and additionally the path condition for
+/// `full`. In syntactic mode this is byte-for-byte the legacy key, so
+/// default-mode probe accounting (and resumed `probe_seen` sets) are
+/// unchanged.
+pub(crate) fn probe_key_tiered(
+    mode: crate::constraints::FeasibilityMode,
+    constraints: &crate::constraints::ConstraintManager,
+    domain: &crate::domain::AbstractDomain,
+    path: &crate::path::PathCondition,
+    cond: &crate::value::SVal,
+    taken: bool,
+) -> u64 {
+    use crate::constraints::FeasibilityMode;
+    use std::hash::{Hash, Hasher};
+    if mode == FeasibilityMode::Syntactic {
+        return probe_key(constraints, cond, taken);
+    }
+    let mut hasher = FnvHasher::new();
+    constraints.hash(&mut hasher);
+    cond.hash(&mut hasher);
+    taken.hash(&mut hasher);
+    (mode == FeasibilityMode::Full).hash(&mut hasher);
+    domain.hash(&mut hasher);
+    if mode == FeasibilityMode::Full {
+        for a in path.assumptions() {
+            a.cond.hash(&mut hasher);
+            a.taken.hash(&mut hasher);
+        }
+        path.len().hash(&mut hasher);
+    }
     hasher.finish()
 }
 
@@ -613,6 +657,15 @@ mod tests {
             fingerprint(&unit, "f", &[ParamBinding::SecretScalar], &base),
             reference
         );
+
+        // A non-default feasibility mode shapes which sides survive, so it
+        // changes the fingerprint; the default keeps the legacy value.
+        let mut tiered = base.clone();
+        tiered.feasibility = crate::constraints::FeasibilityMode::Full;
+        assert_ne!(fp(&tiered), reference);
+        let mut explicit_default = base.clone();
+        explicit_default.feasibility = crate::constraints::FeasibilityMode::Syntactic;
+        assert_eq!(fp(&explicit_default), reference);
     }
 
     #[test]

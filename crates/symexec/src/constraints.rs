@@ -15,6 +15,9 @@ use minic::ast::{BinOp, UnOp};
 use serde::{Deserialize, Serialize};
 
 use crate::concrete::Assignment;
+use crate::domain::AbstractDomain;
+use crate::path::PathCondition;
+use crate::solver::{self, Verdict};
 use crate::value::SVal;
 
 /// Outcome of adding an assumption.
@@ -25,6 +28,108 @@ pub enum Feasibility {
     Feasible,
     /// The constraint set became contradictory; the path must be dropped.
     Infeasible,
+}
+
+/// How much feasibility machinery a run enables (`--feasibility=…`).
+///
+/// The tiers are strictly layered: each mode runs every cheaper tier
+/// first and only escalates on "unknown", so a stronger mode can only
+/// refute *more* branch sides, never fewer — and never a concretely
+/// satisfiable one (each tier is sound for refutation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FeasibilityMode {
+    /// Tier 0 only: the Clang-SA-faithful syntactic check above. The
+    /// default — probe keys, counters, and reports are byte-identical to
+    /// earlier releases.
+    #[default]
+    Syntactic,
+    /// Tier 0 + Tier 1: interval/congruence abstract domain
+    /// ([`crate::domain`]).
+    Intervals,
+    /// Tiers 0–2: also the SAT-lite DPLL solver ([`crate::solver`]) when
+    /// the domain answers "unknown".
+    Full,
+}
+
+impl FeasibilityMode {
+    /// Parses a `--feasibility` flag value.
+    pub fn parse(s: &str) -> Option<FeasibilityMode> {
+        match s {
+            "syntactic" => Some(FeasibilityMode::Syntactic),
+            "intervals" => Some(FeasibilityMode::Intervals),
+            "full" => Some(FeasibilityMode::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical flag spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FeasibilityMode::Syntactic => "syntactic",
+            FeasibilityMode::Intervals => "intervals",
+            FeasibilityMode::Full => "full",
+        }
+    }
+}
+
+/// Which tier settled a feasibility probe — the unit the per-tier
+/// `Stats`/profiler counters are denominated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// No tier could refute the branch side.
+    Feasible,
+    /// Tier 0 (syntactic range/disequality check) refuted it.
+    RefutedSyntactic,
+    /// Tier 1 (interval/congruence domain) refuted it.
+    RefutedIntervals,
+    /// Tier 2 (SAT-lite solver) refuted it.
+    RefutedSolver,
+    /// Tier 2 ran and exhausted its budget; treated as feasible.
+    SolverUnknown,
+}
+
+impl ProbeOutcome {
+    /// Collapses the outcome to the engine's two-valued answer.
+    pub fn feasibility(&self) -> Feasibility {
+        match self {
+            ProbeOutcome::Feasible | ProbeOutcome::SolverUnknown => Feasibility::Feasible,
+            _ => Feasibility::Infeasible,
+        }
+    }
+}
+
+/// The layered feasibility pipeline: syntactic → interval/congruence →
+/// SAT-lite → assume-feasible. A pure function of its arguments, so it
+/// memoizes and parallelizes freely.
+pub fn probe_pipeline(
+    mode: FeasibilityMode,
+    cm: &ConstraintManager,
+    domain: &AbstractDomain,
+    path: &PathCondition,
+    cond: &SVal,
+    truth: bool,
+) -> ProbeOutcome {
+    // Tier 0: the syntactic check is the cheapest and also what the
+    // committed `assume` will replay, so it always runs first.
+    if cm.clone().assume(cond, truth) == Feasibility::Infeasible {
+        return ProbeOutcome::RefutedSyntactic;
+    }
+    if mode == FeasibilityMode::Syntactic {
+        return ProbeOutcome::Feasible;
+    }
+    // Tier 1: refine a clone of the per-path abstract domain.
+    if domain.clone().assume(cond, truth) == Feasibility::Infeasible {
+        return ProbeOutcome::RefutedIntervals;
+    }
+    if mode == FeasibilityMode::Intervals {
+        return ProbeOutcome::Feasible;
+    }
+    // Tier 2: SAT-lite over π ∧ cond with a deterministic budget.
+    match solver::check_path(path, cond, truth, domain, solver::Budget::default()) {
+        Verdict::Unsat => ProbeOutcome::RefutedSolver,
+        Verdict::Unknown => ProbeOutcome::SolverUnknown,
+        Verdict::Sat => ProbeOutcome::Feasible,
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -251,14 +356,17 @@ impl ConstraintManager {
     }
 }
 
-/// One memoized probe: the full triple (for exact verification on a
-/// digest hit) and its result.
+/// One memoized probe: the full key (for exact verification on a digest
+/// hit) and the tier outcome. `domain`/`path` stay empty in
+/// [`FeasibilityMode::Syntactic`] (they are not part of that mode's key).
 #[derive(Debug)]
 struct CacheEntry {
     cm: ConstraintManager,
+    domain: AbstractDomain,
+    path: PathCondition,
     cond: SVal,
     truth: bool,
-    result: Feasibility,
+    outcome: ProbeOutcome,
 }
 
 #[derive(Debug, Default)]
@@ -272,25 +380,28 @@ struct CacheInner {
     len: usize,
 }
 
-/// Memoizes pure feasibility probes across path states and worker threads.
+/// Memoizes the tiered feasibility pipeline across path states and worker
+/// threads.
 ///
 /// Probes are bucketed by their 64-bit probe-key digest
-/// ([`crate::checkpoint::probe_key`]) — the digest the engine has already
-/// computed for its deterministic hit/miss counters, so the common path
-/// hashes the constraint set exactly once. A digest hit is verified
-/// structurally against the stored `(constraints, condition, truth)`
-/// triple *by reference* — no clone is taken to look up — so a hit can
-/// never alias two different probes; the triple is cloned only when a miss
-/// inserts. The `RwLock`/`HashMap` pair (imported at the top of this file)
-/// exists solely for this cache: many engine workers probe concurrently
-/// under the read lock, and only misses briefly take the write lock.
+/// ([`crate::checkpoint::probe_key_tiered`]) — the digest the engine has
+/// already computed for its deterministic hit/miss counters, so the common
+/// path hashes the constraint set exactly once. A digest hit is verified
+/// structurally against the stored key *by reference* — no clone is taken
+/// to look up — so a hit can never alias two different probes; the key is
+/// cloned only when a miss inserts. The `RwLock`/`HashMap` pair (imported
+/// at the top of this file) exists solely for this cache: many engine
+/// workers probe concurrently under the read lock, and only misses briefly
+/// take the write lock.
 ///
-/// The engine only consults the cache for *speculative* checks (fork
-/// pre-probes, loop concreteness probes) whose constraint sets are
-/// discarded afterwards; committed `assume` calls still execute directly
-/// so their narrowing is recorded in the path state. Because
-/// `ConstraintManager::assume` is a pure function of the key, caching
-/// never changes results — only wall-clock.
+/// There is no separate syntactic pre-check in front of the cache anymore:
+/// the syntactic check is simply tier 0 of [`probe_pipeline`], which runs
+/// behind the memo table like every other tier. The engine only consults
+/// the cache for *speculative* checks (fork pre-probes, loop concreteness
+/// probes) whose constraint sets are discarded afterwards; committed
+/// `assume` calls still execute directly so their narrowing is recorded in
+/// the path state. Because the pipeline is a pure function of the key,
+/// caching never changes results — only wall-clock.
 #[derive(Debug)]
 pub struct FeasibilityCache {
     entries: RwLock<CacheInner>,
@@ -307,57 +418,83 @@ impl FeasibilityCache {
         }
     }
 
-    /// Returns the feasibility of assuming `cond == truth` under `cm`,
-    /// memoizing the (pure) computation.
+    /// Returns the feasibility of assuming `cond == truth` under `cm` in
+    /// [`FeasibilityMode::Syntactic`], memoizing the (pure) computation.
     ///
-    /// Computes the probe digest itself; callers that already hold it (the
-    /// engine logs one per probe) should use [`Self::check_keyed`].
+    /// Computes the probe digest itself; the engine (which already holds a
+    /// digest and a full path state) uses [`Self::check_outcome`].
     pub fn check(&self, cm: &ConstraintManager, cond: &SVal, truth: bool) -> Feasibility {
-        if self.capacity == 0 {
-            return cm.clone().assume(cond, truth);
-        }
-        self.check_keyed(
-            crate::checkpoint::probe_key(cm, cond, truth),
+        let digest = crate::checkpoint::probe_key(cm, cond, truth);
+        self.check_outcome(
+            digest,
+            FeasibilityMode::Syntactic,
             cm,
+            &AbstractDomain::new(),
+            &PathCondition::new(),
             cond,
             truth,
         )
+        .feasibility()
     }
 
-    /// [`Self::check`] with the probe digest supplied by the caller,
-    /// avoiding a second hash of the constraint set.
-    pub fn check_keyed(
+    /// Runs the tiered pipeline for `cond == truth`, with the probe digest
+    /// supplied by the caller (avoiding a second hash of the constraint
+    /// set), and memoizes the per-tier outcome.
+    ///
+    /// `domain` and `path` are only part of the key when `mode` enables
+    /// the tiers that read them — in [`FeasibilityMode::Syntactic`] the
+    /// lookup is byte-compatible with earlier releases.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_outcome(
         &self,
         digest: u64,
+        mode: FeasibilityMode,
         cm: &ConstraintManager,
+        domain: &AbstractDomain,
+        path: &PathCondition,
         cond: &SVal,
         truth: bool,
-    ) -> Feasibility {
+    ) -> ProbeOutcome {
         if self.capacity == 0 {
-            return cm.clone().assume(cond, truth);
+            return probe_pipeline(mode, cm, domain, path, cond, truth);
         }
+        let tiered = mode != FeasibilityMode::Syntactic;
         if let Ok(inner) = self.entries.read() {
             if let Some(bucket) = inner.buckets.get(&digest) {
                 for entry in bucket {
-                    if entry.truth == truth && entry.cond == *cond && entry.cm == *cm {
-                        return entry.result;
+                    if entry.truth == truth
+                        && entry.cond == *cond
+                        && entry.cm == *cm
+                        && (!tiered || (entry.domain == *domain && entry.path == *path))
+                    {
+                        return entry.outcome;
                     }
                 }
             }
         }
-        let result = cm.clone().assume(cond, truth);
+        let outcome = probe_pipeline(mode, cm, domain, path, cond, truth);
         if let Ok(mut inner) = self.entries.write() {
             if inner.len < self.capacity {
                 inner.len += 1;
                 inner.buckets.entry(digest).or_default().push(CacheEntry {
                     cm: cm.clone(),
+                    domain: if tiered {
+                        domain.clone()
+                    } else {
+                        AbstractDomain::new()
+                    },
+                    path: if tiered {
+                        path.clone()
+                    } else {
+                        PathCondition::new()
+                    },
                     cond: cond.clone(),
                     truth,
-                    result,
+                    outcome,
                 });
             }
         }
-        result
+        outcome
     }
 
     /// Number of memoized probes currently held.
@@ -371,7 +508,7 @@ impl FeasibilityCache {
     }
 }
 
-fn negate_cmp(op: BinOp) -> BinOp {
+pub(crate) fn negate_cmp(op: BinOp) -> BinOp {
     match op {
         BinOp::Lt => BinOp::Ge,
         BinOp::Le => BinOp::Gt,
@@ -383,7 +520,7 @@ fn negate_cmp(op: BinOp) -> BinOp {
     }
 }
 
-fn flip_cmp(op: BinOp) -> BinOp {
+pub(crate) fn flip_cmp(op: BinOp) -> BinOp {
     match op {
         BinOp::Lt => BinOp::Gt,
         BinOp::Le => BinOp::Ge,
@@ -393,7 +530,7 @@ fn flip_cmp(op: BinOp) -> BinOp {
     }
 }
 
-fn const_of(sval: &SVal) -> Option<i64> {
+pub(crate) fn const_of(sval: &SVal) -> Option<i64> {
     sval.as_int()
 }
 

@@ -29,7 +29,7 @@ use taint::{SourceId, TaintSet};
 use telemetry::{FieldValue, PendingSpan, Telemetry};
 
 use crate::checkpoint::{self, Frontier, Snapshot};
-use crate::constraints::{ConstraintManager, Feasibility, FeasibilityCache};
+use crate::constraints::{Feasibility, FeasibilityCache, FeasibilityMode, ProbeOutcome};
 use crate::degrade::{CancelToken, Degradation, Ledger, StopKind, Supervisor, YieldToken};
 use crate::error::EngineError;
 use crate::intern::HC;
@@ -98,6 +98,13 @@ pub struct EngineConfig {
     /// only *speculative* probes go through it, and feasibility is a pure
     /// function of the probed constraints.
     pub feasibility_cache: usize,
+    /// Which feasibility tiers run at each fork probe
+    /// (`--feasibility=syntactic|intervals|full`). Stronger modes refute
+    /// more infeasible branch sides before they consume steps; every tier
+    /// is sound for refutation and deterministic, so findings are
+    /// identical across modes and worker counts. Part of the checkpoint
+    /// fingerprint when non-default.
+    pub feasibility: FeasibilityMode,
     /// Wall-clock deadline for the whole exploration. When it expires, the
     /// run stops at the first wave boundary after the deadline: every
     /// in-flight path is discarded and recorded in the degradation ledger
@@ -160,6 +167,7 @@ impl Default for EngineConfig {
             max_value_size: 64,
             workers: 0,
             feasibility_cache: 1 << 16,
+            feasibility: FeasibilityMode::default(),
             deadline: None,
             cancel: CancelToken::new(),
             yield_hook: YieldToken::new(),
@@ -230,6 +238,20 @@ pub struct Stats {
     /// [`Stats::cache_hits`]).
     #[serde(default)]
     pub cache_misses: usize,
+    /// Branch sides refuted by Tier 1 (interval/congruence domain) after
+    /// the syntactic tier passed. Always 0 in syntactic mode. Counted
+    /// per probe *event* — the tier outcome is a pure function of the
+    /// probe key, so the count is worker-count invariant.
+    #[serde(default)]
+    pub tier1_refuted: usize,
+    /// Branch sides refuted by Tier 2 (the SAT-lite solver) after tiers
+    /// 0–1 passed. Always 0 outside `full` mode.
+    #[serde(default)]
+    pub tier2_refuted: usize,
+    /// Tier-2 invocations that exhausted their deterministic budget (the
+    /// probe then counts as feasible).
+    #[serde(default)]
+    pub tier2_unknown: usize,
 }
 
 impl Stats {
@@ -246,6 +268,9 @@ impl Stats {
         self.steps += other.steps;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.tier1_refuted += other.tier1_refuted;
+        self.tier2_refuted += other.tier2_refuted;
+        self.tier2_unknown += other.tier2_unknown;
     }
 }
 
@@ -668,6 +693,9 @@ impl<'u> Engine<'u> {
                 let cache_misses = delta(after.cache_misses, stats_before.cache_misses);
                 let widenings = delta(after.widenings, stats_before.widenings);
                 let steps = delta(after.steps, stats_before.steps);
+                let tier1_refuted = delta(after.tier1_refuted, stats_before.tier1_refuted);
+                let tier2_refuted = delta(after.tier2_refuted, stats_before.tier2_refuted);
+                let tier2_unknown = delta(after.tier2_unknown, stats_before.tier2_unknown);
                 tele.counter(telemetry::names::ENGINE_WAVES, 1);
                 tele.counter(telemetry::names::ENGINE_FORKS, forks);
                 tele.counter(telemetry::names::ENGINE_INFEASIBLE, infeasible);
@@ -675,6 +703,9 @@ impl<'u> Engine<'u> {
                 tele.counter(telemetry::names::ENGINE_CACHE_MISSES, cache_misses);
                 tele.counter(telemetry::names::ENGINE_WIDENINGS, widenings);
                 tele.counter(telemetry::names::ENGINE_STEPS, steps);
+                tele.counter(telemetry::names::ENGINE_TIER1_REFUTED, tier1_refuted);
+                tele.counter(telemetry::names::ENGINE_TIER2_REFUTED, tier2_refuted);
+                tele.counter(telemetry::names::ENGINE_TIER2_UNKNOWN, tier2_unknown);
                 if let Some(started) = wave_started {
                     tele.observe(
                         telemetry::names::ENGINE_WAVE_US,
@@ -1069,19 +1100,50 @@ impl<'u, 'c> Explorer<'u, 'c> {
     /// observe. That keeps `Stats` (and everything downstream: reports,
     /// checkpoints, determinism tests) invariant under worker count and
     /// cache capacity.
-    fn probe(
-        &mut self,
-        constraints: &ConstraintManager,
-        cond: &SVal,
-        taken: bool,
-        at: usize,
-    ) -> Feasibility {
+    /// Per-tier counters, by contrast, *are* incremented per probe event:
+    /// the tier outcome is itself a pure function of the key, so the same
+    /// probe always lands in the same counter no matter which worker runs
+    /// it or whether the cache answered — the totals stay deterministic
+    /// without the seen-set machinery.
+    fn probe(&mut self, state: &ExecState, cond: &SVal, taken: bool, at: usize) -> Feasibility {
         // One digest serves both the deterministic hit/miss log and the
         // shared cache's bucket key. `at` is the source byte offset the
         // probe is attributed to in the exploration profile.
-        let key = checkpoint::probe_key(constraints, cond, taken);
+        let mode = self.config.feasibility;
+        let key = checkpoint::probe_key_tiered(
+            mode,
+            &state.constraints,
+            &state.domain,
+            &state.path,
+            cond,
+            taken,
+        );
         self.probe_log.push((key, at));
-        self.cache.check_keyed(key, constraints, cond, taken)
+        let outcome = self.cache.check_outcome(
+            key,
+            mode,
+            &state.constraints,
+            &state.domain,
+            &state.path,
+            cond,
+            taken,
+        );
+        match outcome {
+            ProbeOutcome::RefutedIntervals => {
+                self.stats.tier1_refuted += 1;
+                self.profile.at(at).tier1_refuted += 1;
+            }
+            ProbeOutcome::RefutedSolver => {
+                self.stats.tier2_refuted += 1;
+                self.profile.at(at).tier2_refuted += 1;
+            }
+            ProbeOutcome::SolverUnknown => {
+                self.stats.tier2_unknown += 1;
+                self.profile.at(at).tier2_unknown += 1;
+            }
+            ProbeOutcome::Feasible | ProbeOutcome::RefutedSyntactic => {}
+        }
+        outcome.feasibility()
     }
 
     /// Classifies a drained probe log against the global seen-set. Must be
@@ -2082,9 +2144,7 @@ impl<'u, 'c> Explorer<'u, 'c> {
         // `assume` below still runs directly on the path's constraints.
         let feasible: Vec<bool> = [true, false]
             .into_iter()
-            .map(|taken| {
-                self.probe(&state.constraints, cond, taken, span.start) == Feasibility::Feasible
-            })
+            .map(|taken| self.probe(&state, cond, taken, span.start) == Feasibility::Feasible)
             .collect();
         let pruned = feasible.iter().filter(|f| !**f).count();
         self.stats.infeasible += pruned;
@@ -2106,6 +2166,15 @@ impl<'u, 'c> Explorer<'u, 'c> {
         for (mut st, taken) in pending {
             let feasibility = st.constraints.assume(cond, taken);
             debug_assert_eq!(feasibility, Feasibility::Feasible);
+            if self.config.feasibility != FeasibilityMode::Syntactic {
+                // Commit the Tier-1 refinement alongside the syntactic one.
+                // The probe above already ran this very computation on a
+                // clone and found it feasible, so the committed replay
+                // cannot contradict.
+                let domain_feasibility = st.domain.assume(cond, taken);
+                debug_assert_eq!(domain_feasibility, Feasibility::Feasible);
+                let _ = domain_feasibility;
+            }
             if !cond.is_const() {
                 st.path.push(cond.clone(), taken);
             }
@@ -2159,9 +2228,9 @@ impl<'u, 'c> Explorer<'u, 'c> {
                         for (cst, cv, ct) in self.eval(st, cond_expr) {
                             let cv = simplify(&cv);
                             let concrete = cv.is_const()
-                                || self.probe(&cst.constraints, &cv, true, cond_expr.span.start)
+                                || self.probe(&cst, &cv, true, cond_expr.span.start)
                                     == Feasibility::Infeasible
-                                || self.probe(&cst.constraints, &cv, false, cond_expr.span.start)
+                                || self.probe(&cst, &cv, false, cond_expr.span.start)
                                     == Feasibility::Infeasible;
                             for (branch, taken) in self.fork(cst, &cv, &ct, cond_expr.span) {
                                 if taken {

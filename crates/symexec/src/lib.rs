@@ -44,19 +44,21 @@ pub mod checkpoint;
 pub mod concrete;
 pub mod constraints;
 pub mod degrade;
+pub mod domain;
 pub mod engine;
 pub mod error;
 pub mod intern;
 pub mod path;
 pub mod profile;
 pub mod simplify;
+pub mod solver;
 pub mod state;
 pub mod trace;
 pub mod value;
 mod worklist;
 
 pub use checkpoint::{CheckpointError, Snapshot};
-pub use constraints::FeasibilityCache;
+pub use constraints::{FeasibilityCache, FeasibilityMode, ProbeOutcome};
 pub use degrade::{CancelToken, Degradation, Ledger, YieldToken};
 pub use engine::{Engine, EngineConfig, Exploration, ParamBinding, PathOutcome};
 pub use error::EngineError;

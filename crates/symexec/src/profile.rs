@@ -48,6 +48,17 @@ pub struct SiteCounters {
     pub cache_misses: u64,
     /// Branch-condition evaluations whose condition carried secret taint.
     pub secret_branches: u64,
+    /// Branch sides refuted here by the Tier-1 interval/congruence domain
+    /// (always 0 in syntactic feasibility mode; `serde(default)` keeps
+    /// pre-tier profiles loadable).
+    #[serde(default)]
+    pub tier1_refuted: u64,
+    /// Branch sides refuted here by the Tier-2 SAT-lite solver.
+    #[serde(default)]
+    pub tier2_refuted: u64,
+    /// Tier-2 probes here that exhausted their deterministic budget.
+    #[serde(default)]
+    pub tier2_unknown: u64,
 }
 
 impl SiteCounters {
@@ -60,6 +71,9 @@ impl SiteCounters {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.secret_branches += other.secret_branches;
+        self.tier1_refuted += other.tier1_refuted;
+        self.tier2_refuted += other.tier2_refuted;
+        self.tier2_unknown += other.tier2_unknown;
     }
 
     /// True when every counter is zero.
@@ -215,14 +229,24 @@ impl SourceProfile {
         let _ = writeln!(out, "── exploration profile: {function} ─────────────");
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  source",
-            "line", "steps", "forks", "infeas", "widen", "hits", "miss", "secret"
+            "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  source",
+            "line",
+            "steps",
+            "forks",
+            "infeas",
+            "widen",
+            "hits",
+            "miss",
+            "secret",
+            "t1ref",
+            "t2ref",
+            "t2unk"
         );
         for row in &self.rows {
             let c = &row.counters;
             let _ = writeln!(
                 out,
-                "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  {}",
+                "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  {}",
                 row.line,
                 c.steps,
                 c.forks,
@@ -231,6 +255,9 @@ impl SourceProfile {
                 c.cache_hits,
                 c.cache_misses,
                 c.secret_branches,
+                c.tier1_refuted,
+                c.tier2_refuted,
+                c.tier2_unknown,
                 row.text
             );
         }
@@ -243,7 +270,7 @@ impl SourceProfile {
             });
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  (total)",
+            "{:>5} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  (total)",
             "",
             totals.steps,
             totals.forks,
@@ -251,7 +278,10 @@ impl SourceProfile {
             totals.widenings,
             totals.cache_hits,
             totals.cache_misses,
-            totals.secret_branches
+            totals.secret_branches,
+            totals.tier1_refuted,
+            totals.tier2_refuted,
+            totals.tier2_unknown
         );
         out
     }

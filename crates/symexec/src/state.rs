@@ -356,6 +356,12 @@ pub struct ExecState {
     /// Base regions holding secret data on this path (entry parameters
     /// marked secret, plus regions written by configured source functions).
     pub secret_bases: BTreeSet<Region>,
+    /// Tier-1 feasibility facts (interval/congruence per symbol),
+    /// maintained incrementally alongside `constraints` when the run's
+    /// [`crate::constraints::FeasibilityMode`] enables them. Empty — and
+    /// absent from old checkpoints, hence the default — in syntactic mode.
+    #[serde(default)]
+    pub domain: crate::domain::AbstractDomain,
 }
 
 impl ExecState {

@@ -108,6 +108,7 @@ impl IdRemap {
         }
 
         state.constraints.remap_symbols(&sym);
+        state.domain.remap_symbols(sym);
 
         state.taints = std::mem::replace(&mut state.taints, taint::TaintMap::new())
             .iter()

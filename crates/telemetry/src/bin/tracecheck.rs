@@ -242,9 +242,9 @@ fn check_histogram_body(name: &str, histogram: &[(String, Value)]) -> Result<(),
     Ok(())
 }
 
-/// The seven per-site counters a profile row must carry, in the order
+/// The ten per-site counters a profile row must carry, in the order
 /// `symexec::profile::SiteCounters` declares them.
-const PROFILE_COUNTERS: [&str; 7] = [
+const PROFILE_COUNTERS: [&str; 10] = [
     "steps",
     "forks",
     "infeasible",
@@ -252,6 +252,9 @@ const PROFILE_COUNTERS: [&str; 7] = [
     "cache_hits",
     "cache_misses",
     "secret_branches",
+    "tier1_refuted",
+    "tier2_refuted",
+    "tier2_unknown",
 ];
 
 /// Validates a `privacyscope --profile-out` document. Returns

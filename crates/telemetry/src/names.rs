@@ -32,6 +32,12 @@ pub const ENGINE_WIDENINGS: &str = "engine.widenings";
 pub const ENGINE_CACHE_HITS: &str = "engine.cache_hits";
 /// Feasibility probes computed fresh.
 pub const ENGINE_CACHE_MISSES: &str = "engine.cache_misses";
+/// Branch sides refuted by the Tier-1 interval/congruence domain.
+pub const ENGINE_TIER1_REFUTED: &str = "engine.tier_one_refuted";
+/// Branch sides refuted by the Tier-2 SAT-lite solver.
+pub const ENGINE_TIER2_REFUTED: &str = "engine.tier_two_refuted";
+/// Tier-2 invocations that exhausted their deterministic budget.
+pub const ENGINE_TIER2_UNKNOWN: &str = "engine.tier_two_unknown";
 /// Path tasks executed by the worklist.
 pub const ENGINE_PATH_TASKS: &str = "engine.path_tasks";
 /// Checkpoint snapshots written.
@@ -120,6 +126,9 @@ pub const ALL_COUNTERS: &[&str] = &[
     ENGINE_INFEASIBLE,
     ENGINE_PATH_TASKS,
     ENGINE_STEPS,
+    ENGINE_TIER1_REFUTED,
+    ENGINE_TIER2_REFUTED,
+    ENGINE_TIER2_UNKNOWN,
     ENGINE_WAVES,
     ENGINE_WIDENINGS,
     SERVICE_CANCELLED,

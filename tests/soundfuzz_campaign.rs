@@ -7,11 +7,12 @@ use privacyscope::oracle::{
     run_campaign, DisagreementClass, Evidence, HarnessDegradation, OracleConfig,
 };
 
-/// A campaign-test budget: small enough for CI, big enough to exercise
-/// the generator's leaky seeds.
+/// A campaign-test budget: small enough for CI, big enough to explore the
+/// generator's leaky seeds exhaustively — the branch-heavy
+/// contradiction-cluster modules peak at 126 syntactic paths (seed 4).
 fn fast() -> OracleConfig {
     OracleConfig {
-        max_paths: 64,
+        max_paths: 192,
         ..OracleConfig::default()
     }
 }
